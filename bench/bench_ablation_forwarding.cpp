@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Extension study: inter-layer on-chip forwarding (fusion-lite, see
+ * baton/forwarding.hpp).  For each sequential zoo model, report how
+ * many layer boundaries can skip the DRAM round trip given the
+ * case-study hardware, and the resulting model-level energy saving on
+ * top of the optimal per-layer mappings.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "baton/forwarding.hpp"
+#include "common/table.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+void
+printStudy()
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    std::printf("=== Extension: inter-layer on-chip forwarding "
+                "(sequential models, case-study hardware) ===\n\n");
+    TextTable t({"model", "input", "boundaries", "forwardable",
+                 "baseline mJ", "forwarded mJ", "extra savings %"});
+    for (int resolution : {224, 512}) {
+        for (const Model &model :
+             {makeVgg16(resolution), makeDarkNet19(resolution)}) {
+            PostDesignFlow flow(cfg, defaultTech(),
+                                SearchEffort::Fast);
+            const PostDesignReport report = flow.run(model);
+            const ForwardingReport f =
+                analyzeForwarding(model, report);
+            t.newRow()
+                .add(model.name())
+                .add(static_cast<int64_t>(resolution))
+                .add(static_cast<int64_t>(f.boundaries.size()))
+                .add(static_cast<int64_t>(f.forwardedCount()))
+                .add(f.baselineEnergyPj * 1e-9, 3)
+                .add(f.forwardedEnergyPj * 1e-9, 3)
+                .add(100.0 * f.savings(), 1);
+        }
+    }
+    t.print(std::cout);
+    std::printf(
+        "\nforwardable boundaries are those whose tensor fits the "
+        "package's combined A-L2 and whose consumer reads exactly the "
+        "producer's output; early large-plane boundaries at 512x512 "
+        "stay on DRAM.  This is an extension beyond the paper's "
+        "layer-wise flow (Tangram-style cross-layer dataflow).\n\n");
+}
+
+void
+BM_ForwardingAnalysis(benchmark::State &state)
+{
+    const Model model = makeDarkNet19(224);
+    PostDesignFlow flow(caseStudyConfig(), defaultTech(),
+                        SearchEffort::Fast);
+    const PostDesignReport report = flow.run(model);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analyzeForwarding(model, report));
+    }
+}
+BENCHMARK(BM_ForwardingAnalysis);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printStudy();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 11 reproduction: energy estimation with breakdown of the six
+ * spatial partition strategies — (C,C) (C,P) (C,H) (P,C) (P,P) (P,H)
+ * — on five representative layer types at 224x224 and 512x512 input
+ * resolutions, each with its best temporal strategy.
+ *
+ * Hardware: 4 chiplets, 8 cores, 8 lanes of 8-size vector MAC, 1.5KB
+ * O-L1, 800B A-L1, 18KB W-L1 and 64KB A-L2 (paper section VI-A.1).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mapper/search.hpp"
+#include "nn/model.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+struct Combo
+{
+    PackagePartition pkg;
+    ChipletPartition chip;
+};
+
+const Combo kCombos[] = {
+    {PackagePartition::Channel, ChipletPartition::Channel},
+    {PackagePartition::Channel, ChipletPartition::Plane},
+    {PackagePartition::Channel, ChipletPartition::Hybrid},
+    {PackagePartition::Plane, ChipletPartition::Channel},
+    {PackagePartition::Plane, ChipletPartition::Plane},
+    {PackagePartition::Plane, ChipletPartition::Hybrid},
+};
+
+void
+printLayer(const AcceleratorConfig &cfg, const ConvLayer &layer,
+           const char *role)
+{
+    std::printf("\nlayer: %s (%s)\n", layer.toString().c_str(), role);
+    TextTable t({"spatial", "total mJ", "dram", "d2d", "al2", "al1",
+                 "wl1", "ol1", "ol2+mac", "best temporal"});
+    double best = 1e300;
+    std::string best_label;
+    for (const Combo &c : kCombos) {
+        const auto r = searchLayerWithSpatial(layer, cfg, defaultTech(),
+                                              c.pkg, c.chip);
+        Mapping probe;
+        probe.pkgSpatial = c.pkg;
+        probe.chipSpatial = c.chip;
+        if (!r) {
+            // The paper also removes combos that mismatch the layer
+            // (e.g. (C,C) on small-output-channel layers).
+            t.newRow().add(probe.spatialLabel()).add("-- removed --");
+            continue;
+        }
+        const EnergyBreakdown &e = r->energy;
+        const double mj = 1e-9;
+        t.newRow()
+            .add(r->mapping.spatialLabel())
+            .add(e.total() * mj, 4)
+            .add(e.dram * mj, 4)
+            .add(e.d2d * mj, 4)
+            .add(e.al2 * mj, 4)
+            .add(e.al1 * mj, 4)
+            .add(e.wl1 * mj, 4)
+            .add(e.ol1 * mj, 4)
+            .add((e.ol2 + e.mac) * mj, 4)
+            .add(std::string(toString(r->mapping.pkgOrder)) + "/" +
+                 toString(r->mapping.chipOrder));
+        if (e.total() < best) {
+            best = e.total();
+            best_label = r->mapping.spatialLabel();
+        }
+    }
+    t.print(std::cout);
+    std::printf("best spatial strategy: %s\n", best_label.c_str());
+}
+
+void
+printFigure()
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    std::printf("=== Figure 11: energy of spatial partition "
+                "strategies (best temporal each) ===\n");
+    std::printf("hardware: %s\n", cfg.toString().c_str());
+    for (int resolution : {224, 512}) {
+        std::printf("\n--- input resolution %dx%d ---\n", resolution,
+                    resolution);
+        const RepresentativeLayers reps =
+            representativeLayers(resolution);
+        printLayer(cfg, reps.activationIntensive,
+                   "activation-intensive");
+        printLayer(cfg, reps.weightIntensive, "weight-intensive");
+        printLayer(cfg, reps.largeKernel, "large kernel-size");
+        printLayer(cfg, reps.pointWise, "point-wise");
+        printLayer(cfg, reps.common, "common");
+    }
+    std::printf(
+        "\nexpected shape: hybrid chiplet partitions ((C,H)/(P,H)) "
+        "give overall low energy; P-type package suits activation-"
+        "intensive and large-kernel layers, C-type suits weight-"
+        "intensive and point-wise layers (paper section VI-A.1).\n\n");
+}
+
+void
+BM_SearchLayerWithSpatial(benchmark::State &state)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const RepresentativeLayers reps = representativeLayers(224);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(searchLayerWithSpatial(
+            reps.common, cfg, defaultTech(), PackagePartition::Channel,
+            ChipletPartition::Hybrid));
+    }
+}
+BENCHMARK(BM_SearchLayerWithSpatial);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 13 reproduction: whole-model energy comparison between the
+ * Simba baseline dataflow and NN-Baton on VGG-16, ResNet-50 and
+ * DarkNet-19 at 224x224 and 512x512 inputs (CONV + FC layers, FC
+ * reorganised into point-wise layers).  The paper reports
+ * 22.5%-44% energy savings.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "baton/baton.hpp"
+#include "common/table.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+void
+printFigure()
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    std::printf("=== Figure 13: model-level energy, Simba vs NN-Baton "
+                "===\nhardware: %s\n\n", cfg.toString().c_str());
+    TextTable t({"model", "input", "simba mJ", "baton mJ",
+                 "baton/simba", "savings %"});
+    double min_savings = 1.0, max_savings = 0.0;
+    for (int resolution : {224, 512}) {
+        for (const Model &model :
+             {makeVgg16(resolution), makeResNet50(resolution),
+              makeDarkNet19(resolution)}) {
+            const ComparisonReport r = compareWithSimba(model, cfg);
+            t.newRow()
+                .add(model.name())
+                .add(static_cast<int64_t>(resolution))
+                .add(r.simbaEnergy.total() * 1e-9, 3)
+                .add(r.batonEnergy.total() * 1e-9, 3)
+                .add(r.batonEnergy.total() / r.simbaEnergy.total(), 3)
+                .add(100.0 * r.savings(), 1);
+            min_savings = std::min(min_savings, r.savings());
+            max_savings = std::max(max_savings, r.savings());
+        }
+    }
+    t.print(std::cout);
+    std::printf("\nmeasured savings range: %.1f%% - %.1f%% (paper: "
+                "22.5%% - 44%%)\n", 100.0 * min_savings,
+                100.0 * max_savings);
+    std::printf("expected shape: savings at 512x512 exceed 224x224 "
+                "(Simba is weak on large feature maps / halo "
+                "regions); VGG-16 and DarkNet-19 save more than "
+                "ResNet-50 (their feature maps shrink later).\n\n");
+}
+
+void
+BM_CompareVgg224(benchmark::State &state)
+{
+    const Model model = makeVgg16(224);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            compareWithSimba(model, caseStudyConfig()));
+    }
+}
+BENCHMARK(BM_CompareVgg224)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Figure 14 reproduction: chiplet-granularity exploration with 2048
+ * MAC units.  All 63 (chiplet, core, lane, vector) allocations are
+ * evaluated with memory proportional to compute; per chiplet count we
+ * report the best energy without an area constraint and the best
+ * design under the 2 mm^2 chiplet-area constraint, plus runtime and
+ * EDP.  The paper's top pick is 4-4-16-8.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "baton/baton.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+void
+printModel(const Model &model)
+{
+    std::printf("\n--- model %s @%d ---\n", model.name().c_str(),
+                model.inputResolution());
+
+    DseOptions opt;
+    opt.totalMacs = 2048;
+    opt.proportionalMem = true;
+    opt.effort = SearchEffort::Fast;
+    const DseResult open = explore(model, opt, defaultTech());
+    opt.areaLimitMm2 = 2.0;
+    const DseResult tight = explore(model, opt, defaultTech());
+
+    // Best unconstrained energy and best constrained design per N_P.
+    std::map<int, const DesignPoint *> best_open, best_tight;
+    for (const auto &p : open.points) {
+        auto &slot = best_open[p.compute.chiplets];
+        if (!slot ||
+            p.cost.energy.total() < slot->cost.energy.total()) {
+            slot = &p;
+        }
+    }
+    for (const auto &p : tight.points) {
+        auto &slot = best_tight[p.compute.chiplets];
+        if (!slot ||
+            p.cost.energy.total() < slot->cost.energy.total()) {
+            slot = &p;
+        }
+    }
+
+    TextTable t({"chiplets", "best scheme", "energy mJ (no limit)",
+                 "scheme @2mm2", "energy mJ", "runtime ms", "EDP",
+                 "area mm2"});
+    for (int np : {1, 2, 4, 8}) {
+        t.newRow().add(static_cast<int64_t>(np));
+        if (best_open.count(np)) {
+            const DesignPoint *p = best_open[np];
+            t.add(strprintf("%d-%d-%d-%d", np, p->compute.cores,
+                            p->compute.lanes, p->compute.vectorSize));
+            t.add(p->cost.energyMj(), 3);
+        } else {
+            t.add("--").add("--");
+        }
+        if (best_tight.count(np)) {
+            const DesignPoint *p = best_tight[np];
+            t.add(strprintf("%d-%d-%d-%d", np, p->compute.cores,
+                            p->compute.lanes, p->compute.vectorSize));
+            t.add(p->cost.energyMj(), 3);
+            t.add(p->cost.runtimeMs(0.5), 3);
+            t.add(p->edp() / 1e15, 3);
+            t.add(p->area.total(), 2);
+        } else {
+            t.add("-- over budget --");
+        }
+    }
+    t.print(std::cout);
+
+    if (auto best = tight.bestEdp()) {
+        const DesignPoint &p = tight.points[*best];
+        std::printf("lowest-EDP design under 2 mm^2: %d-%d-%d-%d "
+                    "(area %.2f mm^2)\n",
+                    p.compute.chiplets, p.compute.cores,
+                    p.compute.lanes, p.compute.vectorSize,
+                    p.area.total());
+    }
+}
+
+void
+printFigure()
+{
+    std::printf("=== Figure 14: 2048-MAC hardware implementations, "
+                "1/2/4/8 chiplets ===\n");
+    std::printf("(memory proportional to compute; sweep = %zu "
+                "compute allocations)\n",
+                enumerateCompute(2048).size());
+    printModel(makeAlexNet(224));
+    printModel(makeVgg16(224));
+    printModel(makeResNet50(224));
+    printModel(makeDarkNet19(224));
+    std::printf(
+        "\nexpected shape: without an area constraint fewer chiplets "
+        "give lower energy; no 1-chiplet design meets 2 mm^2; the "
+        "4-chiplet 4-4-16-8 scheme is the recurring top pick under "
+        "the constraint (paper section VI-B.1).\n\n");
+}
+
+void
+BM_ExploreProportional(benchmark::State &state)
+{
+    Model probe("probe", 224);
+    const Model resnet = makeResNet50(224);
+    probe.addLayer(resnet.layer("res3a_branch2b"));
+    DseOptions opt;
+    opt.totalMacs = 2048;
+    opt.proportionalMem = true;
+    opt.effort = SearchEffort::Fast;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(explore(probe, opt, defaultTech()));
+    }
+}
+BENCHMARK(BM_ExploreProportional)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Figure 15 reproduction: full design space exploration for 4096-MAC
+ * multichip accelerators over the table II memory grid, under a
+ * 3 mm^2 chiplet-area constraint, for three benchmarks.  The paper
+ * finds 5800 valid points out of >100k sweeps, the optimum always at
+ * the 2-8-16-16 computation allocation, and model-dependent memory
+ * allocations.
+ *
+ * This harness prints the energy/runtime scatter summarised per
+ * chiplet count (the figure's colour classes) plus the optimum design
+ * per model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "baton/baton.hpp"
+#include "common/table.hpp"
+#include "common/util.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+void
+printModel(const Model &model)
+{
+    std::printf("\n--- model %s @%d ---\n", model.name().c_str(),
+                model.inputResolution());
+    DseOptions opt;
+    opt.totalMacs = 4096;
+    opt.areaLimitMm2 = 3.0;
+    opt.effort = SearchEffort::Sketch;
+    opt.objective = Objective::MinEdp;
+    const DseResult r = explore(model, opt, defaultTech());
+    std::printf("sweep: %lld combos, %zu valid, %lld over area, %lld "
+                "infeasible\n",
+                static_cast<long long>(r.swept), r.points.size(),
+                static_cast<long long>(r.areaRejected),
+                static_cast<long long>(r.infeasible));
+
+    // The figure's colour classes: summarise the valid cloud per N_P.
+    struct Class
+    {
+        int n = 0;
+        double best_energy = 1e300;
+        double best_runtime = 1e300;
+    };
+    std::map<int, Class> classes;
+    for (const auto &p : r.points) {
+        Class &c = classes[p.compute.chiplets];
+        ++c.n;
+        c.best_energy = std::min(c.best_energy, p.cost.energyMj());
+        c.best_runtime = std::min(c.best_runtime,
+                                  p.cost.runtimeMs(0.5));
+    }
+    TextTable t({"chiplets", "valid points", "best energy mJ",
+                 "best runtime ms"});
+    for (const auto &[np, c] : classes) {
+        t.newRow()
+            .add(static_cast<int64_t>(np))
+            .add(static_cast<int64_t>(c.n))
+            .add(c.best_energy, 3)
+            .add(c.best_runtime, 3);
+    }
+    t.print(std::cout);
+
+    if (auto best = r.bestEdp()) {
+        std::printf("optimum (min EDP) under 3 mm^2: %s\n",
+                    r.points[*best].toString().c_str());
+    }
+}
+
+void
+printFigure()
+{
+    std::printf("=== Figure 15: 4096-MAC design space exploration "
+                "(table II grid, 3 mm^2 limit) ===\n");
+    printModel(makeVgg16(512));
+    printModel(makeResNet50(512));
+    printModel(makeDarkNet19(224));
+    std::printf(
+        "\nexpected shape: designs with fewer chiplets trade area for "
+        "lower EDP (layered point clouds); the optimal computation "
+        "allocation under the constraint is stable across models "
+        "while the recommended memory allocation is model-dependent "
+        "(larger A-L1 for 512-input models, smaller W-L1 for "
+        "DarkNet@224) (paper section VI-B.2).\n\n");
+}
+
+void
+BM_Fig15SingleConfig(benchmark::State &state)
+{
+    const Model model = makeDarkNet19(224);
+    const AcceleratorConfig cfg =
+        makeConfig({2, 8, 16, 16},
+                   MemoryAllocation{96, 32_KB, 144_KB, 128_KB});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapModel(model, cfg, defaultTech(),
+                                          SearchEffort::Fast));
+    }
+}
+BENCHMARK(BM_Fig15SingleConfig)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

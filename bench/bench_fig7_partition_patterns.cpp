@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 7 reproduction: redundant memory access of 1:4 and 1:1
+ * planar partition patterns in two convolution layers (ResNet-50
+ * conv1, 7x7/s2, and a VGG-16 3x3/s1 layer) at 512x512 input
+ * resolution, as a function of the number of tiles.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "dataflow/partition.hpp"
+#include "nn/model.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+/** A near-square split with fh:fw ~ 1:1 covering @p parts tiles. */
+PlanarSplit
+squareSplit(int parts)
+{
+    int fh = static_cast<int>(std::sqrt(static_cast<double>(parts)));
+    while (parts % fh != 0)
+        --fh;
+    return {fh, parts / fh};
+}
+
+/** Clamp a split to the plane (at most one tile per output pixel). */
+PlanarSplit
+clampSplit(PlanarSplit s, int ho, int wo)
+{
+    return {std::min(s.fh, ho), std::min(s.fw, wo)};
+}
+
+/** A stretched split with fh:fw ~ 1:4. */
+PlanarSplit
+rectSplit(int parts)
+{
+    int fh = static_cast<int>(std::sqrt(static_cast<double>(parts) / 4));
+    fh = std::max(fh, 1);
+    while (parts % fh != 0)
+        --fh;
+    return {fh, parts / fh};
+}
+
+void
+printFigure()
+{
+    const Model resnet = makeResNet50(512);
+    const Model vgg = makeVgg16(512);
+    const ConvLayer layers[] = {resnet.layer("conv1"),
+                                vgg.layer("conv3")};
+
+    std::printf("=== Figure 7: redundant memory access vs planar "
+                "partition pattern (512x512 input) ===\n");
+    for (const ConvLayer &l : layers) {
+        std::printf("\nlayer %s (k %dx%d, s %d, plane %dx%d)\n",
+                    l.name.c_str(), l.kh, l.kw, l.stride, l.ho, l.wo);
+        TextTable t({"#tiles", "1:1 split", "1:1 extra %", "1:4 split",
+                     "1:4 extra %"});
+        for (int parts : {4, 16, 64, 256, 1024, 4096, 16384}) {
+            const PlanarSplit sq =
+                clampSplit(squareSplit(parts), l.ho, l.wo);
+            const PlanarSplit re =
+                clampSplit(rectSplit(parts), l.ho, l.wo);
+            t.newRow()
+                .add(static_cast<int64_t>(parts))
+                .add(sq.toString())
+                .add(100.0 *
+                         haloRedundancy(l.ho, l.wo, sq, l.kh, l.kw,
+                                        l.stride),
+                     1)
+                .add(re.toString())
+                .add(100.0 *
+                         haloRedundancy(l.ho, l.wo, re, l.kh, l.kw,
+                                        l.stride),
+                     1);
+        }
+        t.print(std::cout);
+    }
+    std::printf(
+        "\nexpected shape: square (1:1) <= rectangle (1:4); the gap "
+        "narrows as tiles grow larger; the 7x7/s2 layer shows far "
+        "higher redundancy (paper: up to ~650%%).\n\n");
+}
+
+void
+BM_TiledInputPlane(benchmark::State &state)
+{
+    const int parts = static_cast<int>(state.range(0));
+    const PlanarSplit sq = squareSplit(parts);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tiledInputPlane(256, 256, sq, 7, 7, 2));
+    }
+}
+BENCHMARK(BM_TiledInputPlane)->Arg(16)->Arg(256)->Arg(4096);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

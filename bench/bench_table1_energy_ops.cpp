@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table I reproduction: energy overhead and relative cost of typical
+ * operations in the 16 nm multichip system, regenerated from the
+ * technology model.  The google-benchmark suite times the energy
+ * aggregation path the table feeds.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cost/energy.hpp"
+#include "tech/technology.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+void
+printTable()
+{
+    std::printf("=== Table I: energy of typical operations (16 nm "
+                "multichip system) ===\n");
+    std::printf("%s\n", defaultTech().tableOneString().c_str());
+    std::printf("note: relative costs are recomputed from the anchors; "
+                "the paper's D2D row prints 53.75x for 1.17 pJ/bit / "
+                "0.024 pJ/op (= 48.75x recomputed).\n\n");
+}
+
+void
+BM_ComputeEnergy(benchmark::State &state)
+{
+    AccessCounts c;
+    c.dramReadActBits = 103456789;
+    c.dramReadWeightBits = 20000000;
+    c.dramWriteBits = 23456789;
+    c.d2dBits = 3456789;
+    c.al2ReadBits = c.al2WriteBits = 456789;
+    c.al1ReadBits = c.al1WriteBits = 56789;
+    c.wl1ReadBits = c.wl1WriteBits = 6789;
+    c.ol1RmwBits = 789;
+    c.macOps = 1 << 20;
+    c.ol2Bytes = 16384;
+    const AcceleratorConfig cfg = caseStudyConfig();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(computeEnergy(c, cfg, defaultTech()));
+    }
+}
+BENCHMARK(BM_ComputeEnergy);
+
+void
+BM_SramEnergyFit(benchmark::State &state)
+{
+    const TechnologyModel &t = defaultTech();
+    int64_t kb = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.sramEnergyPerBit(kb * 1024));
+        kb = kb >= 256 ? 1 : kb * 2;
+    }
+}
+BENCHMARK(BM_SramEnergyFit);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

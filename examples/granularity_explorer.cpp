@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Pre-design flow example: explore the chiplet granularity for a
+ * target model under MAC-count and chiplet-area budgets, and print
+ * the recommended computation and memory allocation (paper sections
+ * IV-D and VI-B).
+ *
+ * Usage: granularity_explorer [macs] [area_mm2] [model] [resolution]
+ *        granularity_explorer 2048 2.0 resnet50 224
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "baton/baton.hpp"
+#include "common/logging.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+Model
+pickModel(const char *name, int resolution)
+{
+    if (std::strcmp(name, "vgg16") == 0)
+        return makeVgg16(resolution);
+    if (std::strcmp(name, "resnet50") == 0)
+        return makeResNet50(resolution);
+    if (std::strcmp(name, "darknet19") == 0)
+        return makeDarkNet19(resolution);
+    if (std::strcmp(name, "alexnet") == 0)
+        return makeAlexNet(resolution);
+    fatal("unknown model '%s'", name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int64_t macs = argc > 1 ? std::atoll(argv[1]) : 2048;
+    const double area = argc > 2 ? std::atof(argv[2]) : 2.0;
+    const char *name = argc > 3 ? argv[3] : "resnet50";
+    const int resolution = argc > 4 ? std::atoi(argv[4]) : 224;
+
+    const Model model = pickModel(name, resolution);
+    std::printf("exploring %lld-MAC designs for %s @%d under "
+                "%.1f mm^2 per chiplet\n\n",
+                static_cast<long long>(macs), model.name().c_str(),
+                resolution, area);
+
+    // Pass 1: chiplet granularity with proportional memory (fast).
+    DseOptions opt;
+    opt.totalMacs = macs;
+    opt.areaLimitMm2 = area;
+    opt.proportionalMem = true;
+    opt.effort = SearchEffort::Fast;
+    PreDesignFlow coarse(opt);
+    const PreDesignReport coarse_report = coarse.run(model);
+    std::printf("--- pass 1: compute allocation (proportional "
+                "memory) ---\n%s\n",
+                coarse_report.toString().c_str());
+    if (!coarse_report.recommended)
+        return 1;
+
+    // Pass 2: refine the memory allocation over the table II grid.
+    opt.proportionalMem = false;
+    opt.effort = SearchEffort::Sketch;
+    PreDesignFlow fine(opt);
+    const PreDesignReport fine_report = fine.run(model);
+    std::printf("--- pass 2: memory allocation (table II grid) ---\n%s",
+                fine_report.toString().c_str());
+
+    if (fine_report.recommended) {
+        const DesignPoint &p = *fine_report.recommended;
+        std::printf("\nfinal recommendation:\n  %s\n  chiplet area: %s\n",
+                    p.toString().c_str(), p.area.toString().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Quickstart: map one convolution layer on the paper's case-study
+ * hardware (4 chiplets x 8 cores x 8 lanes x 8-wide vector MAC) and
+ * print the chosen mapping with its energy breakdown and runtime.
+ */
+
+#include <cstdio>
+
+#include "baton/baton.hpp"
+
+int
+main()
+{
+    using namespace nnbaton;
+
+    // The section VI-A hardware: 4 chiplets, 8 cores, 8 lanes of
+    // 8-size vector MAC, 1.5KB O-L1, 800B A-L1, 18KB W-L1, 64KB A-L2.
+    const AcceleratorConfig cfg = caseStudyConfig();
+    std::printf("hardware: %s\n\n", cfg.toString().c_str());
+
+    // VGG-16 conv1 at 224x224: the activation-intensive case study.
+    const Model vgg = makeVgg16(224);
+    const ConvLayer &layer = vgg.layer("conv1");
+    std::printf("layer:    %s\n\n", layer.toString().c_str());
+
+    PostDesignFlow flow(cfg);
+    auto choice = flow.runLayer(layer);
+    if (!choice) {
+        std::printf("no legal mapping found\n");
+        return 1;
+    }
+
+    std::printf("mapping:  %s\n", choice->mapping.toString().c_str());
+    std::printf("energy:   %s\n", choice->energy.toString().c_str());
+    std::printf("runtime:  %s\n", choice->runtime.toString().c_str());
+    std::printf("accesses: %s\n",
+                choice->analysis.counts.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Baseline comparison example: evaluate the same model on the same
+ * hardware under the Simba weight-centric dataflow and the NN-Baton
+ * output-centric mappings, and print the per-layer and total energy
+ * (the experiment behind paper figures 12 and 13).
+ *
+ * Usage: simba_comparison [model] [resolution]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "baton/baton.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+Model
+pickModel(const char *name, int resolution)
+{
+    if (std::strcmp(name, "vgg16") == 0)
+        return makeVgg16(resolution);
+    if (std::strcmp(name, "resnet50") == 0)
+        return makeResNet50(resolution);
+    if (std::strcmp(name, "darknet19") == 0)
+        return makeDarkNet19(resolution);
+    if (std::strcmp(name, "alexnet") == 0)
+        return makeAlexNet(resolution);
+    fatal("unknown model '%s'", name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "vgg16";
+    const int resolution = argc > 2 ? std::atoi(argv[2]) : 224;
+    const Model model = pickModel(name, resolution);
+    const AcceleratorConfig cfg = caseStudyConfig();
+
+    std::printf("Simba vs NN-Baton on %s @%d (hardware %s)\n\n",
+                model.name().c_str(), resolution,
+                cfg.toString().c_str());
+
+    TextTable t({"layer", "simba mJ", "baton mJ", "savings %",
+                 "simba arrangement", "baton mapping"});
+    double simba_total = 0.0;
+    double baton_total = 0.0;
+    for (const ConvLayer &layer : model.layers()) {
+        const SimbaLayerCost s =
+            simbaLayerCost(layer, cfg, defaultTech());
+        const auto b = searchLayer(layer, cfg, defaultTech());
+        if (!b)
+            fatal("no legal NN-Baton mapping for %s",
+                  layer.name.c_str());
+        simba_total += s.energy.total();
+        baton_total += b->energy.total();
+        t.newRow()
+            .add(layer.name)
+            .add(s.energy.total() * 1e-9, 4)
+            .add(b->energy.total() * 1e-9, 4)
+            .add(100.0 * (1.0 - b->energy.total() / s.energy.total()),
+                 1)
+            .add(s.mapping.toString())
+            .add(b->mapping.spatialLabel() + " " +
+                 toString(b->mapping.pkgOrder) + "/" +
+                 toString(b->mapping.chipOrder));
+    }
+    t.print(std::cout);
+    std::printf("\nmodel total: simba %.3f mJ, baton %.3f mJ, "
+                "savings %.1f%% (paper band: 22.5%%-44%%)\n",
+                simba_total * 1e-9, baton_total * 1e-9,
+                100.0 * (1.0 - baton_total / simba_total));
+    return 0;
+}

@@ -1,0 +1,45 @@
+#include "arch/area.hpp"
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+std::string
+AreaBreakdown::toString() const
+{
+    return strprintf(
+        "total %.3f mm^2 (mac %.3f, sram %.3f, rf %.3f, grs %.3f, "
+        "ddr %.3f)",
+        total(), macs, sram, rf, grsPhy, ddrPhy);
+}
+
+AreaBreakdown
+chipletArea(const AcceleratorConfig &cfg, const TechnologyModel &tech,
+            int64_t ol2_bytes)
+{
+    AreaBreakdown a;
+    a.macs = tech.macAreaMm2(cfg.macsPerChiplet());
+
+    // A-L1 and W-L1 are double-buffered SRAMs (two macros each).
+    const int nc = cfg.chiplet.cores;
+    a.sram += nc * 2 * tech.sramAreaMm2(cfg.core.al1Bytes);
+    a.sram += nc * 2 * tech.sramAreaMm2(cfg.core.wl1Bytes);
+    a.sram += tech.sramAreaMm2(cfg.chiplet.al2Bytes);
+    a.sram += tech.sramAreaMm2(ol2_bytes);
+
+    a.rf = nc * tech.rfAreaMm2(cfg.core.ol1Bytes);
+
+    a.grsPhy = tech.grsPhyAreaMm2;
+    a.ddrPhy = tech.ddrPhyAreaMm2;
+    return a;
+}
+
+int64_t
+defaultOl2Bytes(const AcceleratorConfig &cfg)
+{
+    // One 8-bit core-tile output per core with 4x planar headroom.
+    const int64_t tile = cfg.core.maxCoreTilePlane(24) * cfg.core.lanes;
+    return 4 * tile * cfg.chiplet.cores;
+}
+
+} // namespace nnbaton

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Chiplet area model (paper section V-A): SRAM + RF + MAC units +
+ * off-chip PHYs; controller and other IP are ignored as in the paper.
+ */
+
+#ifndef NNBATON_ARCH_AREA_HPP
+#define NNBATON_ARCH_AREA_HPP
+
+#include "arch/config.hpp"
+#include "tech/technology.hpp"
+
+namespace nnbaton {
+
+/** Per-component chiplet area breakdown in mm^2. */
+struct AreaBreakdown
+{
+    double macs = 0.0;   //!< MAC array
+    double sram = 0.0;   //!< A-L1 + W-L1 + A-L2 + O-L2 SRAM macros
+    double rf = 0.0;     //!< O-L1 accumulation registers
+    double grsPhy = 0.0; //!< D2D (GRS) PHY
+    double ddrPhy = 0.0; //!< off-chip DDR PHY
+
+    double total() const { return macs + sram + rf + grsPhy + ddrPhy; }
+
+    std::string toString() const;
+};
+
+/**
+ * Area of one chiplet of @p cfg under @p tech.
+ *
+ * @param ol2_bytes size of the derived O-L2 collector buffer; the DSE
+ *        sizes it to the largest single-chiplet-workload output a
+ *        configuration can be asked to hold.
+ */
+AreaBreakdown chipletArea(const AcceleratorConfig &cfg,
+                          const TechnologyModel &tech, int64_t ol2_bytes);
+
+/**
+ * A practical default O-L2 size: one full core-tile output per core
+ * at 8 bits, scaled by 4x planar headroom.  Used when the exact
+ * workload is unknown (pre-design sweeps).
+ */
+int64_t defaultOl2Bytes(const AcceleratorConfig &cfg);
+
+} // namespace nnbaton
+
+#endif // NNBATON_ARCH_AREA_HPP

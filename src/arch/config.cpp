@@ -1,0 +1,61 @@
+#include "arch/config.hpp"
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+void
+AcceleratorConfig::validate() const
+{
+    if (package.chiplets < 1 || package.chiplets > 8) {
+        fatal("chiplet count %d outside the 1-8 ring-NoP range",
+              package.chiplets);
+    }
+    if (chiplet.cores < 1)
+        fatal("core count %d must be positive", chiplet.cores);
+    if (core.lanes < 1 || core.vectorSize < 1) {
+        fatal("core shape %dx%d must be positive", core.lanes,
+              core.vectorSize);
+    }
+    if (core.al1Bytes <= 0 || core.wl1Bytes <= 0 || core.ol1Bytes <= 0 ||
+        chiplet.al2Bytes <= 0) {
+        fatal("all buffer sizes must be positive");
+    }
+}
+
+std::string
+AcceleratorConfig::computeId() const
+{
+    return strprintf("%d-%d-%d-%d", package.chiplets, chiplet.cores,
+                     core.lanes, core.vectorSize);
+}
+
+std::string
+AcceleratorConfig::toString() const
+{
+    return strprintf(
+        "%s: %lld MACs | O-L1 %lldB A-L1 %lldB W-L1 %lldB A-L2 %lldB",
+        computeId().c_str(), static_cast<long long>(totalMacs()),
+        static_cast<long long>(core.ol1Bytes),
+        static_cast<long long>(core.al1Bytes),
+        static_cast<long long>(core.wl1Bytes),
+        static_cast<long long>(chiplet.al2Bytes));
+}
+
+AcceleratorConfig
+caseStudyConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.package.chiplets = 4;
+    cfg.chiplet.cores = 8;
+    cfg.core.lanes = 8;
+    cfg.core.vectorSize = 8;
+    cfg.core.ol1Bytes = 1536;
+    cfg.core.al1Bytes = 800;
+    cfg.core.wl1Bytes = 18 * 1024;
+    cfg.chiplet.al2Bytes = 64 * 1024;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace nnbaton

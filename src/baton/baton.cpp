@@ -1,0 +1,108 @@
+#include "baton/baton.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace nnbaton {
+
+std::string
+PostDesignReport::toString() const
+{
+    std::ostringstream ss;
+    ss << "Post-design mapping for " << modelName << " on "
+       << config.toString() << "\n";
+    TextTable t({"Layer", "Spatial", "Pattern", "Chiplet tile", "Core",
+                 "Orders", "Energy (mJ)", "Cycles", "Util"});
+    for (size_t i = 0; i < mappings.size(); ++i) {
+        const MappingChoice &c = mappings[i];
+        const Mapping &m = c.mapping;
+        t.newRow()
+            .add(cost.layers[i].layerName)
+            .add(m.spatialLabel())
+            .add(m.pkgSplit.toString() + "/" + m.chipSplit.toString())
+            .add(strprintf("%dx%dx%d", m.chipletTile.ho, m.chipletTile.wo,
+                           m.chipletTile.co))
+            .add(strprintf("%dx%d", m.hoC, m.woC))
+            .add(std::string(nnbaton::toString(m.pkgOrder)) + "/" +
+                 nnbaton::toString(m.chipOrder))
+            .add(c.energy.total() * 1e-9, 4)
+            .add(static_cast<int64_t>(c.runtime.cycles))
+            .add(c.runtime.utilization, 3);
+    }
+    t.print(ss);
+    ss << strprintf("model total: %.4f mJ, %.3f ms\n", cost.energyMj(),
+                    cost.runtimeMs(0.5));
+    return ss.str();
+}
+
+PostDesignReport
+PostDesignFlow::run(const Model &model) const
+{
+    ModelMappingResult mapped =
+        mapModel(model, cfg_, tech_, effort_, objective_);
+    if (!mapped.feasible) {
+        warn("post-design: %s has layers with no legal mapping on %s",
+             model.name().c_str(), cfg_.computeId().c_str());
+    }
+    PostDesignReport report;
+    report.modelName = model.name();
+    report.config = cfg_;
+    report.cost = std::move(mapped.cost);
+    report.mappings = std::move(mapped.choices);
+    report.feasible = mapped.feasible;
+    return report;
+}
+
+std::optional<MappingChoice>
+PostDesignFlow::runLayer(const ConvLayer &layer) const
+{
+    return searchLayer(layer, cfg_, tech_, effort_, objective_);
+}
+
+std::string
+PreDesignReport::toString() const
+{
+    std::ostringstream ss;
+    ss << strprintf(
+        "Pre-design sweep: %lld combos, %lld valid, %lld over area, "
+        "%lld infeasible\n",
+        static_cast<long long>(sweep.swept),
+        static_cast<long long>(sweep.points.size()),
+        static_cast<long long>(sweep.areaRejected),
+        static_cast<long long>(sweep.infeasible));
+    if (recommended) {
+        ss << "recommended (min EDP): " << recommended->toString()
+           << "\n";
+    } else {
+        ss << "no valid design found\n";
+    }
+    return ss.str();
+}
+
+PreDesignReport
+PreDesignFlow::run(const Model &model) const
+{
+    PreDesignReport report;
+    report.sweep = explore(model, options_, tech_);
+    if (auto best = report.sweep.bestEdp())
+        report.recommended = report.sweep.points[*best];
+    return report;
+}
+
+ComparisonReport
+compareWithSimba(const Model &model, const AcceleratorConfig &cfg,
+                 const TechnologyModel &tech)
+{
+    ComparisonReport report;
+    report.modelName = model.name();
+    report.batonEnergy =
+        mapModel(model, cfg, tech, SearchEffort::Exhaustive,
+                 Objective::MinEnergy)
+            .cost.energy;
+    report.simbaEnergy = simbaModelCost(model, cfg, tech).energy;
+    return report;
+}
+
+} // namespace nnbaton

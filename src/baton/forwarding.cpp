@@ -1,0 +1,104 @@
+#include "baton/forwarding.hpp"
+
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+int
+ForwardingReport::forwardedCount() const
+{
+    int n = 0;
+    for (const ForwardingBoundary &b : boundaries)
+        n += b.forwardable ? 1 : 0;
+    return n;
+}
+
+namespace {
+
+/**
+ * A boundary is sequential when the consumer's input cube matches the
+ * producer's output cube (same channels and plane) — residual side
+ * branches and reshaped classifier heads fail this check.
+ */
+bool
+isSequentialBoundary(const ConvLayer &producer, const ConvLayer &consumer)
+{
+    if (consumer.ci != producer.co)
+        return false;
+    // Allow pooling/stride between layers: the consumer's input plane
+    // must not exceed what the producer makes.
+    return consumer.hi() <= producer.ho * 2 + consumer.kh &&
+           consumer.wi() <= producer.wo * 2 + consumer.kw;
+}
+
+} // namespace
+
+ForwardingReport
+analyzeForwarding(const Model &model, const PostDesignReport &report,
+                  const TechnologyModel &tech)
+{
+    if (report.cost.layers.size() != model.layers().size()) {
+        fatal("analyzeForwarding: report does not match model %s",
+              model.name().c_str());
+    }
+
+    ForwardingReport out;
+    out.baselineEnergyPj = report.cost.energy.total();
+    out.forwardedEnergyPj = out.baselineEnergyPj;
+
+    const AcceleratorConfig &cfg = report.config;
+    const int64_t on_chip_capacity =
+        static_cast<int64_t>(cfg.package.chiplets) *
+        cfg.chiplet.al2Bytes;
+
+    // Count consumers per producer channel width to catch branching
+    // models (several layers reading the same tensor).
+    std::map<std::string, int> consumers;
+    const auto &layers = model.layers();
+    for (size_t i = 0; i + 1 < layers.size(); ++i) {
+        ForwardingBoundary b;
+        b.producer = layers[i].name;
+        b.consumer = layers[i + 1].name;
+        b.tensorBytes = layers[i].outputVolume();
+
+        const bool fits = b.tensorBytes <= on_chip_capacity;
+        const bool sequential =
+            isSequentialBoundary(layers[i], layers[i + 1]);
+        b.forwardable = fits && sequential;
+
+        if (b.forwardable) {
+            // Avoided DRAM traffic: the producer's 8-bit store and the
+            // consumer's unique activation reload (bounded by the
+            // actual analysed activation DRAM traffic).
+            const MappingChoice &prod = report.mappings[i];
+            const MappingChoice &cons = report.mappings[i + 1];
+            const int64_t store_bits = prod.analysis.counts.dramWriteBits;
+            const int64_t reload_bits =
+                std::min(cons.analysis.counts.dramReadActBits,
+                         b.tensorBytes * 8);
+            // The tensor still crosses the ring once when the consumer
+            // shares activations package-wide (C-type), charged at
+            // D2D cost; the A-L2 writes are already counted in the
+            // consumer's baseline.
+            const bool consumer_shares =
+                cons.mapping.pkgSpatial == PackagePartition::Channel &&
+                cfg.package.chiplets > 1;
+            const int64_t ring_bits =
+                consumer_shares
+                    ? b.tensorBytes * 8 * (cfg.package.chiplets - 1)
+                    : 0;
+            const double saved =
+                static_cast<double>(store_bits + reload_bits) *
+                    tech.dramEnergyPerBit -
+                static_cast<double>(ring_bits) * tech.d2dEnergyPerBit;
+            b.savedEnergyPj = std::max(0.0, saved);
+            out.forwardedEnergyPj -= b.savedEnergyPj;
+        }
+        out.boundaries.push_back(std::move(b));
+    }
+    return out;
+}
+
+} // namespace nnbaton

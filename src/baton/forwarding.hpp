@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Inter-layer on-chip forwarding analysis (an extension beyond the
+ * paper's layer-wise flow; the paper's related-work section points at
+ * Tangram-style cross-layer dataflows as the natural next step).
+ *
+ * In the baseline flow every layer's outputs take the
+ * O-L2 -> DRAM -> A-L2 round trip.  When a layer boundary is
+ * *forwardable* — the producer's output fits in the package's
+ * combined A-L2 capacity and the consumer reads it as activations —
+ * the DRAM store and reload can be skipped; the 8-bit tensor moves
+ * O-L2 -> A-L2 on chip instead (plus ring traffic when the consumer's
+ * partition needs data produced on other chiplets).
+ *
+ * The analysis is conservative: a boundary is only forwardable when
+ * the whole output tensor fits on chip, the consumer consumes exactly
+ * the producer's output (sequential models; residual side inputs
+ * disqualify the boundary), and both layers are feasible.
+ */
+
+#ifndef NNBATON_BATON_FORWARDING_HPP
+#define NNBATON_BATON_FORWARDING_HPP
+
+#include <string>
+#include <vector>
+
+#include "baton/baton.hpp"
+
+namespace nnbaton {
+
+/** One layer boundary in the forwarding analysis. */
+struct ForwardingBoundary
+{
+    std::string producer;
+    std::string consumer;
+    bool forwardable = false;
+    int64_t tensorBytes = 0;    //!< producer output volume
+    double savedEnergyPj = 0.0; //!< DRAM round trip avoided (net of
+                                //!< the extra on-chip/ring traffic)
+};
+
+/** Whole-model forwarding report. */
+struct ForwardingReport
+{
+    std::vector<ForwardingBoundary> boundaries;
+    double baselineEnergyPj = 0.0;  //!< post-design energy, no fusion
+    double forwardedEnergyPj = 0.0; //!< with forwardable boundaries
+
+    /** Fraction of energy saved by forwarding. */
+    double savings() const
+    {
+        return baselineEnergyPj > 0.0
+                   ? 1.0 - forwardedEnergyPj / baselineEnergyPj
+                   : 0.0;
+    }
+
+    /** Count of forwardable boundaries. */
+    int forwardedCount() const;
+};
+
+/**
+ * Analyse inter-layer forwarding for @p report (a finished
+ * post-design run of a *sequential* model — each layer consumes its
+ * predecessor's output).  Models with residual branches should pass
+ * sequential = false for the affected boundaries via the layer-name
+ * check; the zoo's VGG/DarkNet/AlexNet tables are sequential.
+ */
+ForwardingReport analyzeForwarding(const Model &model,
+                                   const PostDesignReport &report,
+                                   const TechnologyModel &tech =
+                                       defaultTech());
+
+} // namespace nnbaton
+
+#endif // NNBATON_BATON_FORWARDING_HPP

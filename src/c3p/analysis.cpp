@@ -1,0 +1,42 @@
+#include "c3p/analysis.hpp"
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+ReuseResult
+analyzeBuffer(const LoopNest &nest, Tensor tensor, const ConvLayer &layer,
+              int64_t capacity_bytes)
+{
+    ReuseResult r;
+    const size_t nb = nest.loops.size();
+    r.intrinsicBytes = footprintBytes(tensor, nest.spanBelow(0), layer);
+
+    // Record critical positions: boundaries above relevant loops,
+    // innermost first, with the footprint (critical capacity) enclosed
+    // below the *next outer* boundary once the loop is crossed.
+    for (size_t i = nb; i-- > 0;) {
+        if (isRelevant(tensor, nest.loops[i].dim, layer)) {
+            r.criticalPoints.push_back(
+                {i, footprintBytes(tensor, nest.spanBelow(i), layer)});
+        }
+    }
+
+    // Retention scan: outermost boundary whose footprint fits.
+    // Footprints are non-decreasing toward boundary 0, so scan from
+    // the top down until one fits.
+    size_t fit = nb;
+    for (size_t b = 0; b <= nb; ++b) {
+        if (footprintBytes(tensor, nest.spanBelow(b), layer) <=
+            capacity_bytes) {
+            fit = b;
+            break;
+        }
+    }
+    r.fitBoundary = fit;
+    r.footprintAtFit = footprintBytes(tensor, nest.spanBelow(fit), layer);
+    r.fillBytes = r.footprintAtFit * nest.tripsAbove(fit);
+    return r;
+}
+
+} // namespace nnbaton

@@ -1,0 +1,68 @@
+#include "c3p/footprint.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+const char *
+toString(Tensor t)
+{
+    switch (t) {
+      case Tensor::Weights:
+        return "W";
+      case Tensor::Activations:
+        return "A";
+      case Tensor::Outputs:
+        return "O";
+    }
+    panic("bad Tensor");
+}
+
+int64_t
+footprintBytes(Tensor tensor, const TileSpan &span, const ConvLayer &layer)
+{
+    switch (tensor) {
+      case Tensor::Weights:
+        // Depthwise kernels hold one input channel per output channel.
+        return span.co * (layer.isDepthwise() ? 1 : span.ci) *
+               span.kh * span.kw;
+      case Tensor::Activations: {
+        const int64_t rows =
+            (span.ho - 1) * layer.stride + std::min<int64_t>(span.kh,
+                                                             layer.kh);
+        const int64_t cols =
+            (span.wo - 1) * layer.stride + std::min<int64_t>(span.kw,
+                                                             layer.kw);
+        // Depthwise layers touch exactly the input channels of the
+        // output-channel span (channel groups align with CO).
+        const int64_t channels =
+            layer.isDepthwise()
+                ? std::min<int64_t>(layer.ci, span.co)
+                : span.ci;
+        return rows * cols * channels;
+      }
+      case Tensor::Outputs:
+        return span.ho * span.wo * span.co;
+    }
+    panic("bad Tensor");
+}
+
+bool
+isRelevant(Tensor tensor, Dim dim, const ConvLayer &layer)
+{
+    switch (tensor) {
+      case Tensor::Weights:
+        return dim == Dim::OC || dim == Dim::IC || dim == Dim::KH ||
+               dim == Dim::KW;
+      case Tensor::Activations:
+        // OC selects input channels in a depthwise layer.
+        return dim != Dim::OC || layer.isDepthwise();
+      case Tensor::Outputs:
+        return dim == Dim::OH || dim == Dim::OW || dim == Dim::OC;
+    }
+    panic("bad Tensor");
+}
+
+} // namespace nnbaton

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tensor footprint functions for the C3P analysis.
+ *
+ * A footprint is the number of unique bytes of a tensor touched by a
+ * tile span.  Activations honour the convolution sliding window: a
+ * span of ho output rows with kernel-span kh and stride s touches
+ * (ho - 1) * s + kh input rows (the halo term of the paper).
+ */
+
+#ifndef NNBATON_C3P_FOOTPRINT_HPP
+#define NNBATON_C3P_FOOTPRINT_HPP
+
+#include <cstdint>
+
+#include "dataflow/loopnest.hpp"
+#include "nn/layer.hpp"
+
+namespace nnbaton {
+
+/** The three tensors of a convolution. */
+enum class Tensor
+{
+    Weights,
+    Activations,
+    Outputs,
+};
+
+const char *toString(Tensor t);
+
+/**
+ * Unique bytes (8-bit elements) of @p tensor touched by @p span for
+ * layer @p layer.
+ */
+int64_t footprintBytes(Tensor tensor, const TileSpan &span,
+                       const ConvLayer &layer);
+
+/** True if @p dim changes the footprint of @p tensor for @p layer
+ *  (the output-channel dim selects input channels in depthwise
+ *  layers). */
+bool isRelevant(Tensor tensor, Dim dim, const ConvLayer &layer);
+
+} // namespace nnbaton
+
+#endif // NNBATON_C3P_FOOTPRINT_HPP

@@ -1,0 +1,150 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!hasElement_.empty()) {
+        if (hasElement_.back())
+            os_ << ",";
+        hasElement_.back() = true;
+    }
+}
+
+void
+JsonWriter::escape(const std::string &s)
+{
+    os_ << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os_ << "\\\"";
+            break;
+          case '\\':
+            os_ << "\\\\";
+            break;
+          case '\n':
+            os_ << "\\n";
+            break;
+          case '\t':
+            os_ << "\\t";
+            break;
+          case '\r':
+            os_ << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os_ << buf;
+            } else {
+                os_ << c;
+            }
+        }
+    }
+    os_ << '"';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    os_ << "{";
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (hasElement_.empty())
+        panic("JsonWriter: endObject without beginObject");
+    hasElement_.pop_back();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    os_ << "[";
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (hasElement_.empty())
+        panic("JsonWriter: endArray without beginArray");
+    hasElement_.pop_back();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    separator();
+    escape(name);
+    os_ << ":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    escape(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    separator();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+} // namespace nnbaton

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A minimal streaming JSON writer for the export interfaces (mapping
+ * reports for the hardware compiler, DSE dumps for plotting).  Scope
+ * is limited to what the library emits: objects, arrays, strings,
+ * integers, doubles and booleans, with correct escaping and
+ * machine-stable number formatting.
+ */
+
+#ifndef NNBATON_COMMON_JSON_HPP
+#define NNBATON_COMMON_JSON_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nnbaton {
+
+/**
+ * Streaming JSON writer with explicit begin/end nesting.
+ *
+ * @code
+ *   JsonWriter j(os);
+ *   j.beginObject();
+ *   j.key("name").value("conv1");
+ *   j.key("tiles").beginArray().value(4).value(8).endArray();
+ *   j.endObject();
+ * @endcode
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Write an object key; must be followed by a value or begin*(). */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+  private:
+    void separator();
+    void escape(const std::string &s);
+
+    std::ostream &os_;
+    std::vector<bool> hasElement_; //!< per nesting level
+    bool pendingKey_ = false;
+};
+
+} // namespace nnbaton
+
+#endif // NNBATON_COMMON_JSON_HPP

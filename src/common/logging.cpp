@@ -1,0 +1,84 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace nnbaton {
+
+namespace {
+
+bool informEnabled = true;
+
+void
+vreport(const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled = enabled;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!informEnabled)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // namespace nnbaton

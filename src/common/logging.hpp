@@ -1,0 +1,47 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * fatal() is for user errors (bad configuration, invalid arguments) and
+ * exits with code 1; panic() is for internal invariant violations and
+ * aborts.  inform()/warn() print status without stopping the program.
+ */
+
+#ifndef NNBATON_COMMON_LOGGING_HPP
+#define NNBATON_COMMON_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace nnbaton {
+
+/** Print an informational message to stderr (prefixed "info:"). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message to stderr (prefixed "warn:"). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user error (bad configuration or arguments) and exit(1).
+ * Use for conditions that are the caller's fault, not a library bug.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort().
+ * Use for conditions that should never happen regardless of input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace nnbaton
+
+#endif // NNBATON_COMMON_LOGGING_HPP

@@ -1,0 +1,91 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+TextTable &
+TextTable::newRow()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::add(const std::string &cell)
+{
+    if (rows_.empty())
+        newRow();
+    rows_.back().push_back(cell);
+    return *this;
+}
+
+TextTable &
+TextTable::add(int64_t value)
+{
+    return add(std::to_string(value));
+}
+
+TextTable &
+TextTable::add(double value, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value;
+    return add(ss.str());
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cell;
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace nnbaton

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit the
+ * rows/series of the paper's tables and figures.
+ */
+
+#ifndef NNBATON_COMMON_TABLE_HPP
+#define NNBATON_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nnbaton {
+
+/**
+ * A simple column-aligned text table.  Cells are strings; numeric
+ * convenience adders format with a fixed precision.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add() calls fill it left to right. */
+    TextTable &newRow();
+
+    /** Append a string cell to the current row. */
+    TextTable &add(const std::string &cell);
+
+    /** Append an integer cell. */
+    TextTable &add(int64_t value);
+
+    /** Append a floating-point cell with @p precision decimals. */
+    TextTable &add(double value, int precision = 3);
+
+    /** Render the table, column-aligned, to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nnbaton
+
+#endif // NNBATON_COMMON_TABLE_HPP

@@ -1,0 +1,73 @@
+#include "cost/energy.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &other)
+{
+    dram += other.dram;
+    d2d += other.d2d;
+    noc += other.noc;
+    al2 += other.al2;
+    al1 += other.al1;
+    wl1 += other.wl1;
+    ol1 += other.ol1;
+    ol2 += other.ol2;
+    mac += other.mac;
+    return *this;
+}
+
+EnergyBreakdown
+EnergyBreakdown::operator*(double scale) const
+{
+    EnergyBreakdown e = *this;
+    e.dram *= scale;
+    e.d2d *= scale;
+    e.noc *= scale;
+    e.al2 *= scale;
+    e.al1 *= scale;
+    e.wl1 *= scale;
+    e.ol1 *= scale;
+    e.ol2 *= scale;
+    e.mac *= scale;
+    return e;
+}
+
+std::string
+EnergyBreakdown::toString() const
+{
+    const double mj = 1e-9; // pJ -> mJ
+    return strprintf(
+        "total %.4f mJ (dram %.4f, d2d %.4f, noc %.4f, al2 %.4f, "
+        "al1 %.4f, wl1 %.4f, ol1 %.4f, ol2 %.4f, mac %.4f)",
+        total() * mj, dram * mj, d2d * mj, noc * mj, al2 * mj, al1 * mj,
+        wl1 * mj, ol1 * mj, ol2 * mj, mac * mj);
+}
+
+EnergyBreakdown
+computeEnergy(const AccessCounts &counts, const AcceleratorConfig &cfg,
+              const TechnologyModel &tech)
+{
+    EnergyBreakdown e;
+    e.dram = counts.dramBits() * tech.dramEnergyPerBit;
+    e.d2d = counts.d2dBits * tech.d2dEnergyPerBit;
+    e.noc = counts.nocBits * tech.nocEnergyPerBit;
+    e.al2 = (counts.al2ReadBits + counts.al2WriteBits) *
+            tech.sramEnergyPerBit(cfg.chiplet.al2Bytes);
+    e.al1 = (counts.al1ReadBits + counts.al1WriteBits) *
+            tech.sramEnergyPerBit(cfg.core.al1Bytes);
+    e.wl1 = (counts.wl1ReadBits + counts.wl1WriteBits) *
+            tech.sramEnergyPerBit(cfg.core.wl1Bytes);
+    e.ol1 = (counts.ol1RmwBits + counts.ol1ReadBits) *
+            tech.rfEnergyPerBitRmw;
+    e.ol2 = (counts.ol2ReadBits + counts.ol2WriteBits) *
+            tech.sramEnergyPerBit(std::max<int64_t>(counts.ol2Bytes, 1024));
+    e.mac = counts.macOps * tech.macEnergyPerOp;
+    return e;
+}
+
+} // namespace nnbaton

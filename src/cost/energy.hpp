@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Energy model: converts C3P access counts into picojoules using the
+ * technology model (paper table I and figure 10 fits).
+ */
+
+#ifndef NNBATON_COST_ENERGY_HPP
+#define NNBATON_COST_ENERGY_HPP
+
+#include <string>
+
+#include "arch/config.hpp"
+#include "c3p/access.hpp"
+#include "tech/technology.hpp"
+
+namespace nnbaton {
+
+/** Per-component energy for one layer (picojoules). */
+struct EnergyBreakdown
+{
+    double dram = 0.0;
+    double d2d = 0.0;
+    double noc = 0.0; //!< on-chip NoC hops (Simba psum traffic)
+    double al2 = 0.0;
+    double al1 = 0.0;
+    double wl1 = 0.0;
+    double ol1 = 0.0;
+    double ol2 = 0.0;
+    double mac = 0.0;
+
+    double total() const
+    {
+        return dram + d2d + noc + al2 + al1 + wl1 + ol1 + ol2 + mac;
+    }
+
+    /** Sum of the SRAM levels (A-L2 + O-L2 + A-L1 + W-L1). */
+    double sram() const { return al2 + al1 + wl1 + ol2; }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &other);
+    EnergyBreakdown operator*(double scale) const;
+
+    /** One line, mJ units. */
+    std::string toString() const;
+};
+
+/**
+ * Energy for @p counts on configuration @p cfg.
+ *
+ * SRAM access energies follow the figure 10 linear size fit evaluated
+ * at each buffer's configured macro size; W-L1 uses its base (single
+ * core) macro size even when pooled, since pooling merges macros
+ * rather than enlarging them.
+ */
+EnergyBreakdown computeEnergy(const AccessCounts &counts,
+                              const AcceleratorConfig &cfg,
+                              const TechnologyModel &tech);
+
+} // namespace nnbaton
+
+#endif // NNBATON_COST_ENERGY_HPP

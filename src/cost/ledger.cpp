@@ -1,0 +1,13 @@
+#include "cost/ledger.hpp"
+
+namespace nnbaton {
+
+void
+ModelCost::add(LayerCost cost)
+{
+    energy += cost.energy;
+    cycles += cost.cycles;
+    layers.push_back(std::move(cost));
+}
+
+} // namespace nnbaton

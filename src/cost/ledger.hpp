@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cost records aggregating energy and runtime per layer and per model.
+ */
+
+#ifndef NNBATON_COST_LEDGER_HPP
+#define NNBATON_COST_LEDGER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/energy.hpp"
+
+namespace nnbaton {
+
+/** Cost of one layer under one mapping. */
+struct LayerCost
+{
+    std::string layerName;
+    EnergyBreakdown energy; //!< pJ
+    int64_t cycles = 0;     //!< runtime at the core clock
+    double utilization = 0.0; //!< effective MAC utilisation
+
+    /** Energy-delay product in pJ * cycles. */
+    double edp() const { return energy.total() * cycles; }
+};
+
+/** Aggregated cost of a whole model. */
+struct ModelCost
+{
+    std::string modelName;
+    EnergyBreakdown energy; //!< pJ summed over layers
+    int64_t cycles = 0;     //!< cycles summed over layers
+    std::vector<LayerCost> layers;
+
+    double edp() const { return energy.total() * cycles; }
+
+    /** Add a layer's cost to the aggregate. */
+    void add(LayerCost cost);
+
+    /** Runtime in milliseconds at @p frequency_ghz. */
+    double runtimeMs(double frequency_ghz) const
+    {
+        return static_cast<double>(cycles) / frequency_ghz * 1e-6;
+    }
+
+    /** Total energy in millijoules. */
+    double energyMj() const { return energy.total() * 1e-9; }
+};
+
+} // namespace nnbaton
+
+#endif // NNBATON_COST_LEDGER_HPP

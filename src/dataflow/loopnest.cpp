@@ -1,0 +1,165 @@
+#include "dataflow/loopnest.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/util.hpp"
+
+namespace nnbaton {
+
+const char *
+toString(Dim d)
+{
+    switch (d) {
+      case Dim::OH:
+        return "OH";
+      case Dim::OW:
+        return "OW";
+      case Dim::OC:
+        return "OC";
+      case Dim::IC:
+        return "IC";
+      case Dim::KH:
+        return "KH";
+      case Dim::KW:
+        return "KW";
+    }
+    panic("bad Dim");
+}
+
+int64_t &
+TileSpan::at(Dim d)
+{
+    switch (d) {
+      case Dim::OH:
+        return ho;
+      case Dim::OW:
+        return wo;
+      case Dim::OC:
+        return co;
+      case Dim::IC:
+        return ci;
+      case Dim::KH:
+        return kh;
+      case Dim::KW:
+        return kw;
+    }
+    panic("bad Dim");
+}
+
+int64_t
+TileSpan::at(Dim d) const
+{
+    return const_cast<TileSpan *>(this)->at(d);
+}
+
+TileSpan
+LoopNest::spanBelow(size_t b) const
+{
+    if (b > loops.size())
+        panic("spanBelow: boundary %zu beyond nest", b);
+    TileSpan span = atom;
+    for (size_t i = b; i < loops.size(); ++i)
+        span.at(loops[i].dim) *= loops[i].trips;
+    return span;
+}
+
+int64_t
+LoopNest::tripsAbove(size_t b) const
+{
+    if (b > loops.size())
+        panic("tripsAbove: boundary %zu beyond nest", b);
+    int64_t trips = 1;
+    for (size_t i = 0; i < b; ++i)
+        trips *= loops[i].trips;
+    return trips;
+}
+
+std::string
+LoopNest::toString() const
+{
+    std::ostringstream ss;
+    for (const auto &l : loops)
+        ss << nnbaton::toString(l.dim) << ":" << l.trips << " ";
+    ss << "| atom " << atom.ho << "x" << atom.wo << "x" << atom.co
+       << " ci" << atom.ci << " k" << atom.kh << "x" << atom.kw;
+    return ss.str();
+}
+
+namespace {
+
+/** Append H/W/C temporal loops in the order the primitive dictates. */
+void
+appendTemporal(std::vector<Loop> &loops, LoopOrder order, int64_t th,
+               int64_t tw, int64_t tc)
+{
+    auto push = [&](Dim d, int64_t trips) {
+        if (trips > 1)
+            loops.push_back({d, trips});
+    };
+    if (order == LoopOrder::ChannelPriority) {
+        // Channel in the inner loop: weights switch fastest.
+        push(Dim::OH, th);
+        push(Dim::OW, tw);
+        push(Dim::OC, tc);
+    } else {
+        // Plane in the inner loop: activations switch fastest.
+        push(Dim::OC, tc);
+        push(Dim::OH, th);
+        push(Dim::OW, tw);
+    }
+}
+
+} // namespace
+
+NestSet
+buildNests(const ConvLayer &layer, const AcceleratorConfig &cfg,
+           const Mapping &mapping, const MappingShapes &shapes)
+{
+    NestSet nests;
+
+    // ---- per-core nest: pkg-temporal + chip-temporal + core loops ----
+    LoopNest &core = nests.perCore;
+    appendTemporal(core.loops, mapping.pkgOrder, shapes.pkgTripsH,
+                   shapes.pkgTripsW, shapes.pkgTripsC);
+    appendTemporal(core.loops, mapping.chipOrder, shapes.chipTripsH,
+                   shapes.chipTripsW, shapes.chipTripsC);
+
+    // Weight-stationary core loops: weights (IC, KH, KW) outer, the
+    // output tile swept inside.  The rotating primitive chunks the IC
+    // loop across the ring but does not change its footprint behaviour
+    // (DESIGN.md section 4), so it is modelled as a single IC loop.
+    const int p =
+        std::min<int>(cfg.core.vectorSize, layer.ciPerGroup());
+    const int64_t ic_trips = ceilDiv(layer.ciPerGroup(), p);
+    if (ic_trips > 1)
+        core.loops.push_back({Dim::IC, ic_trips});
+    if (layer.kh > 1)
+        core.loops.push_back({Dim::KH, layer.kh});
+    if (layer.kw > 1)
+        core.loops.push_back({Dim::KW, layer.kw});
+    if (shapes.coreTile.ho > 1)
+        core.loops.push_back({Dim::OH, shapes.coreTile.ho});
+    if (shapes.coreTile.wo > 1)
+        core.loops.push_back({Dim::OW, shapes.coreTile.wo});
+
+    core.atom = TileSpan{};
+    core.atom.co = shapes.coreTile.co; // L lanes in parallel
+    core.atom.ci = p;                  // P-wide vector in parallel
+
+    // ---- per-chiplet nest: pkg-temporal loops over chiplet tiles ----
+    LoopNest &chip = nests.perChiplet;
+    appendTemporal(chip.loops, mapping.pkgOrder, shapes.pkgTripsH,
+                   shapes.pkgTripsW, shapes.pkgTripsC);
+    chip.atom = TileSpan{};
+    chip.atom.ho = shapes.chipletTile.ho;
+    chip.atom.wo = shapes.chipletTile.wo;
+    chip.atom.co = shapes.chipletTile.co;
+    chip.atom.ci = layer.ciPerGroup();
+    chip.atom.kh = layer.kh;
+    chip.atom.kw = layer.kw;
+    return nests;
+}
+
+} // namespace nnbaton

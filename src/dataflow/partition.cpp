@@ -1,0 +1,102 @@
+#include "dataflow/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/util.hpp"
+#include "nn/layer.hpp"
+
+namespace nnbaton {
+
+std::string
+PlanarSplit::toString() const
+{
+    return std::to_string(fh) + ":" + std::to_string(fw);
+}
+
+std::vector<int>
+splitExtent(int n, int f)
+{
+    if (n < 0 || f <= 0)
+        panic("splitExtent(%d, %d): bad arguments", n, f);
+    std::vector<int> chunks;
+    int base = n / f;
+    int rem = n % f;
+    for (int i = 0; i < f; ++i) {
+        int size = base + (i < rem ? 1 : 0);
+        if (size > 0)
+            chunks.push_back(size);
+    }
+    return chunks;
+}
+
+int64_t
+tiledInputPlane(int ho, int wo, const PlanarSplit &split, int kh, int kw,
+                int stride)
+{
+    int64_t total = 0;
+    for (int th : splitExtent(ho, split.fh)) {
+        for (int tw : splitExtent(wo, split.fw)) {
+            total += static_cast<int64_t>(inputExtent(th, kh, stride)) *
+                     inputExtent(tw, kw, stride);
+        }
+    }
+    return total;
+}
+
+double
+haloRedundancy(int ho, int wo, const PlanarSplit &split, int kh, int kw,
+               int stride)
+{
+    const double exact = static_cast<double>(inputExtent(ho, kh, stride)) *
+                         inputExtent(wo, kw, stride);
+    const double tiled = static_cast<double>(
+        tiledInputPlane(ho, wo, split, kh, kw, stride));
+    return (tiled - exact) / exact;
+}
+
+int
+maxHaloSharers(int ho, int wo, const PlanarSplit &split, int kh, int kw,
+               int stride)
+{
+    // An input element is shared along an axis by consecutive tiles
+    // whose footprints overlap.  With footprint (t-1)*s + k and pitch
+    // t*s, the overlap is k - s elements; an element can fall inside
+    // ceil((k - s) / (t*s)) + 1 consecutive footprints at most (and no
+    // more than the number of tiles on that axis).
+    auto axis_sharers = [&](int extent, int parts, int k) {
+        if (parts <= 1)
+            return 1;
+        const auto chunks = splitExtent(extent, parts);
+        const int t = chunks.back(); // smallest chunk bounds the pitch
+        const int overlap = k - stride;
+        if (overlap <= 0)
+            return 1;
+        const int span =
+            1 + static_cast<int>(ceilDiv(overlap, int64_t(t) * stride));
+        return std::min<int>(span, static_cast<int>(chunks.size()));
+    };
+    return axis_sharers(ho, split.fh, kh) * axis_sharers(wo, split.fw, kw);
+}
+
+std::vector<PlanarSplit>
+enumerateSplits(int parts, int ho, int wo)
+{
+    std::vector<PlanarSplit> out;
+    for (auto [fh, fw] : factorPairs(parts)) {
+        if (fh <= ho && fw <= wo)
+            out.push_back(PlanarSplit{fh, fw});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PlanarSplit &a, const PlanarSplit &b) {
+                  int da = std::abs(a.fh - a.fw);
+                  int db = std::abs(b.fh - b.fw);
+                  if (da != db)
+                      return da < db;
+                  return a.fh < b.fh;
+              });
+    return out;
+}
+
+} // namespace nnbaton

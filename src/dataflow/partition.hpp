@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Planar (H x W) partition-pattern math (paper sections IV-C, figures
+ * 7 and 8).
+ *
+ * Splitting the output plane into tiles makes adjacent tiles consume
+ * overlapping input rows/columns (the halo) whenever stride < kernel.
+ * The pattern — how many cuts along H vs W for the same tile count —
+ * changes the total redundant input access and the number of
+ * consumers that share each halo element (DRAM conflict degree).
+ */
+
+#ifndef NNBATON_DATAFLOW_PARTITION_HPP
+#define NNBATON_DATAFLOW_PARTITION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nnbaton {
+
+/** A planar split into fh x fw near-equal tiles. */
+struct PlanarSplit
+{
+    int fh = 1; //!< number of cuts along the output height
+    int fw = 1; //!< number of cuts along the output width
+
+    int parts() const { return fh * fw; }
+
+    /** Aspect string like "1:4" or "2:2". */
+    std::string toString() const;
+
+    bool operator==(const PlanarSplit &) const = default;
+};
+
+/**
+ * Split extent @p n into @p f near-equal chunks (sizes differ by at
+ * most one).  Returns the chunk sizes; f may exceed n, in which case
+ * trailing chunks are zero-sized and dropped.
+ */
+std::vector<int> splitExtent(int n, int f);
+
+/**
+ * Exact total input-plane elements consumed when an ho x wo output
+ * plane is tiled fh x fw and every tile independently loads its full
+ * input footprint ((t-1)*s + k per axis).
+ */
+int64_t tiledInputPlane(int ho, int wo, const PlanarSplit &split, int kh,
+                        int kw, int stride);
+
+/**
+ * Redundant-access ratio of a tiled load relative to the exact input
+ * plane: (tiled - exact) / exact.  This is the y-axis of figure 7.
+ */
+double haloRedundancy(int ho, int wo, const PlanarSplit &split, int kh,
+                      int kw, int stride);
+
+/**
+ * The maximum number of tiles that consume any single input element
+ * under the split — the DRAM access-conflict degree of figure 8
+ * (square 2x2 split: 4 at the centre; 1x4 stripes: at most 2).
+ */
+int maxHaloSharers(int ho, int wo, const PlanarSplit &split, int kh,
+                   int kw, int stride);
+
+/**
+ * All splits of @p parts tiles that fit an ho x wo plane, ordered with
+ * the most square first (the paper prefers square patterns for
+ * temporal tiles).
+ */
+std::vector<PlanarSplit> enumerateSplits(int parts, int ho, int wo);
+
+} // namespace nnbaton
+
+#endif // NNBATON_DATAFLOW_PARTITION_HPP

@@ -1,0 +1,99 @@
+#include "dse/explorer.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+std::string
+DesignPoint::toString() const
+{
+    return strprintf(
+        "%d-%d-%d-%d | O-L1 %lldB A-L1 %lldK W-L1 %lldK A-L2 %lldK | "
+        "%.2f mm2 | %.3f mJ %.3f ms",
+        compute.chiplets, compute.cores, compute.lanes,
+        compute.vectorSize, static_cast<long long>(memory.ol1Bytes),
+        static_cast<long long>(memory.al1Bytes / 1024),
+        static_cast<long long>(memory.wl1Bytes / 1024),
+        static_cast<long long>(memory.al2Bytes / 1024), area.total(),
+        cost.energyMj(), cost.runtimeMs(0.5));
+}
+
+std::optional<size_t>
+DseResult::bestEdp() const
+{
+    std::optional<size_t> best;
+    double best_v = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (points[i].edp() < best_v) {
+            best_v = points[i].edp();
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::optional<size_t>
+DseResult::bestEnergy() const
+{
+    std::optional<size_t> best;
+    double best_v = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (points[i].cost.energy.total() < best_v) {
+            best_v = points[i].cost.energy.total();
+            best = i;
+        }
+    }
+    return best;
+}
+
+DseResult
+explore(const Model &model, const DseOptions &options,
+        const TechnologyModel &tech)
+{
+    DseResult result;
+    const auto computes = enumerateCompute(options.totalMacs);
+    if (computes.empty()) {
+        fatal("explore: no table II compute allocation yields %lld MACs",
+              static_cast<long long>(options.totalMacs));
+    }
+
+    std::vector<MemoryAllocation> memories;
+    if (!options.proportionalMem)
+        memories = enumerateMemory();
+
+    for (const ComputeAllocation &compute : computes) {
+        std::vector<MemoryAllocation> proportional;
+        if (options.proportionalMem)
+            proportional.push_back(proportionalMemory(compute));
+        const std::vector<MemoryAllocation> &mems =
+            options.proportionalMem ? proportional : memories;
+        for (const MemoryAllocation &memory : mems) {
+            ++result.swept;
+            AcceleratorConfig cfg = makeConfig(compute, memory);
+            AreaBreakdown area =
+                chipletArea(cfg, tech, defaultOl2Bytes(cfg));
+            if (options.areaLimitMm2 > 0.0 &&
+                area.total() > options.areaLimitMm2) {
+                ++result.areaRejected;
+                continue;
+            }
+            ModelMappingResult mapped = mapModel(
+                model, cfg, tech, options.effort, options.objective);
+            if (!mapped.feasible) {
+                ++result.infeasible;
+                continue;
+            }
+            DesignPoint point;
+            point.compute = compute;
+            point.memory = memory;
+            point.area = area;
+            point.cost = std::move(mapped.cost);
+            result.points.push_back(std::move(point));
+        }
+    }
+    return result;
+}
+
+} // namespace nnbaton

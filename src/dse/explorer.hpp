@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The pre-design flow: sweep the table II space under MAC-count and
+ * chiplet-area budgets, evaluate each design with the optimal
+ * per-layer mapping, and report energy / runtime / EDP (paper
+ * sections IV-D and VI-B).
+ */
+
+#ifndef NNBATON_DSE_EXPLORER_HPP
+#define NNBATON_DSE_EXPLORER_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/area.hpp"
+#include "cost/ledger.hpp"
+#include "dse/space.hpp"
+#include "mapper/search.hpp"
+#include "nn/model.hpp"
+#include "tech/technology.hpp"
+
+namespace nnbaton {
+
+/** One evaluated hardware design. */
+struct DesignPoint
+{
+    ComputeAllocation compute;
+    MemoryAllocation memory;
+    AreaBreakdown area; //!< per-chiplet area
+    ModelCost cost;     //!< whole-model cost with optimal mappings
+
+    double edp() const { return cost.edp(); }
+
+    /** e.g. "2-8-16-16 | A-L1 32K W-L1 144K A-L2 64K | 2.86mm2". */
+    std::string toString() const;
+};
+
+/** Sweep options. */
+struct DseOptions
+{
+    int64_t totalMacs = 2048;       //!< required MAC units
+    double areaLimitMm2 = 0.0;      //!< per-chiplet; <= 0: unconstrained
+    bool proportionalMem = false;   //!< figure 14 mode (vs table II grid)
+    SearchEffort effort = SearchEffort::Fast;
+    Objective objective = Objective::MinEnergy;
+};
+
+/** Sweep result. */
+struct DseResult
+{
+    std::vector<DesignPoint> points; //!< valid designs
+    int64_t swept = 0;               //!< combos considered
+    int64_t areaRejected = 0;        //!< failed the area budget
+    int64_t infeasible = 0;          //!< no legal mapping for a layer
+
+    /** Index of the minimum-EDP point, if any. */
+    std::optional<size_t> bestEdp() const;
+
+    /** Index of the minimum-energy point, if any. */
+    std::optional<size_t> bestEnergy() const;
+};
+
+/** Run the pre-design sweep for @p model. */
+DseResult explore(const Model &model, const DseOptions &options,
+                  const TechnologyModel &tech);
+
+} // namespace nnbaton
+
+#endif // NNBATON_DSE_EXPLORER_HPP

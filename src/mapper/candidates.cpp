@@ -1,0 +1,272 @@
+#include "mapper/candidates.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/util.hpp"
+
+namespace nnbaton {
+
+namespace {
+
+/** Spatial skeleton of a candidate before temporal choices. */
+struct Skeleton
+{
+    PackagePartition pkg;
+    PlanarSplit pkgSplit;
+    ChipletPartition chip;
+    int cw;
+    PlanarSplit chipSplit;
+};
+
+std::vector<Skeleton>
+enumerateSkeletons(const ConvLayer &layer, const AcceleratorConfig &cfg,
+                   SearchEffort effort, bool has_pkg_filter,
+                   PackagePartition pkg_filter, bool has_chip_filter,
+                   ChipletPartition chip_filter)
+{
+    const int np = cfg.package.chiplets;
+    const int nc = cfg.chiplet.cores;
+
+    // Package-level options.
+    struct PkgOpt
+    {
+        PackagePartition pkg;
+        PlanarSplit split;
+    };
+    std::vector<PkgOpt> pkg_opts;
+    if (!has_pkg_filter || pkg_filter == PackagePartition::Channel)
+        pkg_opts.push_back({PackagePartition::Channel, {1, 1}});
+    if (np > 1 && (!has_pkg_filter ||
+                   pkg_filter == PackagePartition::Plane)) {
+        auto splits = enumerateSplits(np, layer.ho, layer.wo);
+        const size_t keep =
+            effort == SearchEffort::Exhaustive ? splits.size()
+            : effort == SearchEffort::Fast     ? 2
+                                               : 1;
+        if (splits.size() > keep)
+            splits.resize(keep);
+        for (const auto &sp : splits)
+            pkg_opts.push_back({PackagePartition::Plane, sp});
+    }
+
+    // Chiplet-level options.
+    struct ChipOpt
+    {
+        ChipletPartition chip;
+        int cw;
+        PlanarSplit split;
+    };
+    std::vector<ChipOpt> chip_opts;
+    auto want_chip = [&](ChipletPartition c) {
+        return !has_chip_filter || chip_filter == c;
+    };
+    if (want_chip(ChipletPartition::Channel))
+        chip_opts.push_back({ChipletPartition::Channel, nc, {1, 1}});
+    if (nc > 1 && want_chip(ChipletPartition::Plane)) {
+        auto splits = enumerateSplits(nc, layer.ho, layer.wo);
+        const size_t keep =
+            effort == SearchEffort::Exhaustive ? splits.size()
+            : effort == SearchEffort::Fast     ? 2
+                                               : 1;
+        if (splits.size() > keep)
+            splits.resize(keep);
+        for (const auto &sp : splits)
+            chip_opts.push_back({ChipletPartition::Plane, 1, sp});
+    }
+    if (nc > 3 && want_chip(ChipletPartition::Hybrid)) {
+        // Sketch keeps only the most balanced channel/plane split.
+        std::vector<int> cws;
+        for (int cw : divisors(nc)) {
+            if (cw >= 2 && cw < nc)
+                cws.push_back(cw);
+        }
+        if (effort == SearchEffort::Sketch && cws.size() > 1)
+            cws = {cws[cws.size() / 2]};
+        for (int cw : cws) {
+            const int pw = nc / cw;
+            auto splits = enumerateSplits(pw, layer.ho, layer.wo);
+            if (splits.empty())
+                continue;
+            size_t take = effort == SearchEffort::Exhaustive
+                              ? std::min<size_t>(2, splits.size())
+                              : 1;
+            for (size_t i = 0; i < take && i < splits.size(); ++i) {
+                chip_opts.push_back(
+                    {ChipletPartition::Hybrid, cw, splits[i]});
+            }
+        }
+    }
+
+    std::vector<Skeleton> out;
+    for (const auto &po : pkg_opts) {
+        for (const auto &co : chip_opts) {
+            out.push_back(
+                {po.pkg, po.split, co.chip, co.cw, co.split});
+        }
+    }
+    return out;
+}
+
+/** Power-of-two values up to @p limit (always includes limit). */
+std::vector<int>
+pow2Ladder(int limit, SearchEffort effort)
+{
+    std::vector<int> out;
+    for (int v = 1; v < limit; v *= 2)
+        out.push_back(v);
+    out.push_back(limit);
+    if (effort == SearchEffort::Sketch && out.size() > 2)
+        return {out.front(), out.back()};
+    if (effort == SearchEffort::Fast && out.size() > 3) {
+        // Keep 1, a mid rung and the limit.
+        std::vector<int> fast{out.front(), out[out.size() / 2],
+                              out.back()};
+        return fast;
+    }
+    return out;
+}
+
+/** Candidate (hoC, woC) core-tile planes respecting O-L1 and A-L1. */
+std::vector<std::pair<int, int>>
+coreTilePlanes(const ConvLayer &layer, const AcceleratorConfig &cfg,
+               SearchEffort effort)
+{
+    const int64_t max_plane = cfg.core.maxCoreTilePlane(24);
+    std::vector<std::pair<int, int>> out;
+    auto fits_al1 = [&](int h, int w) {
+        const int64_t need =
+            static_cast<int64_t>(inputExtent(h, layer.kh, layer.stride)) *
+            inputExtent(w, layer.kw, layer.stride) *
+            std::min(cfg.core.vectorSize, layer.ciPerGroup());
+        return need <= cfg.core.al1Bytes;
+    };
+    for (int h = 1; h <= std::min(layer.ho, 64); h *= 2) {
+        for (int w : {h, h / 2, h * 2, 1}) {
+            if (w < 1 || w > std::min(layer.wo, 64))
+                continue;
+            if (static_cast<int64_t>(h) * w > max_plane)
+                continue;
+            if (!fits_al1(h, w))
+                continue;
+            if (std::find(out.begin(), out.end(),
+                          std::make_pair(h, w)) == out.end()) {
+                out.emplace_back(h, w);
+            }
+        }
+    }
+    if (out.empty())
+        return out;
+    // Largest tiles first: fewer, bigger tiles amortise loads better.
+    std::sort(out.begin(), out.end(), [](auto a, auto b) {
+        return a.first * a.second > b.first * b.second;
+    });
+    const size_t cap = effort == SearchEffort::Exhaustive ? 8
+                       : effort == SearchEffort::Fast     ? 3
+                                                          : 2;
+    if (out.size() > cap)
+        out.resize(cap);
+    return out;
+}
+
+} // namespace
+
+static std::vector<Mapping>
+enumerateImpl(const ConvLayer &layer, const AcceleratorConfig &cfg,
+              SearchEffort effort, bool has_pkg, PackagePartition pkg,
+              bool has_chip, ChipletPartition chip)
+{
+    std::vector<Mapping> full_lane;
+    std::vector<Mapping> degraded;
+
+    const auto skeletons = enumerateSkeletons(layer, cfg, effort, has_pkg,
+                                              pkg, has_chip, chip);
+    const auto planes = coreTilePlanes(layer, cfg, effort);
+    const LoopOrder orders[] = {LoopOrder::ChannelPriority,
+                                LoopOrder::PlanePriority};
+
+    for (const auto &sk : skeletons) {
+        // Macro workload per chiplet under this package split.
+        const int macro_ho =
+            sk.pkg == PackagePartition::Plane
+                ? static_cast<int>(ceilDiv(layer.ho, sk.pkgSplit.fh))
+                : layer.ho;
+        const int macro_wo =
+            sk.pkg == PackagePartition::Plane
+                ? static_cast<int>(ceilDiv(layer.wo, sk.pkgSplit.fw))
+                : layer.wo;
+        const int macro_co =
+            sk.pkg == PackagePartition::Channel
+                ? static_cast<int>(ceilDiv(layer.co,
+                                           cfg.package.chiplets))
+                : layer.co;
+
+        for (auto [hoc, woc] : planes) {
+            // Chiplet tiles grow from the core split in power-of-two
+            // steps along the plane and in lane multiples along CO.
+            const int base_h = hoc * sk.chipSplit.fh;
+            const int base_w = woc * sk.chipSplit.fw;
+            const int base_c = cfg.core.lanes * sk.cw;
+            const auto mh =
+                pow2Ladder(std::max(1, macro_ho / base_h), effort);
+            const auto mw =
+                pow2Ladder(std::max(1, macro_wo / base_w), effort);
+            const auto mc =
+                pow2Ladder(std::max(1, macro_co / base_c), effort);
+            for (int fh : mh) {
+                for (int fw : mw) {
+                    for (int fc : mc) {
+                        Mapping m;
+                        m.pkgSpatial = sk.pkg;
+                        m.pkgSplit = sk.pkgSplit;
+                        m.chipSpatial = sk.chip;
+                        m.chipChannelWays = sk.cw;
+                        m.chipSplit = sk.chipSplit;
+                        m.chipletTile = {
+                            std::min(base_h * fh, macro_ho),
+                            std::min(base_w * fw, macro_wo),
+                            std::min(base_c * fc, macro_co)};
+                        m.hoC = hoc;
+                        m.woC = woc;
+                        for (LoopOrder po : orders) {
+                            for (LoopOrder co_ : orders) {
+                                m.pkgOrder = po;
+                                m.chipOrder = co_;
+                                if (!checkMapping(layer, cfg, m).empty())
+                                    continue;
+                                const auto sh =
+                                    deriveShapes(layer, cfg, m);
+                                const bool full =
+                                    sh.coreMacro.co >= cfg.core.lanes;
+                                (full ? full_lane : degraded)
+                                    .push_back(m);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Prefer candidates that fill the lanes; fall back when the layer
+    // is too narrow for any to exist.
+    return full_lane.empty() ? degraded : full_lane;
+}
+
+std::vector<Mapping>
+enumerateCandidates(const ConvLayer &layer, const AcceleratorConfig &cfg,
+                    SearchEffort effort)
+{
+    return enumerateImpl(layer, cfg, effort, false,
+                         PackagePartition::Channel, false,
+                         ChipletPartition::Channel);
+}
+
+std::vector<Mapping>
+enumerateCandidatesFor(const ConvLayer &layer,
+                       const AcceleratorConfig &cfg, SearchEffort effort,
+                       PackagePartition pkg, ChipletPartition chip)
+{
+    return enumerateImpl(layer, cfg, effort, true, pkg, true, chip);
+}
+
+} // namespace nnbaton

@@ -1,0 +1,112 @@
+#include "mapper/search.hpp"
+
+#include <map>
+#include <tuple>
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+MappingChoice
+evaluateMapping(const ConvLayer &layer, const AcceleratorConfig &cfg,
+                const TechnologyModel &tech, const Mapping &mapping,
+                const AnalysisOptions &options)
+{
+    MappingChoice choice;
+    choice.mapping = mapping;
+    choice.analysis = analyzeMapping(layer, cfg, mapping, options);
+    choice.energy = computeEnergy(choice.analysis.counts, cfg, tech);
+    choice.runtime = estimateRuntime(layer, cfg, choice.analysis, tech);
+    return choice;
+}
+
+namespace {
+
+std::optional<MappingChoice>
+pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
+         const TechnologyModel &tech,
+         const std::vector<Mapping> &candidates, Objective objective)
+{
+    std::optional<MappingChoice> best;
+    for (const Mapping &m : candidates) {
+        MappingChoice c = evaluateMapping(layer, cfg, tech, m);
+        const double score = objective == Objective::MinEnergy
+                                 ? c.energy.total()
+                                 : c.edp();
+        if (!best) {
+            best = std::move(c);
+            continue;
+        }
+        const double best_score = objective == Objective::MinEnergy
+                                      ? best->energy.total()
+                                      : best->edp();
+        if (score < best_score)
+            best = std::move(c);
+    }
+    return best;
+}
+
+} // namespace
+
+std::optional<MappingChoice>
+searchLayer(const ConvLayer &layer, const AcceleratorConfig &cfg,
+            const TechnologyModel &tech, SearchEffort effort,
+            Objective objective)
+{
+    return pickBest(layer, cfg, tech,
+                    enumerateCandidates(layer, cfg, effort), objective);
+}
+
+std::optional<MappingChoice>
+searchLayerWithSpatial(const ConvLayer &layer,
+                       const AcceleratorConfig &cfg,
+                       const TechnologyModel &tech, PackagePartition pkg,
+                       ChipletPartition chip, SearchEffort effort,
+                       Objective objective)
+{
+    return pickBest(
+        layer, cfg, tech,
+        enumerateCandidatesFor(layer, cfg, effort, pkg, chip), objective);
+}
+
+ModelMappingResult
+mapModel(const Model &model, const AcceleratorConfig &cfg,
+         const TechnologyModel &tech, SearchEffort effort,
+         Objective objective)
+{
+    ModelMappingResult result;
+    result.cost.modelName = model.name();
+
+    // Layers with identical shapes (repeated residual blocks) share
+    // one search result.
+    using ShapeKey = std::tuple<int, int, int, int, int, int, int>;
+    std::map<ShapeKey, std::optional<MappingChoice>> cache;
+
+    for (const ConvLayer &layer : model.layers()) {
+        const ShapeKey key{layer.ho, layer.wo, layer.co, layer.ci,
+                           layer.kh, layer.kw, layer.stride};
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            it = cache.emplace(key, searchLayer(layer, cfg, tech, effort,
+                                                objective))
+                     .first;
+        }
+        if (!it->second) {
+            // The caller decides whether infeasibility is worth
+            // reporting (the DSE sweeps hit this by design).
+            result.feasible = false;
+            continue;
+        }
+        const MappingChoice &choice = *it->second;
+        LayerCost lc;
+        lc.layerName = layer.name;
+        lc.energy = choice.energy;
+        lc.cycles = choice.runtime.cycles;
+        lc.utilization = choice.runtime.utilization;
+        result.cost.add(std::move(lc));
+        result.choices.push_back(choice);
+    }
+    return result;
+}
+
+} // namespace nnbaton

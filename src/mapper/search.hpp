@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The post-design mapping search: for a fixed hardware configuration,
+ * find the per-layer mapping minimising energy (or EDP) by exhaustive
+ * evaluation of the candidate space (paper sections IV-D, V-C).
+ */
+
+#ifndef NNBATON_MAPPER_SEARCH_HPP
+#define NNBATON_MAPPER_SEARCH_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "c3p/access.hpp"
+#include "cost/energy.hpp"
+#include "cost/ledger.hpp"
+#include "mapper/candidates.hpp"
+#include "nn/model.hpp"
+#include "sim/runtime.hpp"
+#include "tech/technology.hpp"
+
+namespace nnbaton {
+
+/** Search objective. */
+enum class Objective
+{
+    MinEnergy, //!< minimise total energy (the paper's default)
+    MinEdp,    //!< minimise energy-delay product
+};
+
+/** A fully evaluated mapping for one layer. */
+struct MappingChoice
+{
+    Mapping mapping;
+    AccessAnalysis analysis;
+    EnergyBreakdown energy; //!< pJ
+    RuntimeResult runtime;
+
+    double edp() const { return energy.total() * runtime.cycles; }
+};
+
+/** Evaluate one specific mapping (no search). */
+MappingChoice evaluateMapping(const ConvLayer &layer,
+                              const AcceleratorConfig &cfg,
+                              const TechnologyModel &tech,
+                              const Mapping &mapping,
+                              const AnalysisOptions &options = {});
+
+/**
+ * Search the best mapping for one layer.  Returns std::nullopt when
+ * no legal candidate exists (the configuration cannot run the layer).
+ */
+std::optional<MappingChoice>
+searchLayer(const ConvLayer &layer, const AcceleratorConfig &cfg,
+            const TechnologyModel &tech,
+            SearchEffort effort = SearchEffort::Exhaustive,
+            Objective objective = Objective::MinEnergy);
+
+/**
+ * Search the best mapping for one layer restricted to a spatial
+ * combination (figure 11 study).
+ */
+std::optional<MappingChoice>
+searchLayerWithSpatial(const ConvLayer &layer,
+                       const AcceleratorConfig &cfg,
+                       const TechnologyModel &tech, PackagePartition pkg,
+                       ChipletPartition chip,
+                       SearchEffort effort = SearchEffort::Exhaustive,
+                       Objective objective = Objective::MinEnergy);
+
+/** Whole-model mapping result. */
+struct ModelMappingResult
+{
+    ModelCost cost;
+    std::vector<MappingChoice> choices; //!< one per layer, model order
+    bool feasible = true; //!< false if any layer had no legal mapping
+};
+
+/**
+ * Map every layer of @p model with a per-layer search.  Layers with
+ * identical shapes share one search (ResNet-style repeated blocks),
+ * which the result re-expands to model order.
+ */
+ModelMappingResult
+mapModel(const Model &model, const AcceleratorConfig &cfg,
+         const TechnologyModel &tech,
+         SearchEffort effort = SearchEffort::Exhaustive,
+         Objective objective = Objective::MinEnergy);
+
+} // namespace nnbaton
+
+#endif // NNBATON_MAPPER_SEARCH_HPP

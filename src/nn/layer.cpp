@@ -1,0 +1,95 @@
+#include "nn/layer.hpp"
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+LayerKind
+ConvLayer::kind() const
+{
+    if (kh >= 5 || kw >= 5)
+        return LayerKind::LargeKernel;
+    if (isPointWise())
+        return LayerKind::PointWise;
+    int64_t acts = static_cast<int64_t>(hi()) * wi() * ci;
+    int64_t wts = weightVolume();
+    // A layer is "common" when neither tensor dominates strongly; the
+    // asymmetric thresholds follow the paper's examples (res2a_
+    // branch2b with ~6x more activations than weights is "common").
+    if (acts > 8 * wts)
+        return LayerKind::ActivationIntensive;
+    if (wts > 4 * acts)
+        return LayerKind::WeightIntensive;
+    return LayerKind::Common;
+}
+
+void
+ConvLayer::validate() const
+{
+    if (ho <= 0 || wo <= 0 || co <= 0 || ci <= 0) {
+        fatal("layer %s: non-positive extent (ho=%d wo=%d co=%d ci=%d)",
+              name.c_str(), ho, wo, co, ci);
+    }
+    if (kh <= 0 || kw <= 0 || stride <= 0) {
+        fatal("layer %s: non-positive kernel/stride (kh=%d kw=%d s=%d)",
+              name.c_str(), kh, kw, stride);
+    }
+    if (groups != 1 && !(groups == ci && groups == co)) {
+        fatal("layer %s: only dense (groups=1) and depthwise "
+              "(groups=ci=co) convolutions are supported, got "
+              "groups=%d ci=%d co=%d",
+              name.c_str(), groups, ci, co);
+    }
+}
+
+std::string
+ConvLayer::toString() const
+{
+    return strprintf("%s: out %dx%dx%d, ci %d, k %dx%d, s %d%s",
+                     name.c_str(), ho, wo, co, ci, kh, kw, stride,
+                     isDepthwise() ? ", depthwise" : "");
+}
+
+ConvLayer
+makeConv(std::string name, int ho, int wo, int co, int ci, int kh, int kw,
+         int stride)
+{
+    ConvLayer l;
+    l.name = std::move(name);
+    l.ho = ho;
+    l.wo = wo;
+    l.co = co;
+    l.ci = ci;
+    l.kh = kh;
+    l.kw = kw;
+    l.stride = stride;
+    l.validate();
+    return l;
+}
+
+ConvLayer
+makeDepthwiseConv(std::string name, int ho, int wo, int channels, int k,
+                  int stride)
+{
+    ConvLayer l;
+    l.name = std::move(name);
+    l.ho = ho;
+    l.wo = wo;
+    l.co = channels;
+    l.ci = channels;
+    l.kh = k;
+    l.kw = k;
+    l.stride = stride;
+    l.groups = channels;
+    l.validate();
+    return l;
+}
+
+ConvLayer
+makeFullyConnected(std::string name, int out_features, int in_features)
+{
+    return makeConv(std::move(name), 1, 1, out_features, in_features, 1, 1,
+                    1);
+}
+
+} // namespace nnbaton

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * DNN layer workload description (paper section II-A, figure 1).
+ *
+ * A layer workload is defined output-centrically: a complete output cube
+ * of HO x WO x CO elements, consuming a 3D input cube (HI x WI x CI) and
+ * a 4D weight tensor (KH x KW x CI x CO).  Batch size is fixed to one as
+ * in the paper.
+ */
+
+#ifndef NNBATON_NN_LAYER_HPP
+#define NNBATON_NN_LAYER_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nnbaton {
+
+/** Broad layer categories used by the case studies (section VI-A). */
+enum class LayerKind
+{
+    ActivationIntensive, //!< activations dominate (e.g. VGG-16 conv1)
+    WeightIntensive,     //!< weights dominate (e.g. VGG-16 conv12)
+    LargeKernel,         //!< 7x7-class kernels (e.g. ResNet-50 conv1)
+    PointWise,           //!< 1x1 kernels (and reorganised FC layers)
+    Common,              //!< everything else (typical 3x3)
+};
+
+/**
+ * A convolution layer workload.
+ *
+ * All extents are in elements.  Fully-connected layers are reorganised
+ * into point-wise (1x1) convolutions for the evaluation, as in the
+ * paper (section VI-A.2).
+ */
+struct ConvLayer
+{
+    std::string name; //!< layer name, e.g. "conv1" or "res2a_branch2a"
+    int ho = 0;       //!< output height
+    int wo = 0;       //!< output width
+    int co = 0;       //!< output channels
+    int ci = 0;       //!< input channels
+    int kh = 0;       //!< kernel height
+    int kw = 0;       //!< kernel width
+    int stride = 1;   //!< convolution stride (same in H and W)
+    int groups = 1;   //!< channel groups (1 = dense, ci = depthwise)
+
+    /** Input-cube height needed to produce the full output (padded). */
+    int hi() const { return (ho - 1) * stride + kh; }
+
+    /** Input-cube width needed to produce the full output (padded). */
+    int wi() const { return (wo - 1) * stride + kw; }
+
+    /** Input channels each output channel consumes. */
+    int ciPerGroup() const { return ci / groups; }
+
+    /** True for depthwise convolutions (one input channel per output). */
+    bool isDepthwise() const { return groups > 1 && groups == ci; }
+
+    /** Total multiply-accumulate operations for the layer. */
+    int64_t macs() const
+    {
+        return static_cast<int64_t>(ho) * wo * co * ciPerGroup() * kh *
+               kw;
+    }
+
+    /** Output tensor volume in elements. */
+    int64_t outputVolume() const
+    {
+        return static_cast<int64_t>(ho) * wo * co;
+    }
+
+    /** Weight tensor volume in elements. */
+    int64_t weightVolume() const
+    {
+        return static_cast<int64_t>(kh) * kw * ciPerGroup() * co;
+    }
+
+    /** Input tensor volume in elements (full padded footprint). */
+    int64_t inputVolume() const
+    {
+        return static_cast<int64_t>(hi()) * wi() * ci;
+    }
+
+    /** True for 1x1 kernels. */
+    bool isPointWise() const { return kh == 1 && kw == 1; }
+
+    /**
+     * Classify the layer per the paper's taxonomy: large-kernel first,
+     * then point-wise, then activation- vs weight-intensive by tensor
+     * volume, with near-balanced 3x3 layers reported as Common.
+     */
+    LayerKind kind() const;
+
+    /** Validate extents; fatal() on nonsensical shapes. */
+    void validate() const;
+
+    /** Human-readable one-line summary. */
+    std::string toString() const;
+};
+
+/**
+ * Input-footprint extent along one spatial axis: producing @p out
+ * output elements with kernel @p k and stride @p s consumes
+ * (out - 1) * s + k input elements.
+ */
+constexpr int
+inputExtent(int out, int k, int s)
+{
+    return out > 0 ? (out - 1) * s + k : 0;
+}
+
+/**
+ * Build a convolution layer; FC layers use makeFullyConnected().
+ */
+ConvLayer makeConv(std::string name, int ho, int wo, int co, int ci,
+                   int kh, int kw, int stride);
+
+/**
+ * Build a depthwise convolution (groups == ci == co), the MobileNet
+ * building block.  Only dense (groups == 1) and depthwise layers are
+ * supported by the analytical framework.
+ */
+ConvLayer makeDepthwiseConv(std::string name, int ho, int wo,
+                            int channels, int k, int stride);
+
+/**
+ * Build a fully-connected layer reorganised as a 1x1 point-wise
+ * convolution over a 1x1 spatial map (paper section VI-A.2).
+ */
+ConvLayer makeFullyConnected(std::string name, int out_features,
+                             int in_features);
+
+} // namespace nnbaton
+
+#endif // NNBATON_NN_LAYER_HPP

@@ -1,0 +1,74 @@
+#include "nn/model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+const ConvLayer &
+Model::layer(const std::string &layer_name) const
+{
+    for (const auto &l : layers_) {
+        if (l.name == layer_name)
+            return l;
+    }
+    fatal("model %s: no layer named %s", name_.c_str(),
+          layer_name.c_str());
+}
+
+int64_t
+Model::totalMacs() const
+{
+    int64_t total = 0;
+    for (const auto &l : layers_)
+        total += l.macs();
+    return total;
+}
+
+int64_t
+Model::totalWeights() const
+{
+    int64_t total = 0;
+    for (const auto &l : layers_)
+        total += l.weightVolume();
+    return total;
+}
+
+int64_t
+Model::peakActivations() const
+{
+    int64_t peak = 0;
+    for (const auto &l : layers_)
+        peak = std::max(peak, l.inputVolume() + l.outputVolume());
+    return peak;
+}
+
+std::string
+Model::toString() const
+{
+    std::ostringstream ss;
+    ss << name_ << " @" << inputResolution_ << "x" << inputResolution_
+       << " (" << layers_.size() << " layers)\n";
+    for (const auto &l : layers_)
+        ss << "  " << l.toString() << "\n";
+    return ss.str();
+}
+
+RepresentativeLayers
+representativeLayers(int resolution)
+{
+    Model vgg = makeVgg16(resolution);
+    Model resnet = makeResNet50(resolution);
+    RepresentativeLayers out{
+        vgg.layer("conv1"),
+        vgg.layer("conv12"),
+        resnet.layer("conv1"),
+        resnet.layer("res2a_branch2a"),
+        resnet.layer("res2a_branch2b"),
+    };
+    return out;
+}
+
+} // namespace nnbaton

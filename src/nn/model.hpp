@@ -1,0 +1,94 @@
+/**
+ * @file
+ * DNN model container and the built-in model zoo.
+ *
+ * The zoo encodes the four benchmark networks of the paper (AlexNet,
+ * VGG-16, ResNet-50, DarkNet-19) at the two input resolutions used in
+ * the evaluation (224x224 for classification, 512x512 for detection).
+ * Only CONV and FC layers are listed — the estimation in the paper
+ * "calculates the CONV and FC layers", with FC reorganised into
+ * point-wise layers.
+ */
+
+#ifndef NNBATON_NN_MODEL_HPP
+#define NNBATON_NN_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace nnbaton {
+
+/** A DNN model: an ordered list of conv/pointwise layer workloads. */
+class Model
+{
+  public:
+    Model(std::string name, int input_resolution)
+        : name_(std::move(name)), inputResolution_(input_resolution)
+    {
+    }
+
+    /** Model name, e.g. "VGG-16". */
+    const std::string &name() const { return name_; }
+
+    /** Input resolution the layer table was generated for (224 or 512). */
+    int inputResolution() const { return inputResolution_; }
+
+    /** Append a layer. */
+    void addLayer(ConvLayer layer) { layers_.push_back(std::move(layer)); }
+
+    /** All layers in execution order. */
+    const std::vector<ConvLayer> &layers() const { return layers_; }
+
+    /** Find a layer by name; fatal() if absent. */
+    const ConvLayer &layer(const std::string &layer_name) const;
+
+    /** Total MACs over all layers. */
+    int64_t totalMacs() const;
+
+    /** Total weight elements over all layers. */
+    int64_t totalWeights() const;
+
+    /** Largest per-layer activation footprint (input + output), elems. */
+    int64_t peakActivations() const;
+
+    /** One line per layer. */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    int inputResolution_;
+    std::vector<ConvLayer> layers_;
+};
+
+/**
+ * @name Model zoo
+ * Builders for the paper's benchmark networks.  @p resolution selects
+ * the input size and must be 224 or 512.
+ * @{
+ */
+Model makeAlexNet(int resolution);
+Model makeVgg16(int resolution);
+Model makeResNet50(int resolution);
+Model makeDarkNet19(int resolution);
+Model makeMobileNetV2(int resolution);
+/** @} */
+
+/** Names of the five representative layers used in figures 11 and 12. */
+struct RepresentativeLayers
+{
+    ConvLayer activationIntensive; //!< VGG-16 conv1
+    ConvLayer weightIntensive;     //!< VGG-16 conv12
+    ConvLayer largeKernel;         //!< ResNet-50 conv1
+    ConvLayer pointWise;           //!< ResNet-50 res2a_branch2a
+    ConvLayer common;              //!< ResNet-50 res2a_branch2b
+};
+
+/** Extract the five case-study layers for a given input resolution. */
+RepresentativeLayers representativeLayers(int resolution);
+
+} // namespace nnbaton
+
+#endif // NNBATON_NN_MODEL_HPP

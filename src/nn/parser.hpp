@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Text-format model parser.
+ *
+ * The paper parses workloads from PyTorch via torch.jit; this repo
+ * substitutes a line-based text format carrying exactly the
+ * information the tool consumes (layer shapes).  Format:
+ *
+ * @code
+ *   # comment lines and blank lines are ignored
+ *   model <name> <input-resolution>
+ *   conv   <name> <ho> <wo> <co> <ci> <kh> <kw> <stride>
+ *   dwconv <name> <ho> <wo> <channels> <k> <stride>
+ *   fc     <name> <out-features> <in-features>
+ * @endcode
+ *
+ * The `model` line must come first; every other line appends a layer
+ * in execution order.
+ */
+
+#ifndef NNBATON_NN_PARSER_HPP
+#define NNBATON_NN_PARSER_HPP
+
+#include <istream>
+#include <optional>
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace nnbaton {
+
+/** Parse result: the model or a line-tagged error message. */
+struct ParseResult
+{
+    std::optional<Model> model;
+    std::string error; //!< empty on success, else "line N: ..."
+
+    bool ok() const { return model.has_value(); }
+};
+
+/** Parse a model description from a stream. */
+ParseResult parseModel(std::istream &in);
+
+/** Parse a model description from a string. */
+ParseResult parseModelString(const std::string &text);
+
+/** Parse a model description from a file; error mentions the path. */
+ParseResult parseModelFile(const std::string &path);
+
+/** Serialise a model back to the text format (round-trippable). */
+std::string writeModelText(const Model &model);
+
+} // namespace nnbaton
+
+#endif // NNBATON_NN_PARSER_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * AlexNet layer table (Krizhevsky et al., NeurIPS 2012).
+ *
+ * Spatial extents follow the exact stride/pooling chain: conv1 is
+ * 11x11/4 (pad 2), conv2 is 5x5 (pad 2) after 3x3/2 max-pool, conv3-5
+ * are 3x3 (pad 1) after another 3x3/2 max-pool.  FC layers use the
+ * canonical 224-input classifier head (reorganised as point-wise
+ * layers) at both resolutions.
+ */
+
+#include "common/logging.hpp"
+#include "nn/model.hpp"
+
+namespace nnbaton {
+
+namespace {
+
+/** Output extent of a k-size, stride-s, pad-p window over n inputs. */
+int
+windowOut(int n, int k, int s, int p)
+{
+    return (n + 2 * p - k) / s + 1;
+}
+
+} // namespace
+
+Model
+makeAlexNet(int resolution)
+{
+    if (resolution < 64)
+        fatal("AlexNet resolution too small: %d", resolution);
+
+    Model m("AlexNet", resolution);
+
+    const int s1 = windowOut(resolution, 11, 4, 2); // conv1 output
+    const int p1 = windowOut(s1, 3, 2, 0);          // pool1 output
+    const int p2 = windowOut(p1, 3, 2, 0);          // pool2 output
+
+    m.addLayer(makeConv("conv1", s1, s1, 96, 3, 11, 11, 4));
+    m.addLayer(makeConv("conv2", p1, p1, 256, 96, 5, 5, 1));
+    m.addLayer(makeConv("conv3", p2, p2, 384, 256, 3, 3, 1));
+    m.addLayer(makeConv("conv4", p2, p2, 384, 384, 3, 3, 1));
+    m.addLayer(makeConv("conv5", p2, p2, 256, 384, 3, 3, 1));
+
+    m.addLayer(makeFullyConnected("fc6", 4096, 256 * 6 * 6));
+    m.addLayer(makeFullyConnected("fc7", 4096, 4096));
+    m.addLayer(makeFullyConnected("fc8", 1000, 4096));
+    return m;
+}
+
+} // namespace nnbaton

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DarkNet-19 layer table (Redmon & Farhadi, YOLO9000).
+ *
+ * Nineteen convolutions: alternating 3x3 expansions and 1x1
+ * bottlenecks, with 2x2 max-pooling between stages, ending in a 1x1
+ * 1000-way classifier convolution.
+ */
+
+#include "common/logging.hpp"
+#include "nn/model.hpp"
+
+namespace nnbaton {
+
+Model
+makeDarkNet19(int resolution)
+{
+    if (resolution % 32 != 0)
+        fatal("DarkNet-19 resolution must be a multiple of 32, got %d",
+              resolution);
+
+    Model m("DarkNet-19", resolution);
+    const int r = resolution;
+
+    struct L
+    {
+        int spatial;
+        int co;
+        int ci;
+        int k;
+    };
+    const L table[] = {
+        {r, 32, 3, 3},
+        {r / 2, 64, 32, 3},
+        {r / 4, 128, 64, 3},
+        {r / 4, 64, 128, 1},
+        {r / 4, 128, 64, 3},
+        {r / 8, 256, 128, 3},
+        {r / 8, 128, 256, 1},
+        {r / 8, 256, 128, 3},
+        {r / 16, 512, 256, 3},
+        {r / 16, 256, 512, 1},
+        {r / 16, 512, 256, 3},
+        {r / 16, 256, 512, 1},
+        {r / 16, 512, 256, 3},
+        {r / 32, 1024, 512, 3},
+        {r / 32, 512, 1024, 1},
+        {r / 32, 1024, 512, 3},
+        {r / 32, 512, 1024, 1},
+        {r / 32, 1024, 512, 3},
+    };
+
+    int index = 1;
+    for (const auto &l : table) {
+        m.addLayer(makeConv("conv" + std::to_string(index), l.spatial,
+                            l.spatial, l.co, l.ci, l.k, l.k, 1));
+        ++index;
+    }
+    // Final 1x1 classifier convolution before global average pooling.
+    m.addLayer(makeConv("conv19", r / 32, r / 32, 1000, 1024, 1, 1, 1));
+    return m;
+}
+
+} // namespace nnbaton

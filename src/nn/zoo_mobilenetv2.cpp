@@ -1,0 +1,77 @@
+/**
+ * @file
+ * MobileNetV2 layer table (Sandler et al., CVPR 2018 — cited as
+ * workload [53] in the paper).
+ *
+ * Inverted residual blocks: a 1x1 expansion (x6), a 3x3 depthwise
+ * convolution (stride 1 or 2), and a 1x1 linear projection.  This
+ * model exercises the depthwise extension of the framework: the
+ * weight-centric baseline cannot fill its CI-split rows on depthwise
+ * layers, while the output-centric dataflow parallelises the plane.
+ */
+
+#include "common/logging.hpp"
+#include "nn/model.hpp"
+
+namespace nnbaton {
+
+Model
+makeMobileNetV2(int resolution)
+{
+    if (resolution % 32 != 0)
+        fatal("MobileNetV2 resolution must be a multiple of 32, got %d",
+              resolution);
+
+    Model m("MobileNetV2", resolution);
+    const int r = resolution;
+
+    // Stem: 3x3/2 convolution to 32 channels.
+    m.addLayer(makeConv("conv1", r / 2, r / 2, 32, 3, 3, 3, 2));
+
+    struct Stage
+    {
+        int expansion; //!< t: expansion factor
+        int out;       //!< c: output channels
+        int blocks;    //!< n: repeated blocks
+        int stride;    //!< s: stride of the first block
+    };
+    // The (t, c, n, s) table of the MobileNetV2 paper.
+    const Stage stages[] = {
+        {1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+        {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+        {6, 320, 1, 1},
+    };
+
+    int in_channels = 32;
+    int spatial = r / 2;
+    int block_id = 1;
+    for (const auto &st : stages) {
+        for (int b = 0; b < st.blocks; ++b) {
+            const int s = b == 0 ? st.stride : 1;
+            const int out_spatial = spatial / s;
+            const int expanded = in_channels * st.expansion;
+            const std::string base =
+                "block" + std::to_string(block_id);
+            if (st.expansion != 1) {
+                m.addLayer(makeConv(base + "_expand", spatial, spatial,
+                                    expanded, in_channels, 1, 1, 1));
+            }
+            m.addLayer(makeDepthwiseConv(base + "_dw", out_spatial,
+                                         out_spatial, expanded, 3, s));
+            m.addLayer(makeConv(base + "_project", out_spatial,
+                                out_spatial, st.out, expanded, 1, 1,
+                                1));
+            in_channels = st.out;
+            spatial = out_spatial;
+            ++block_id;
+        }
+    }
+
+    // Head: 1x1 to 1280 channels, then the classifier.
+    m.addLayer(makeConv("conv_head", spatial, spatial, 1280,
+                        in_channels, 1, 1, 1));
+    m.addLayer(makeFullyConnected("fc", 1000, 1280));
+    return m;
+}
+
+} // namespace nnbaton

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ResNet-50 layer table (He et al., CVPR 2016).
+ *
+ * Bottleneck blocks are named res{stage}{block}_branch2{a,b,c} with the
+ * projection shortcut as branch1, matching the Caffe/paper naming the
+ * case studies use (res2a_branch2a is the point-wise example and
+ * res2a_branch2b the common-layer example).  Downsampling stages place
+ * the stride-2 convolution in branch2a (ResNet v1).
+ */
+
+#include "common/logging.hpp"
+#include "nn/model.hpp"
+
+namespace nnbaton {
+
+Model
+makeResNet50(int resolution)
+{
+    if (resolution % 32 != 0)
+        fatal("ResNet-50 resolution must be a multiple of 32, got %d",
+              resolution);
+
+    Model m("ResNet-50", resolution);
+    const int r = resolution;
+
+    // Stem: 7x7/2 convolution then 3x3/2 max-pool.
+    m.addLayer(makeConv("conv1", r / 2, r / 2, 64, 3, 7, 7, 2));
+
+    struct Stage
+    {
+        int id;          //!< stage number (2..5)
+        int blocks;      //!< bottleneck blocks in the stage
+        int mid;         //!< bottleneck (3x3) channels
+        int out;         //!< expanded output channels
+        int spatial;     //!< output spatial extent of the stage
+        bool downsample; //!< stride-2 entry (stages 3..5)
+    };
+    const Stage stages[] = {
+        {2, 3, 64, 256, r / 4, false},
+        {3, 4, 128, 512, r / 8, true},
+        {4, 6, 256, 1024, r / 16, true},
+        {5, 3, 512, 2048, r / 32, true},
+    };
+
+    int in_channels = 64;
+    for (const auto &st : stages) {
+        for (int b = 0; b < st.blocks; ++b) {
+            const std::string block = "res" + std::to_string(st.id) +
+                                      std::string(1, char('a' + b));
+            const bool first = b == 0;
+            const int s = first && st.downsample ? 2 : 1;
+            if (first) {
+                // Projection shortcut to the expanded width.
+                m.addLayer(makeConv(block + "_branch1", st.spatial,
+                                    st.spatial, st.out, in_channels, 1, 1,
+                                    s));
+            }
+            m.addLayer(makeConv(block + "_branch2a", st.spatial,
+                                st.spatial, st.mid, in_channels, 1, 1, s));
+            m.addLayer(makeConv(block + "_branch2b", st.spatial,
+                                st.spatial, st.mid, st.mid, 3, 3, 1));
+            m.addLayer(makeConv(block + "_branch2c", st.spatial,
+                                st.spatial, st.out, st.mid, 1, 1, 1));
+            in_channels = st.out;
+        }
+    }
+
+    // Classifier after global average pooling.
+    m.addLayer(makeFullyConnected("fc", 1000, 2048));
+    return m;
+}
+
+} // namespace nnbaton

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * VGG-16 layer table (Simonyan & Zisserman, ICLR 2015).
+ *
+ * Convolutions are numbered conv1..conv13 as in the paper's case
+ * studies ("VGG-16 conv1" is the activation-intensive example and
+ * "conv12" the weight-intensive one).  The three FC layers are
+ * reorganised into point-wise layers (paper section VI-A.2); their
+ * shapes use the canonical 224x224 classifier head at both resolutions
+ * since the paper reuses the same weights for the detection-resolution
+ * sweep.
+ */
+
+#include "common/logging.hpp"
+#include "nn/model.hpp"
+
+namespace nnbaton {
+
+Model
+makeVgg16(int resolution)
+{
+    if (resolution % 32 != 0)
+        fatal("VGG-16 resolution must be a multiple of 32, got %d",
+              resolution);
+
+    Model m("VGG-16", resolution);
+    const int r = resolution;
+
+    struct Stage
+    {
+        int spatial;
+        int channels;
+        int convs;
+    };
+    // Five stages of 3x3 convolutions separated by 2x2 max-pooling.
+    const Stage stages[] = {
+        {r, 64, 2},      {r / 2, 128, 2}, {r / 4, 256, 3},
+        {r / 8, 512, 3}, {r / 16, 512, 3},
+    };
+
+    int index = 1;
+    int prev_channels = 3;
+    for (const auto &st : stages) {
+        for (int c = 0; c < st.convs; ++c) {
+            m.addLayer(makeConv("conv" + std::to_string(index), st.spatial,
+                                st.spatial, st.channels, prev_channels, 3,
+                                3, 1));
+            prev_channels = st.channels;
+            ++index;
+        }
+    }
+
+    // Classifier head, reorganised as point-wise layers.
+    m.addLayer(makeFullyConnected("fc14", 4096, 512 * 7 * 7));
+    m.addLayer(makeFullyConnected("fc15", 4096, 4096));
+    m.addLayer(makeFullyConnected("fc16", 1000, 4096));
+    return m;
+}
+
+} // namespace nnbaton

@@ -1,0 +1,81 @@
+#include "sim/ring.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/util.hpp"
+
+namespace nnbaton {
+
+int64_t
+RotationPlan::bitsPerLink() const
+{
+    int64_t bits = 0;
+    for (const RotationStep &s : steps)
+        bits += s.bitsPerLink;
+    return bits;
+}
+
+int64_t
+RotationPlan::totalBits() const
+{
+    return bitsPerLink() * chiplets;
+}
+
+int64_t
+RotationPlan::totalCycles() const
+{
+    int64_t cycles = 0;
+    for (const RotationStep &s : steps)
+        cycles += s.cycles;
+    return cycles;
+}
+
+int64_t
+RotationPlan::exposedCycles(int64_t compute_cycles_per_chunk) const
+{
+    // Each step's transfer overlaps the compute on the chunk that
+    // just arrived (write-through into the double buffer); only the
+    // excess of transfer over compute is exposed.
+    int64_t exposed = 0;
+    for (const RotationStep &s : steps)
+        exposed += std::max<int64_t>(0, s.cycles -
+                                            compute_cycles_per_chunk);
+    return exposed;
+}
+
+std::string
+RotationPlan::toString() const
+{
+    std::ostringstream ss;
+    ss << chiplets << " chiplets, chunk " << chunkBits << " bits, "
+       << steps.size() << " steps, " << totalCycles() << " cycles";
+    return ss.str();
+}
+
+RotationPlan
+planRotation(int chiplets, int64_t shared_bits, int link_bits_per_cycle)
+{
+    if (chiplets < 1)
+        panic("planRotation: bad chiplet count %d", chiplets);
+    if (shared_bits < 0 || link_bits_per_cycle <= 0)
+        panic("planRotation: bad bits/bandwidth");
+
+    RotationPlan plan;
+    plan.chiplets = chiplets;
+    plan.chunkBits = ceilDiv(shared_bits, chiplets);
+    if (chiplets == 1)
+        return plan; // everything is already local
+
+    for (int step = 0; step < chiplets - 1; ++step) {
+        RotationStep s;
+        s.step = step;
+        s.bitsPerLink = plan.chunkBits;
+        s.cycles = ceilDiv(plan.chunkBits, link_bits_per_cycle);
+        plan.steps.push_back(s);
+    }
+    return plan;
+}
+
+} // namespace nnbaton

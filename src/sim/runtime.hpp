@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Runtime model (paper section V-C: "We establish a simulator to
+ * obtain the runtime for a specific workload").
+ *
+ * Two implementations share one machine model:
+ *  - estimateRuntime(): closed-form cycle estimate used inside the
+ *    mapping search and the DSE sweeps (O(1) per evaluation);
+ *  - RuntimeSimulator: a per-tile phase simulator with double-buffered
+ *    load/compute overlap, ring-rotation steps, and edge tiles, used
+ *    for the final reported numbers and to validate the estimate.
+ *
+ * Runtime depends on the total MAC count and the achieved utilisation
+ * (lane/vector padding plus transfer-bound stalls), exactly the two
+ * factors the paper names.
+ */
+
+#ifndef NNBATON_SIM_RUNTIME_HPP
+#define NNBATON_SIM_RUNTIME_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "arch/config.hpp"
+#include "c3p/access.hpp"
+#include "tech/technology.hpp"
+
+namespace nnbaton {
+
+/** Runtime result for one layer. */
+struct RuntimeResult
+{
+    int64_t cycles = 0;        //!< total cycles at the core clock
+    int64_t computeCycles = 0; //!< pure compute, no stalls
+    int64_t stallCycles = 0;   //!< transfer-bound stall cycles
+    double utilization = 0.0;  //!< effective MACs / (peak MACs * cycles)
+
+    std::string toString() const;
+};
+
+/** Closed-form runtime estimate for an analysed mapping. */
+RuntimeResult estimateRuntime(const ConvLayer &layer,
+                              const AcceleratorConfig &cfg,
+                              const AccessAnalysis &analysis,
+                              const TechnologyModel &tech);
+
+/**
+ * Per-tile phase simulator.
+ *
+ * Each chiplet runs its core-tile schedule; a tile's next-tile loads
+ * (DRAM) and rotation steps (ring) overlap the current tile's compute
+ * thanks to the double-buffered A-L1/W-L1, so the tile latency is the
+ * max of the three phases.  The first tile pays its load latency in
+ * full (pipeline fill) and the last output drain is overlapped except
+ * for the final write-back.
+ */
+class RuntimeSimulator
+{
+  public:
+    RuntimeSimulator(const AcceleratorConfig &cfg,
+                     const TechnologyModel &tech)
+        : cfg_(cfg), tech_(tech)
+    {
+    }
+
+    /** Simulate one layer under an analysed mapping. */
+    RuntimeResult run(const ConvLayer &layer,
+                      const AccessAnalysis &analysis) const;
+
+  private:
+    const AcceleratorConfig &cfg_;
+    const TechnologyModel &tech_;
+};
+
+} // namespace nnbaton
+
+#endif // NNBATON_SIM_RUNTIME_HPP

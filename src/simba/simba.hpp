@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simba baseline: the weight-centric dataflow of the MICRO 2019
+ * multi-chip-module accelerator, modelled with the same cost
+ * accounting as NN-Baton (paper section VI-A.2: same memory sizes and
+ * computation resources, controller/RISC-V omitted, memory read/write
+ * plus die-to-die communication counted).
+ *
+ * Weight-centric means the spatial mapping centres on the weight
+ * dimensions: input channels are split across PE/chiplet rows, output
+ * channels across columns (paper figure 4 (c)-(d)).  Partial sums
+ * (24-bit) are accumulated from row to row across cores (NoC) and
+ * chiplets (NoP).  The planar dimensions are handled only temporally,
+ * so halo regions are reloaded per temporal tile.  The temporal tiling
+ * is chosen best-case for Simba inside its weight-centric space so
+ * the comparison isolates the dataflow style.
+ */
+
+#ifndef NNBATON_SIMBA_SIMBA_HPP
+#define NNBATON_SIMBA_SIMBA_HPP
+
+#include <string>
+
+#include "arch/config.hpp"
+#include "c3p/access.hpp"
+#include "cost/energy.hpp"
+#include "nn/model.hpp"
+#include "sim/runtime.hpp"
+#include "tech/technology.hpp"
+
+namespace nnbaton {
+
+/** The Simba spatial arrangement chosen for a layer. */
+struct SimbaMapping
+{
+    int pkgRows = 2;  //!< chiplet rows (input-channel split)
+    int pkgCols = 2;  //!< chiplet columns (output-channel split)
+    int chipRows = 4; //!< core rows per chiplet (input-channel split)
+    int chipCols = 2; //!< core columns per chiplet (output-channel split)
+    int hoT = 1;      //!< temporal tile rows
+    int woT = 1;      //!< temporal tile columns
+
+    std::string toString() const;
+};
+
+/** Evaluated Simba cost for one layer. */
+struct SimbaLayerCost
+{
+    SimbaMapping mapping;
+    AccessCounts counts;
+    EnergyBreakdown energy; //!< pJ
+    RuntimeResult runtime;
+};
+
+/**
+ * Evaluate a layer under the best weight-centric Simba mapping
+ * (exhaustive over grid arrangements and temporal tiles).
+ */
+SimbaLayerCost simbaLayerCost(const ConvLayer &layer,
+                              const AcceleratorConfig &cfg,
+                              const TechnologyModel &tech);
+
+/** Whole-model Simba cost (sums the per-layer best mappings). */
+struct SimbaModelCost
+{
+    std::string modelName;
+    EnergyBreakdown energy;
+    int64_t cycles = 0;
+};
+
+SimbaModelCost simbaModelCost(const Model &model,
+                              const AcceleratorConfig &cfg,
+                              const TechnologyModel &tech);
+
+} // namespace nnbaton
+
+#endif // NNBATON_SIMBA_SIMBA_HPP

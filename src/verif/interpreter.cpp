@@ -1,0 +1,145 @@
+#include "verif/interpreter.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+namespace {
+
+/** Per-dimension start offset of the current subtree, in atoms' units. */
+struct Offsets
+{
+    int64_t ho = 0;
+    int64_t wo = 0;
+    int64_t co = 0;
+    int64_t ci = 0;
+    int64_t kh = 0;
+    int64_t kw = 0;
+
+    int64_t &at(Dim d)
+    {
+        switch (d) {
+          case Dim::OH:
+            return ho;
+          case Dim::OW:
+            return wo;
+          case Dim::OC:
+            return co;
+          case Dim::IC:
+            return ci;
+          case Dim::KH:
+            return kh;
+          case Dim::KW:
+            return kw;
+        }
+        panic("bad Dim");
+    }
+};
+
+/**
+ * Enumerate the unique element coordinates of @p tensor touched by the
+ * tile [offset, offset + span) and insert them into @p seen; returns
+ * the number of newly inserted elements (bytes, 8-bit elements).
+ */
+int64_t
+enumerateTile(Tensor tensor, const Offsets &off, const TileSpan &span,
+              const ConvLayer &layer, std::unordered_set<int64_t> &seen)
+{
+    int64_t added = 0;
+    auto touch = [&](int64_t a, int64_t b, int64_t c, int64_t d) {
+        // Linearise with generous strides; extents in this model are
+        // far below 1 << 16.
+        const int64_t key =
+            ((a * 65536 + b) * 65536 + c) * 65536 + d;
+        if (seen.insert(key).second)
+            ++added;
+    };
+
+    switch (tensor) {
+      case Tensor::Weights:
+        for (int64_t co = off.co; co < off.co + span.co; ++co)
+            for (int64_t ci = off.ci; ci < off.ci + span.ci; ++ci)
+                for (int64_t kh = off.kh; kh < off.kh + span.kh; ++kh)
+                    for (int64_t kw = off.kw; kw < off.kw + span.kw;
+                         ++kw)
+                        touch(co, ci, kh, kw);
+        break;
+      case Tensor::Activations: {
+        const int s = layer.stride;
+        const int64_t kh_span = std::min<int64_t>(span.kh, layer.kh);
+        const int64_t kw_span = std::min<int64_t>(span.kw, layer.kw);
+        const int64_t row0 = off.ho * s + off.kh;
+        const int64_t row1 = (off.ho + span.ho - 1) * s + off.kh +
+                             kh_span;
+        const int64_t col0 = off.wo * s + off.kw;
+        const int64_t col1 = (off.wo + span.wo - 1) * s + off.kw +
+                             kw_span;
+        for (int64_t ci = off.ci; ci < off.ci + span.ci; ++ci)
+            for (int64_t r = row0; r < row1; ++r)
+                for (int64_t c = col0; c < col1; ++c)
+                    touch(ci, r, c, 0);
+        break;
+      }
+      case Tensor::Outputs:
+        for (int64_t co = off.co; co < off.co + span.co; ++co)
+            for (int64_t h = off.ho; h < off.ho + span.ho; ++h)
+                for (int64_t w = off.wo; w < off.wo + span.wo; ++w)
+                    touch(co, h, w, 0);
+        break;
+    }
+    return added;
+}
+
+struct Walker
+{
+    const LoopNest &nest;
+    Tensor tensor;
+    const ConvLayer &layer;
+    int64_t capacity;
+    ReferenceResult result;
+
+    void
+    visit(size_t level, Offsets off)
+    {
+        const TileSpan span = nest.spanBelow(level);
+        if (footprintBytes(tensor, span, layer) <= capacity) {
+            // Retain this whole subtree: measure its unique touches.
+            std::unordered_set<int64_t> seen;
+            result.fillBytes +=
+                enumerateTile(tensor, off, span, layer, seen);
+            result.retainedTiles += 1;
+            return;
+        }
+        if (level == nest.loops.size()) {
+            // Even the atom does not fit: every iteration reloads it.
+            std::unordered_set<int64_t> seen;
+            result.fillBytes +=
+                enumerateTile(tensor, off, span, layer, seen);
+            result.retainedTiles += 1;
+            return;
+        }
+        const Loop &loop = nest.loops[level];
+        const int64_t step = nest.spanBelow(level + 1).at(loop.dim);
+        for (int64_t i = 0; i < loop.trips; ++i) {
+            Offsets child = off;
+            child.at(loop.dim) = off.at(loop.dim) + i * step;
+            visit(level + 1, child);
+        }
+    }
+};
+
+} // namespace
+
+ReferenceResult
+referenceFills(const LoopNest &nest, Tensor tensor, const ConvLayer &layer,
+               int64_t capacity_bytes)
+{
+    Walker w{nest, tensor, layer, capacity_bytes, {}};
+    w.visit(0, Offsets{});
+    return w.result;
+}
+
+} // namespace nnbaton

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the hardware configuration and the chiplet area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/area.hpp"
+#include "arch/config.hpp"
+#include "common/util.hpp"
+#include "tech/technology.hpp"
+
+using namespace nnbaton;
+
+TEST(AcceleratorConfig, CaseStudyMatchesPaper)
+{
+    // Section VI-A.1: 4 chiplets, 8 cores, 8 lanes of 8-size vector
+    // MAC, 1.5KB O-L1, 800B A-L1, 18KB W-L1 and 64KB A-L2.
+    const AcceleratorConfig cfg = caseStudyConfig();
+    EXPECT_EQ(cfg.package.chiplets, 4);
+    EXPECT_EQ(cfg.chiplet.cores, 8);
+    EXPECT_EQ(cfg.core.lanes, 8);
+    EXPECT_EQ(cfg.core.vectorSize, 8);
+    EXPECT_EQ(cfg.core.ol1Bytes, 1536);
+    EXPECT_EQ(cfg.core.al1Bytes, 800);
+    EXPECT_EQ(cfg.core.wl1Bytes, 18_KB);
+    EXPECT_EQ(cfg.chiplet.al2Bytes, 64_KB);
+    EXPECT_EQ(cfg.totalMacs(), 2048);
+    EXPECT_EQ(cfg.macsPerChiplet(), 512);
+    EXPECT_EQ(cfg.computeId(), "4-8-8-8");
+}
+
+TEST(CoreConfig, MaxCoreTilePlane)
+{
+    CoreConfig c;
+    c.lanes = 8;
+    c.ol1Bytes = 1536;
+    // 1536B * 8 bits / (24-bit psums * 8 lanes) = 64 outputs.
+    EXPECT_EQ(c.maxCoreTilePlane(24), 64);
+    c.ol1Bytes = 48;
+    EXPECT_EQ(c.maxCoreTilePlane(24), 2);
+}
+
+TEST(AcceleratorConfig, ToStringContainsId)
+{
+    const std::string s = caseStudyConfig().toString();
+    EXPECT_NE(s.find("4-8-8-8"), std::string::npos);
+    EXPECT_NE(s.find("2048"), std::string::npos);
+}
+
+TEST(ChipletArea, ComponentsSumToTotal)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const AreaBreakdown a =
+        chipletArea(cfg, defaultTech(), defaultOl2Bytes(cfg));
+    EXPECT_NEAR(a.total(),
+                a.macs + a.sram + a.rf + a.grsPhy + a.ddrPhy, 1e-12);
+    EXPECT_GT(a.macs, 0.0);
+    EXPECT_GT(a.sram, 0.0);
+    EXPECT_GT(a.rf, 0.0);
+    EXPECT_FALSE(a.toString().empty());
+}
+
+TEST(ChipletArea, PhyMacrosMatchTech)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &t = defaultTech();
+    const AreaBreakdown a = chipletArea(cfg, t, 16_KB);
+    EXPECT_DOUBLE_EQ(a.grsPhy, t.grsPhyAreaMm2);
+    EXPECT_DOUBLE_EQ(a.ddrPhy, t.ddrPhyAreaMm2);
+}
+
+TEST(ChipletArea, MacAreaScalesWithMacsPerChiplet)
+{
+    AcceleratorConfig cfg = caseStudyConfig();
+    const AreaBreakdown a4 =
+        chipletArea(cfg, defaultTech(), 16_KB);
+    cfg.package.chiplets = 1; // same per-chiplet resources
+    const AreaBreakdown a1 =
+        chipletArea(cfg, defaultTech(), 16_KB);
+    // MACs per chiplet unchanged -> identical chiplet area.
+    EXPECT_DOUBLE_EQ(a4.macs, a1.macs);
+}
+
+TEST(ChipletArea, DoubleBufferedL1Counted)
+{
+    // A-L1/W-L1 are double SRAMs: doubling the core count must add
+    // exactly 2 * (al1 + wl1) SRAM macros per extra core.
+    AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &t = defaultTech();
+    const double sram8 = chipletArea(cfg, t, 16_KB).sram;
+    cfg.chiplet.cores = 9;
+    const double sram9 = chipletArea(cfg, t, 16_KB).sram;
+    const double delta = 2 * t.sramAreaMm2(cfg.core.al1Bytes) +
+                         2 * t.sramAreaMm2(cfg.core.wl1Bytes);
+    EXPECT_NEAR(sram9 - sram8, delta, 1e-9);
+}
+
+TEST(ChipletArea, CaseStudyFitsTwoMm2)
+{
+    // Figure 14: the 4-chiplet 512-MAC chiplet meets the 2 mm^2
+    // budget (with the case-study buffer sizes).
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const AreaBreakdown a =
+        chipletArea(cfg, defaultTech(), defaultOl2Bytes(cfg));
+    EXPECT_LT(a.total(), 2.0);
+}
+
+TEST(AcceleratorConfigDeath, RejectsBadShapes)
+{
+    AcceleratorConfig cfg = caseStudyConfig();
+    cfg.package.chiplets = 16; // beyond the 1-8 ring range
+    EXPECT_DEATH(cfg.validate(), "ring");
+    cfg = caseStudyConfig();
+    cfg.core.lanes = 0;
+    EXPECT_DEATH(cfg.validate(), "positive");
+    cfg = caseStudyConfig();
+    cfg.core.wl1Bytes = 0;
+    EXPECT_DEATH(cfg.validate(), "buffer");
+}
+
+TEST(DefaultOl2Bytes, PositiveAndScalesWithCores)
+{
+    AcceleratorConfig cfg = caseStudyConfig();
+    const int64_t b8 = defaultOl2Bytes(cfg);
+    cfg.chiplet.cores = 16;
+    const int64_t b16 = defaultOl2Bytes(cfg);
+    EXPECT_GT(b8, 0);
+    EXPECT_EQ(b16, 2 * b8);
+}

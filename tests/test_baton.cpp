@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the NN-Baton facade: post-design and pre-design flows and
+ * the Simba comparison entry point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baton/baton.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+Model
+miniModel()
+{
+    Model m("mini", 64);
+    m.addLayer(makeConv("a", 32, 32, 128, 64, 3, 3, 1));
+    m.addLayer(makeConv("b", 16, 16, 256, 128, 1, 1, 1));
+    return m;
+}
+
+} // namespace
+
+TEST(PostDesignFlow, ProducesPerLayerMappings)
+{
+    PostDesignFlow flow(caseStudyConfig(), defaultTech(),
+                        SearchEffort::Fast);
+    const PostDesignReport r = flow.run(miniModel());
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.modelName, "mini");
+    ASSERT_EQ(r.mappings.size(), 2u);
+    EXPECT_GT(r.cost.energy.total(), 0.0);
+    const std::string s = r.toString();
+    EXPECT_NE(s.find("Layer"), std::string::npos);
+    EXPECT_NE(s.find("model total"), std::string::npos);
+}
+
+TEST(PostDesignFlow, RunLayerMatchesSearch)
+{
+    PostDesignFlow flow(caseStudyConfig());
+    const ConvLayer l = makeConv("x", 28, 28, 256, 128, 3, 3, 1);
+    const auto a = flow.runLayer(l);
+    const auto b = searchLayer(l, caseStudyConfig(), defaultTech());
+    ASSERT_TRUE(a && b);
+    EXPECT_DOUBLE_EQ(a->energy.total(), b->energy.total());
+}
+
+TEST(PostDesignFlow, ConfigAccessor)
+{
+    PostDesignFlow flow(caseStudyConfig());
+    EXPECT_EQ(flow.config().computeId(), "4-8-8-8");
+}
+
+TEST(PreDesignFlow, RecommendsAValidDesign)
+{
+    DseOptions opt;
+    opt.totalMacs = 2048;
+    opt.proportionalMem = true;
+    opt.effort = SearchEffort::Fast;
+    opt.areaLimitMm2 = 2.0;
+    PreDesignFlow flow(opt);
+    const PreDesignReport r = flow.run(miniModel());
+    ASSERT_TRUE(r.recommended.has_value());
+    EXPECT_GT(r.recommended->compute.chiplets, 1);
+    const std::string s = r.toString();
+    EXPECT_NE(s.find("recommended"), std::string::npos);
+    EXPECT_NE(s.find("valid"), std::string::npos);
+}
+
+TEST(PreDesignFlow, NoDesignUnderImpossibleArea)
+{
+    DseOptions opt;
+    opt.totalMacs = 2048;
+    opt.proportionalMem = true;
+    opt.effort = SearchEffort::Fast;
+    opt.areaLimitMm2 = 0.1; // below even the PHY macros
+    PreDesignFlow flow(opt);
+    const PreDesignReport r = flow.run(miniModel());
+    EXPECT_FALSE(r.recommended.has_value());
+    EXPECT_NE(r.toString().find("no valid design"), std::string::npos);
+}
+
+TEST(CompareWithSimba, ReportsBothTools)
+{
+    const ComparisonReport r =
+        compareWithSimba(miniModel(), caseStudyConfig());
+    EXPECT_EQ(r.modelName, "mini");
+    EXPECT_GT(r.batonEnergy.total(), 0.0);
+    EXPECT_GT(r.simbaEnergy.total(), 0.0);
+    // savings = 1 - baton/simba by definition.
+    EXPECT_NEAR(r.savings(),
+                1.0 - r.batonEnergy.total() / r.simbaEnergy.total(),
+                1e-12);
+}

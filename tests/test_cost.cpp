@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the energy model and the cost ledger.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/energy.hpp"
+#include "cost/ledger.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+AccessCounts
+unitCounts()
+{
+    AccessCounts c;
+    c.dramReadActBits = 700;
+    c.dramReadWeightBits = 300;
+    c.dramWriteBits = 500;
+    c.d2dBits = 2000;
+    c.nocBits = 100;
+    c.al2ReadBits = 10;
+    c.al2WriteBits = 20;
+    c.al1ReadBits = 30;
+    c.al1WriteBits = 40;
+    c.wl1ReadBits = 50;
+    c.wl1WriteBits = 60;
+    c.ol1RmwBits = 70;
+    c.ol1ReadBits = 80;
+    c.ol2ReadBits = 90;
+    c.ol2WriteBits = 100;
+    c.macOps = 1000;
+    c.ol2Bytes = 4096;
+    return c;
+}
+
+} // namespace
+
+TEST(ComputeEnergy, ComponentsFollowTechModel)
+{
+    const AccessCounts c = unitCounts();
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &t = defaultTech();
+    const EnergyBreakdown e = computeEnergy(c, cfg, t);
+
+    EXPECT_DOUBLE_EQ(e.dram, 1500 * t.dramEnergyPerBit);
+    EXPECT_DOUBLE_EQ(e.d2d, 2000 * t.d2dEnergyPerBit);
+    EXPECT_DOUBLE_EQ(e.noc, 100 * t.nocEnergyPerBit);
+    EXPECT_DOUBLE_EQ(e.al2,
+                     30 * t.sramEnergyPerBit(cfg.chiplet.al2Bytes));
+    EXPECT_DOUBLE_EQ(e.al1,
+                     70 * t.sramEnergyPerBit(cfg.core.al1Bytes));
+    EXPECT_DOUBLE_EQ(e.wl1,
+                     110 * t.sramEnergyPerBit(cfg.core.wl1Bytes));
+    EXPECT_DOUBLE_EQ(e.ol1, 150 * t.rfEnergyPerBitRmw);
+    EXPECT_DOUBLE_EQ(e.ol2, 190 * t.sramEnergyPerBit(4096));
+    EXPECT_DOUBLE_EQ(e.mac, 1000 * t.macEnergyPerOp);
+    EXPECT_NEAR(e.total(),
+                e.dram + e.d2d + e.noc + e.al2 + e.al1 + e.wl1 + e.ol1 +
+                    e.ol2 + e.mac,
+                1e-9);
+}
+
+TEST(ComputeEnergy, TinyOl2ClampedToMinimumMacro)
+{
+    AccessCounts c = unitCounts();
+    c.ol2Bytes = 8; // smaller than any real SRAM macro
+    const EnergyBreakdown e =
+        computeEnergy(c, caseStudyConfig(), defaultTech());
+    EXPECT_DOUBLE_EQ(e.ol2,
+                     190 * defaultTech().sramEnergyPerBit(1024));
+}
+
+TEST(EnergyBreakdown, AccumulateAndScale)
+{
+    EnergyBreakdown a;
+    a.dram = 10;
+    a.mac = 5;
+    EnergyBreakdown b;
+    b.dram = 1;
+    b.d2d = 2;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.dram, 11);
+    EXPECT_DOUBLE_EQ(a.d2d, 2);
+    EXPECT_DOUBLE_EQ(a.total(), 18);
+    const EnergyBreakdown s = a * 2.0;
+    EXPECT_DOUBLE_EQ(s.total(), 36);
+    EXPECT_DOUBLE_EQ(s.mac, 10);
+}
+
+TEST(EnergyBreakdown, SramAggregate)
+{
+    EnergyBreakdown e;
+    e.al2 = 1;
+    e.al1 = 2;
+    e.wl1 = 3;
+    e.ol2 = 4;
+    e.ol1 = 100; // RF is not SRAM
+    EXPECT_DOUBLE_EQ(e.sram(), 10);
+}
+
+TEST(EnergyBreakdown, ToStringHasTotals)
+{
+    EnergyBreakdown e;
+    e.dram = 2e9; // 2 mJ
+    const std::string s = e.toString();
+    EXPECT_NE(s.find("total 2.0000 mJ"), std::string::npos);
+}
+
+TEST(AccessCounts, DramBitsAndToString)
+{
+    const AccessCounts c = unitCounts();
+    EXPECT_EQ(c.dramBits(), 1500);
+    EXPECT_NE(c.toString().find("macs 1000"), std::string::npos);
+}
+
+TEST(ModelCost, AddAggregates)
+{
+    ModelCost mc;
+    mc.modelName = "m";
+    LayerCost a;
+    a.layerName = "l1";
+    a.energy.dram = 1e9;
+    a.cycles = 1000;
+    LayerCost b;
+    b.layerName = "l2";
+    b.energy.mac = 2e9;
+    b.cycles = 500;
+    mc.add(a);
+    mc.add(b);
+    EXPECT_EQ(mc.cycles, 1500);
+    EXPECT_DOUBLE_EQ(mc.energy.total(), 3e9);
+    EXPECT_EQ(mc.layers.size(), 2u);
+    EXPECT_DOUBLE_EQ(mc.energyMj(), 3.0);
+    // 1500 cycles at 0.5 GHz = 3 us = 0.003 ms.
+    EXPECT_DOUBLE_EQ(mc.runtimeMs(0.5), 0.003);
+    EXPECT_DOUBLE_EQ(mc.edp(), 3e9 * 1500);
+}
+
+TEST(LayerCost, Edp)
+{
+    LayerCost lc;
+    lc.energy.dram = 10;
+    lc.cycles = 7;
+    EXPECT_DOUBLE_EQ(lc.edp(), 70);
+}

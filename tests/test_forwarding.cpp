@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the inter-layer on-chip forwarding extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baton/forwarding.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+PostDesignReport
+runPost(const Model &m)
+{
+    PostDesignFlow flow(caseStudyConfig(), defaultTech(),
+                        SearchEffort::Fast);
+    return flow.run(m);
+}
+
+} // namespace
+
+TEST(Forwarding, SmallSequentialModelForwardsEverything)
+{
+    Model m("seq", 64);
+    // 16x16x64 outputs = 16 KB, far below 4 x 64 KB A-L2.
+    m.addLayer(makeConv("a", 16, 16, 64, 16, 3, 3, 1));
+    m.addLayer(makeConv("b", 16, 16, 64, 64, 3, 3, 1));
+    m.addLayer(makeConv("c", 16, 16, 128, 64, 1, 1, 1));
+    const PostDesignReport report = runPost(m);
+    const ForwardingReport f = analyzeForwarding(m, report);
+    ASSERT_EQ(f.boundaries.size(), 2u);
+    EXPECT_TRUE(f.boundaries[0].forwardable);
+    EXPECT_TRUE(f.boundaries[1].forwardable);
+    EXPECT_EQ(f.forwardedCount(), 2);
+    EXPECT_LT(f.forwardedEnergyPj, f.baselineEnergyPj);
+    EXPECT_GT(f.savings(), 0.0);
+    EXPECT_LT(f.savings(), 1.0);
+}
+
+TEST(Forwarding, OversizedTensorIsNotForwardable)
+{
+    Model m("big", 512);
+    // 256x256x64 outputs = 4 MB >> 256 KB on-chip A-L2.
+    m.addLayer(makeConv("a", 256, 256, 64, 3, 3, 3, 1));
+    m.addLayer(makeConv("b", 256, 256, 64, 64, 3, 3, 1));
+    const PostDesignReport report = runPost(m);
+    const ForwardingReport f = analyzeForwarding(m, report);
+    ASSERT_EQ(f.boundaries.size(), 1u);
+    EXPECT_FALSE(f.boundaries[0].forwardable);
+    EXPECT_DOUBLE_EQ(f.forwardedEnergyPj, f.baselineEnergyPj);
+    EXPECT_DOUBLE_EQ(f.savings(), 0.0);
+}
+
+TEST(Forwarding, ChannelMismatchIsNotSequential)
+{
+    Model m("branch", 64);
+    m.addLayer(makeConv("a", 16, 16, 64, 16, 3, 3, 1));
+    // Consumer reads 256 channels: not the producer's output alone
+    // (e.g. a concatenated residual input).
+    m.addLayer(makeConv("b", 16, 16, 64, 256, 1, 1, 1));
+    const PostDesignReport report = runPost(m);
+    const ForwardingReport f = analyzeForwarding(m, report);
+    ASSERT_EQ(f.boundaries.size(), 1u);
+    EXPECT_FALSE(f.boundaries[0].forwardable);
+}
+
+TEST(Forwarding, SavingsBoundedByDramShare)
+{
+    // Forwarding can never save more than the model's total DRAM
+    // energy share.
+    Model m("seq", 64);
+    m.addLayer(makeConv("a", 16, 16, 64, 16, 3, 3, 1));
+    m.addLayer(makeConv("b", 16, 16, 64, 64, 3, 3, 1));
+    const PostDesignReport report = runPost(m);
+    const ForwardingReport f = analyzeForwarding(m, report);
+    EXPECT_LE(f.baselineEnergyPj - f.forwardedEnergyPj,
+              report.cost.energy.dram + 1e-6);
+}
+
+TEST(Forwarding, DarkNetForwardsMidLayersAt224)
+{
+    // DarkNet-19 at 224 is sequential; its mid/late tensors fit the
+    // 256 KB package A-L2 while the early planes do not.
+    const Model m = makeDarkNet19(224);
+    const PostDesignReport report = runPost(m);
+    const ForwardingReport f = analyzeForwarding(m, report);
+    EXPECT_GT(f.forwardedCount(), 4);
+    EXPECT_LT(f.forwardedCount(),
+              static_cast<int>(f.boundaries.size()));
+    EXPECT_GT(f.savings(), 0.0);
+}
+
+TEST(ForwardingDeath, MismatchedReportIsFatal)
+{
+    Model a("a", 64);
+    a.addLayer(makeConv("x", 16, 16, 64, 16, 3, 3, 1));
+    Model b("b", 64);
+    b.addLayer(makeConv("x", 16, 16, 64, 16, 3, 3, 1));
+    b.addLayer(makeConv("y", 16, 16, 64, 64, 3, 3, 1));
+    const PostDesignReport report = runPost(a);
+    EXPECT_DEATH(analyzeForwarding(b, report), "does not match");
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the JSON writer and the flow export functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baton/baton.hpp"
+#include "baton/export.hpp"
+#include "common/json.hpp"
+
+using namespace nnbaton;
+
+TEST(JsonWriter, ObjectWithFields)
+{
+    std::ostringstream ss;
+    JsonWriter j(ss);
+    j.beginObject();
+    j.field("a", 1);
+    j.field("b", "x");
+    j.field("c", true);
+    j.endObject();
+    EXPECT_EQ(ss.str(), R"({"a":1,"b":"x","c":true})");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects)
+{
+    std::ostringstream ss;
+    JsonWriter j(ss);
+    j.beginObject();
+    j.key("list").beginArray();
+    j.value(1).value(2);
+    j.beginObject().field("k", 3).endObject();
+    j.endArray();
+    j.endObject();
+    EXPECT_EQ(ss.str(), R"({"list":[1,2,{"k":3}]})");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    std::ostringstream ss;
+    JsonWriter j(ss);
+    j.beginObject();
+    j.field("s", "a\"b\\c\nd");
+    j.endObject();
+    EXPECT_EQ(ss.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, Doubles)
+{
+    std::ostringstream ss;
+    JsonWriter j(ss);
+    j.beginArray();
+    j.value(1.5);
+    j.value(0.0);
+    j.value(std::numeric_limits<double>::infinity()); // -> null
+    j.endArray();
+    EXPECT_EQ(ss.str(), "[1.5,0,null]");
+}
+
+TEST(JsonWriter, TopLevelValueSequenceInArray)
+{
+    std::ostringstream ss;
+    JsonWriter j(ss);
+    j.beginArray().value("x").value(static_cast<int64_t>(-7)).endArray();
+    EXPECT_EQ(ss.str(), R"(["x",-7])");
+}
+
+namespace {
+
+/** Very small JSON structural validator: balanced braces/brackets
+ *  outside strings, non-empty. */
+bool
+structurallyValid(const std::string &s)
+{
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : s) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string && !s.empty();
+}
+
+} // namespace
+
+TEST(Export, PostDesignJsonIsStructured)
+{
+    Model m("mini", 64);
+    m.addLayer(makeConv("a", 32, 32, 128, 64, 3, 3, 1));
+    PostDesignFlow flow(caseStudyConfig(), defaultTech(),
+                        SearchEffort::Fast);
+    const PostDesignReport report = flow.run(m);
+
+    std::ostringstream ss;
+    exportPostDesign(report, ss);
+    const std::string out = ss.str();
+    EXPECT_TRUE(structurallyValid(out)) << out;
+    EXPECT_NE(out.find("\"model\":\"mini\""), std::string::npos);
+    EXPECT_NE(out.find("\"layers\":["), std::string::npos);
+    EXPECT_NE(out.find("\"spatial\""), std::string::npos);
+    EXPECT_NE(out.find("\"temporal\""), std::string::npos);
+    EXPECT_NE(out.find("\"chipletTile\""), std::string::npos);
+}
+
+TEST(Export, PreDesignJsonCarriesPoints)
+{
+    Model m("mini", 64);
+    m.addLayer(makeConv("a", 32, 32, 128, 64, 3, 3, 1));
+    DseOptions opt;
+    opt.totalMacs = 2048;
+    opt.proportionalMem = true;
+    opt.effort = SearchEffort::Sketch;
+    PreDesignFlow flow(opt);
+    const PreDesignReport report = flow.run(m);
+
+    std::ostringstream ss;
+    exportPreDesign(report, ss);
+    const std::string out = ss.str();
+    EXPECT_TRUE(structurallyValid(out));
+    EXPECT_NE(out.find("\"points\":["), std::string::npos);
+    EXPECT_NE(out.find("\"recommended\""), std::string::npos);
+    EXPECT_NE(out.find("\"chipletAreaMm2\""), std::string::npos);
+}
+
+TEST(Export, MappingJsonStandsAlone)
+{
+    Mapping m;
+    m.pkgSpatial = PackagePartition::Plane;
+    m.pkgSplit = {2, 2};
+    m.chipSpatial = ChipletPartition::Hybrid;
+    m.chipChannelWays = 2;
+    m.chipSplit = {2, 2};
+    m.chipletTile = {16, 16, 64};
+    m.hoC = 8;
+    m.woC = 8;
+    std::ostringstream ss;
+    exportMapping(m, ss);
+    const std::string out = ss.str();
+    EXPECT_TRUE(structurallyValid(out));
+    EXPECT_NE(out.find("\"package\":\"P\""), std::string::npos);
+    EXPECT_NE(out.find("\"chiplet\":\"H\""), std::string::npos);
+    EXPECT_NE(out.find("\"packagePattern\":\"2:2\""),
+              std::string::npos);
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the loop-nest IR: span accumulation, trip products and
+ * the nest lowering from mappings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/loopnest.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+LoopNest
+simpleNest()
+{
+    // OC:4 | OH:3 | IC:2 over an atom of co=8, ci=8.
+    LoopNest n;
+    n.loops = {{Dim::OC, 4}, {Dim::OH, 3}, {Dim::IC, 2}};
+    n.atom = TileSpan{};
+    n.atom.co = 8;
+    n.atom.ci = 8;
+    return n;
+}
+
+} // namespace
+
+TEST(TileSpan, DimAccess)
+{
+    TileSpan s;
+    s.at(Dim::OH) = 7;
+    s.at(Dim::KW) = 3;
+    EXPECT_EQ(s.ho, 7);
+    EXPECT_EQ(s.kw, 3);
+    const TileSpan &c = s;
+    EXPECT_EQ(c.at(Dim::OH), 7);
+}
+
+TEST(LoopNest, SpanBelowAccumulates)
+{
+    const LoopNest n = simpleNest();
+    // Below everything (atom).
+    EXPECT_EQ(n.spanBelow(3).co, 8);
+    EXPECT_EQ(n.spanBelow(3).ci, 8);
+    // Above IC loop: ci doubles.
+    EXPECT_EQ(n.spanBelow(2).ci, 16);
+    EXPECT_EQ(n.spanBelow(2).co, 8);
+    // Above OH loop: ho = 3.
+    EXPECT_EQ(n.spanBelow(1).ho, 3);
+    // Above OC loop: co = 32.
+    EXPECT_EQ(n.spanBelow(0).co, 32);
+    EXPECT_EQ(n.spanBelow(0).ci, 16);
+}
+
+TEST(LoopNest, TripsAbove)
+{
+    const LoopNest n = simpleNest();
+    EXPECT_EQ(n.tripsAbove(0), 1);
+    EXPECT_EQ(n.tripsAbove(1), 4);
+    EXPECT_EQ(n.tripsAbove(2), 12);
+    EXPECT_EQ(n.tripsAbove(3), 24);
+    EXPECT_EQ(n.totalTrips(), 24);
+}
+
+TEST(LoopNest, ToStringMentionsLoops)
+{
+    const std::string s = simpleNest().toString();
+    EXPECT_NE(s.find("OC:4"), std::string::npos);
+    EXPECT_NE(s.find("IC:2"), std::string::npos);
+}
+
+TEST(BuildNests, PerCoreStructure)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    Mapping m;
+    m.pkgSpatial = PackagePartition::Channel;
+    m.chipSpatial = ChipletPartition::Channel;
+    m.chipChannelWays = 8;
+    m.chipletTile = {16, 16, 64};
+    m.hoC = 8;
+    m.woC = 8;
+    m.pkgOrder = LoopOrder::ChannelPriority;
+    m.chipOrder = LoopOrder::PlanePriority;
+    const auto shapes = deriveShapes(layer, cfg, m);
+    const NestSet nests = buildNests(layer, cfg, m, shapes);
+
+    // Whole-nest spans must reconstruct the per-core workload: the
+    // 56-wide plane rounds up to 64 under the uniform-tile model
+    // (4 package trips x 2 chiplet trips x 8-wide core tiles).
+    const TileSpan top = nests.perCore.spanBelow(0);
+    EXPECT_EQ(top.ho, 64);
+    EXPECT_EQ(top.wo, 64);
+    EXPECT_EQ(top.co, 8);
+    EXPECT_EQ(top.ci, 128);
+    EXPECT_EQ(top.kh, 3);
+    EXPECT_EQ(top.kw, 3);
+
+    // The atom carries the spatial parallelism: L lanes, P vector.
+    EXPECT_EQ(nests.perCore.atom.co, 8);
+    EXPECT_EQ(nests.perCore.atom.ci, 8);
+
+    // Core loops end ... KH, KW are present, output plane inner.
+    const auto &loops = nests.perCore.loops;
+    ASSERT_GE(loops.size(), 4u);
+    EXPECT_EQ(loops.back().dim, Dim::OW);
+    EXPECT_EQ(loops[loops.size() - 2].dim, Dim::OH);
+}
+
+TEST(BuildNests, PerChipletStructure)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    Mapping m;
+    m.pkgSpatial = PackagePartition::Channel;
+    m.chipSpatial = ChipletPartition::Channel;
+    m.chipChannelWays = 8;
+    m.chipletTile = {16, 16, 64};
+    m.hoC = 8;
+    m.woC = 8;
+    const auto shapes = deriveShapes(layer, cfg, m);
+    const NestSet nests = buildNests(layer, cfg, m, shapes);
+
+    // Atom is one chiplet tile with full ci/kernel.
+    EXPECT_EQ(nests.perChiplet.atom.ho, 16);
+    EXPECT_EQ(nests.perChiplet.atom.wo, 16);
+    EXPECT_EQ(nests.perChiplet.atom.co, 64);
+    EXPECT_EQ(nests.perChiplet.atom.ci, 128);
+    // Top span covers the chiplet macro workload.
+    const TileSpan top = nests.perChiplet.spanBelow(0);
+    EXPECT_EQ(top.ho, 64); // 4 trips x 16 (ceil of 56)
+    EXPECT_EQ(top.co, 64);
+}
+
+TEST(BuildNests, TemporalOrderControlsLoopPlacement)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const ConvLayer layer = makeConv("t", 64, 64, 512, 64, 1, 1, 1);
+    Mapping m;
+    m.pkgSpatial = PackagePartition::Channel;
+    m.chipSpatial = ChipletPartition::Channel;
+    m.chipChannelWays = 8;
+    m.chipletTile = {16, 16, 64};
+    m.hoC = 8;
+    m.woC = 8;
+
+    m.pkgOrder = LoopOrder::ChannelPriority;
+    auto nests = buildNests(layer, cfg, m, deriveShapes(layer, cfg, m));
+    // Channel-priority: the OC trip is the innermost package loop.
+    Dim first_pkg_c = Dim::OH;
+    for (const auto &l : nests.perChiplet.loops)
+        first_pkg_c = l.dim; // last loop
+    EXPECT_EQ(first_pkg_c, Dim::OC);
+
+    m.pkgOrder = LoopOrder::PlanePriority;
+    nests = buildNests(layer, cfg, m, deriveShapes(layer, cfg, m));
+    EXPECT_EQ(nests.perChiplet.loops.front().dim, Dim::OC);
+}
+
+TEST(BuildNests, UnitTripsAreElided)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    // Point-wise layer: no KH/KW loops; single chiplet tile.
+    const ConvLayer layer = makeConv("t", 8, 8, 64, 64, 1, 1, 1);
+    Mapping m;
+    m.pkgSpatial = PackagePartition::Channel;
+    m.chipSpatial = ChipletPartition::Channel;
+    m.chipChannelWays = 8;
+    m.chipletTile = {8, 8, 16};
+    m.hoC = 8;
+    m.woC = 8;
+    const auto nests =
+        buildNests(layer, cfg, m, deriveShapes(layer, cfg, m));
+    for (const auto &l : nests.perCore.loops) {
+        EXPECT_GT(l.trips, 1);
+        EXPECT_NE(l.dim, Dim::KH);
+        EXPECT_NE(l.dim, Dim::KW);
+    }
+}
+
+TEST(Dim, ToStringCoversAll)
+{
+    EXPECT_STREQ(toString(Dim::OH), "OH");
+    EXPECT_STREQ(toString(Dim::OW), "OW");
+    EXPECT_STREQ(toString(Dim::OC), "OC");
+    EXPECT_STREQ(toString(Dim::IC), "IC");
+    EXPECT_STREQ(toString(Dim::KH), "KH");
+    EXPECT_STREQ(toString(Dim::KW), "KW");
+}

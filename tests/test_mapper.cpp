@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for candidate enumeration, the per-layer mapping search and
+ * the whole-model post-design flow, plus the access-accounting
+ * invariants the search relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "c3p/access.hpp"
+#include "mapper/candidates.hpp"
+#include "mapper/search.hpp"
+#include "nn/model.hpp"
+
+using namespace nnbaton;
+
+TEST(Candidates, AllLegalAndCoverSpatialCombos)
+{
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const auto cands =
+        enumerateCandidates(layer, cfg, SearchEffort::Exhaustive);
+    ASSERT_FALSE(cands.empty());
+
+    std::set<std::string> combos;
+    for (const Mapping &m : cands) {
+        EXPECT_EQ(checkMapping(layer, cfg, m), "") << m.toString();
+        combos.insert(m.spatialLabel());
+    }
+    // All six spatial combinations appear for a wide, large layer.
+    EXPECT_EQ(combos.size(), 6u) << "got only " << combos.size();
+}
+
+TEST(Candidates, PaperCaseDropsUnderfilledLanes)
+{
+    // Paper figure 11 removes (C,C) for conv layers with small output
+    // channels: a 64-channel layer split 4 x 8 ways leaves 2 channels
+    // per core against 8 lanes.
+    const ConvLayer conv1 = makeConv("c", 224, 224, 64, 3, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const auto cands =
+        enumerateCandidates(conv1, cfg, SearchEffort::Exhaustive);
+    for (const Mapping &m : cands) {
+        EXPECT_NE(m.spatialLabel(), "(C,C)") << m.toString();
+    }
+}
+
+TEST(Candidates, FallbackWhenNothingFillsLanes)
+{
+    // A 4-channel layer cannot fill 8 lanes under any partition, so
+    // the degraded candidates must be returned instead of nothing.
+    const ConvLayer narrow = makeConv("n", 56, 56, 4, 64, 3, 3, 1);
+    const auto cands = enumerateCandidates(narrow, caseStudyConfig(),
+                                           SearchEffort::Exhaustive);
+    EXPECT_FALSE(cands.empty());
+}
+
+TEST(Candidates, FastEffortIsSubsetSized)
+{
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const auto fast =
+        enumerateCandidates(layer, cfg, SearchEffort::Fast);
+    const auto full =
+        enumerateCandidates(layer, cfg, SearchEffort::Exhaustive);
+    EXPECT_FALSE(fast.empty());
+    EXPECT_LT(fast.size(), full.size());
+}
+
+TEST(Candidates, FilteredEnumerationRespectsCombo)
+{
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    const auto cands = enumerateCandidatesFor(
+        layer, caseStudyConfig(), SearchEffort::Exhaustive,
+        PackagePartition::Plane, ChipletPartition::Hybrid);
+    ASSERT_FALSE(cands.empty());
+    for (const Mapping &m : cands)
+        EXPECT_EQ(m.spatialLabel(), "(P,H)");
+}
+
+TEST(AccessCounts, OutputTrafficIsExact)
+{
+    // Output-centric dataflow: every output crosses O-L2 and DRAM
+    // exactly once at 8 bits, independent of the mapping.
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    for (const Mapping &m :
+         enumerateCandidates(layer, cfg, SearchEffort::Fast)) {
+        const auto a = analyzeMapping(layer, cfg, m);
+        EXPECT_EQ(a.counts.dramWriteBits, layer.outputVolume() * 8);
+        EXPECT_EQ(a.counts.ol2WriteBits, layer.outputVolume() * 8);
+        EXPECT_EQ(a.counts.macOps, layer.macs());
+    }
+}
+
+TEST(AccessCounts, DramReadsCoverColdTensors)
+{
+    // DRAM reads can never be below one cold pass over weights plus
+    // the package's unique activation demand.
+    const ConvLayer layer = makeConv("t", 28, 28, 512, 256, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    for (const Mapping &m :
+         enumerateCandidates(layer, cfg, SearchEffort::Fast)) {
+        const auto a = analyzeMapping(layer, cfg, m);
+        EXPECT_GE(a.counts.dramReadBits(), layer.weightVolume() * 8)
+            << m.toString();
+    }
+}
+
+TEST(AccessCounts, RotationSharingSplitsDramAndD2d)
+{
+    // C-type package split shares activations: the ring must carry
+    // (Np-1) copies of the A-L2 fill stream.
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    Mapping m;
+    m.pkgSpatial = PackagePartition::Channel;
+    m.chipSpatial = ChipletPartition::Channel;
+    m.chipChannelWays = 8;
+    m.chipletTile = {16, 16, 64};
+    m.hoC = 8;
+    m.woC = 8;
+    const auto a = analyzeMapping(layer, cfg, m);
+    EXPECT_EQ(a.counts.d2dBits % 3, 0); // (Np-1) = 3 copies
+    EXPECT_GT(a.counts.d2dBits, 0);
+    // Same mapping on a single chiplet has no D2D at all.
+    AcceleratorConfig one = cfg;
+    one.package.chiplets = 1;
+    Mapping m1 = m;
+    m1.chipletTile.co = 256;
+    const auto a1 = analyzeMapping(layer, one, m1);
+    EXPECT_EQ(a1.counts.d2dBits, 0);
+}
+
+TEST(SearchLayer, FindsMappingForAllRepresentativeLayers)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const RepresentativeLayers reps = representativeLayers(224);
+    for (const ConvLayer *l :
+         {&reps.activationIntensive, &reps.weightIntensive,
+          &reps.largeKernel, &reps.pointWise, &reps.common}) {
+        const auto best = searchLayer(*l, cfg, defaultTech());
+        ASSERT_TRUE(best.has_value()) << l->name;
+        EXPECT_GT(best->energy.total(), 0.0);
+        EXPECT_GT(best->runtime.cycles, 0);
+    }
+}
+
+TEST(SearchLayer, BestBeatsEveryFastCandidate)
+{
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const auto best = searchLayer(layer, cfg, defaultTech());
+    ASSERT_TRUE(best.has_value());
+    for (const Mapping &m :
+         enumerateCandidates(layer, cfg, SearchEffort::Fast)) {
+        const auto c = evaluateMapping(layer, cfg, defaultTech(), m);
+        EXPECT_LE(best->energy.total(), c.energy.total() + 1e-6)
+            << m.toString();
+    }
+}
+
+TEST(SearchLayer, EdpObjectiveNeverWorseEdp)
+{
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const auto e = searchLayer(layer, cfg, defaultTech(),
+                               SearchEffort::Exhaustive,
+                               Objective::MinEnergy);
+    const auto d = searchLayer(layer, cfg, defaultTech(),
+                               SearchEffort::Exhaustive,
+                               Objective::MinEdp);
+    ASSERT_TRUE(e && d);
+    EXPECT_LE(d->edp(), e->edp() + 1e-6);
+    EXPECT_LE(e->energy.total(), d->energy.total() + 1e-6);
+}
+
+TEST(SearchLayerWithSpatial, RespectsRestriction)
+{
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    const auto r = searchLayerWithSpatial(
+        layer, caseStudyConfig(), defaultTech(),
+        PackagePartition::Channel, ChipletPartition::Plane);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->mapping.spatialLabel(), "(C,P)");
+}
+
+TEST(MapModel, CoversAllLayersAndDedupsShapes)
+{
+    const Model model = makeResNet50(224);
+    const auto r = mapModel(model, caseStudyConfig(), defaultTech(),
+                            SearchEffort::Fast);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.choices.size(), model.layers().size());
+    EXPECT_EQ(r.cost.layers.size(), model.layers().size());
+    EXPECT_GT(r.cost.energy.total(), 0.0);
+    EXPECT_GT(r.cost.cycles, 0);
+    // Identical repeated blocks must produce identical choices.
+    const auto &l = model.layers();
+    for (size_t i = 0; i + 3 < l.size(); ++i) {
+        for (size_t j = i + 1; j < l.size(); ++j) {
+            if (l[i].ho == l[j].ho && l[i].wo == l[j].wo &&
+                l[i].co == l[j].co && l[i].ci == l[j].ci &&
+                l[i].kh == l[j].kh && l[i].stride == l[j].stride) {
+                EXPECT_EQ(r.cost.layers[i].energy.total(),
+                          r.cost.layers[j].energy.total());
+            }
+        }
+    }
+}
+
+TEST(MapModel, LayerwiseStrategiesDiffer)
+{
+    // Paper section VI-A.1: NN-Baton picks distinct mapping
+    // strategies layer-wise; a model with diverse layers must not end
+    // up with a single spatial combo everywhere.
+    const Model model = makeVgg16(224);
+    const auto r = mapModel(model, caseStudyConfig(), defaultTech(),
+                            SearchEffort::Fast);
+    std::set<std::string> combos;
+    for (const auto &c : r.choices)
+        combos.insert(c.mapping.spatialLabel());
+    EXPECT_GT(combos.size(), 1u);
+}
+
+TEST(AnalysisOptions, DisablingMechanismsNeverReducesEnergy)
+{
+    // Ablation invariants: each dataflow mechanism can only help (or
+    // be neutral) for the mapping chosen with everything enabled.
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const ConvLayer layers[] = {
+        makeConv("wide", 28, 28, 512, 256, 3, 3, 1),
+        makeConv("planar", 112, 112, 64, 32, 3, 3, 1),
+    };
+    for (const ConvLayer &layer : layers) {
+        const auto best = searchLayer(layer, cfg, defaultTech());
+        ASSERT_TRUE(best.has_value());
+        const double full = best->energy.total();
+        for (int knob = 0; knob < 3; ++knob) {
+            AnalysisOptions o;
+            if (knob == 0)
+                o.rotationSharing = false;
+            else if (knob == 1)
+                o.wl1Pooling = false;
+            else
+                o.al2Multicast = false;
+            const auto ablated = evaluateMapping(
+                layer, cfg, defaultTech(), best->mapping, o);
+            EXPECT_GE(ablated.energy.total(), full - 1e-6)
+                << layer.name << " knob " << knob;
+        }
+    }
+}
+
+TEST(AnalysisOptions, RotationOffMovesTrafficToDram)
+{
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    Mapping m;
+    m.pkgSpatial = PackagePartition::Channel; // activations shared
+    m.chipSpatial = ChipletPartition::Channel;
+    m.chipChannelWays = 8;
+    m.chipletTile = {16, 16, 64};
+    m.hoC = 8;
+    m.woC = 8;
+    const auto with = analyzeMapping(layer, cfg, m);
+    AnalysisOptions off;
+    off.rotationSharing = false;
+    const auto without = analyzeMapping(layer, cfg, m, off);
+    EXPECT_GT(with.counts.d2dBits, 0);
+    EXPECT_EQ(without.counts.d2dBits, 0);
+    EXPECT_GT(without.counts.dramReadBits(), with.counts.dramReadBits());
+}
+
+TEST(MapModel, MobileNetV2DepthwiseFeasible)
+{
+    // The depthwise extension must map end to end.
+    const Model model = makeMobileNetV2(224);
+    const auto r = mapModel(model, caseStudyConfig(), defaultTech(),
+                            SearchEffort::Fast);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.choices.size(), model.layers().size());
+}
+
+TEST(SearchLayer, DepthwiseActivationFootprintFollowsLanes)
+{
+    // For a depthwise layer the activation traffic tracks the output
+    // channels; a sanity check that the analysis wires OC relevance.
+    const ConvLayer dw = makeDepthwiseConv("dw", 56, 56, 144, 3, 1);
+    const auto best =
+        searchLayer(dw, caseStudyConfig(), defaultTech());
+    ASSERT_TRUE(best.has_value());
+    // Weight volume is tiny (co * 9), so weight DRAM must be small.
+    EXPECT_LE(best->analysis.counts.dramReadBits(),
+              (dw.inputVolume() * 16 + dw.weightVolume() * 64) * 8);
+    EXPECT_EQ(best->analysis.counts.macOps, dw.macs());
+}

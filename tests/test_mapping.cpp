@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the mapping specification: derived per-level shapes and
+ * the legality checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hpp"
+#include "dataflow/mapping.hpp"
+#include "nn/layer.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+ConvLayer
+testLayer()
+{
+    return makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+}
+
+Mapping
+baseMapping()
+{
+    Mapping m;
+    m.pkgSpatial = PackagePartition::Channel;
+    m.chipSpatial = ChipletPartition::Channel;
+    m.chipChannelWays = 8;
+    m.chipSplit = {1, 1};
+    m.chipletTile = {16, 16, 64};
+    m.hoC = 8;
+    m.woC = 8;
+    m.pkgOrder = LoopOrder::ChannelPriority;
+    m.chipOrder = LoopOrder::ChannelPriority;
+    return m;
+}
+
+} // namespace
+
+TEST(DeriveShapes, ChannelPackageSplit)
+{
+    const auto cfg = caseStudyConfig();
+    const auto s = deriveShapes(testLayer(), cfg, baseMapping());
+    // C-type: full plane, co / 4 chiplets.
+    EXPECT_EQ(s.chipletMacro.ho, 56);
+    EXPECT_EQ(s.chipletMacro.wo, 56);
+    EXPECT_EQ(s.chipletMacro.co, 64);
+    // Package temporal trips: ceil(56/16)=4, ceil(56/16)=4, 64/64=1.
+    EXPECT_EQ(s.pkgTripsH, 4);
+    EXPECT_EQ(s.pkgTripsW, 4);
+    EXPECT_EQ(s.pkgTripsC, 1);
+    // Chiplet spatial C-type with 8 ways: 64/8 = 8 channels per core.
+    EXPECT_EQ(s.coreMacro.co, 8);
+    EXPECT_EQ(s.coreMacro.ho, 16);
+    // Core tile: 8x8 plane, L=8 lanes.
+    EXPECT_EQ(s.coreTile.ho, 8);
+    EXPECT_EQ(s.coreTile.co, 8);
+    EXPECT_EQ(s.chipTripsH, 2);
+    EXPECT_EQ(s.chipTripsW, 2);
+    EXPECT_EQ(s.chipTripsC, 1);
+    EXPECT_EQ(s.coreTilesPerChiplet(), 4 * 4 * 2 * 2);
+}
+
+TEST(DeriveShapes, PlanePackageSplit)
+{
+    const auto cfg = caseStudyConfig();
+    Mapping m = baseMapping();
+    m.pkgSpatial = PackagePartition::Plane;
+    m.pkgSplit = {2, 2};
+    m.chipletTile = {28, 28, 64};
+    const auto s = deriveShapes(testLayer(), cfg, m);
+    EXPECT_EQ(s.chipletMacro.ho, 28);
+    EXPECT_EQ(s.chipletMacro.wo, 28);
+    EXPECT_EQ(s.chipletMacro.co, 256);
+    EXPECT_EQ(s.pkgTripsC, 4); // 256 / 64
+}
+
+TEST(DeriveShapes, HybridChipletSplit)
+{
+    const auto cfg = caseStudyConfig();
+    Mapping m = baseMapping();
+    m.chipSpatial = ChipletPartition::Hybrid;
+    m.chipChannelWays = 2;
+    m.chipSplit = {2, 2};
+    m.chipletTile = {16, 16, 64};
+    const auto s = deriveShapes(testLayer(), cfg, m);
+    EXPECT_EQ(s.coreMacro.ho, 8);
+    EXPECT_EQ(s.coreMacro.wo, 8);
+    EXPECT_EQ(s.coreMacro.co, 32);
+    EXPECT_EQ(s.chipTripsC, 4); // 32 channels / 8 lanes
+}
+
+TEST(DeriveShapes, TileClampedToMacro)
+{
+    const auto cfg = caseStudyConfig();
+    Mapping m = baseMapping();
+    m.chipletTile = {512, 512, 4096}; // larger than the workload
+    const auto s = deriveShapes(testLayer(), cfg, m);
+    EXPECT_EQ(s.chipletTile.ho, 56);
+    EXPECT_EQ(s.chipletTile.co, 64);
+    EXPECT_EQ(s.pkgTrips(), 1);
+}
+
+TEST(CheckMapping, AcceptsLegal)
+{
+    EXPECT_EQ(checkMapping(testLayer(), caseStudyConfig(),
+                           baseMapping()),
+              "");
+}
+
+TEST(CheckMapping, RejectsOversizedCoreTile)
+{
+    Mapping m = baseMapping();
+    m.hoC = 16;
+    m.woC = 16; // 256 psums x 8 lanes x 24 bit > 1.5 KB O-L1
+    EXPECT_NE(checkMapping(testLayer(), caseStudyConfig(), m), "");
+}
+
+TEST(CheckMapping, RejectsBadPackageSplit)
+{
+    Mapping m = baseMapping();
+    m.pkgSpatial = PackagePartition::Plane;
+    m.pkgSplit = {2, 1}; // covers 2 chiplets, not 4
+    EXPECT_NE(checkMapping(testLayer(), caseStudyConfig(), m), "");
+}
+
+TEST(CheckMapping, RejectsChannelSplitOnNarrowLayer)
+{
+    const ConvLayer narrow = makeConv("n", 56, 56, 2, 16, 3, 3, 1);
+    Mapping m = baseMapping();
+    // C-type package split needs co >= chiplets.
+    EXPECT_NE(checkMapping(narrow, caseStudyConfig(), m), "");
+}
+
+TEST(CheckMapping, RejectsInconsistentChipletWays)
+{
+    Mapping m = baseMapping();
+    m.chipChannelWays = 4; // cw * pw = 4 != 8 cores
+    EXPECT_NE(checkMapping(testLayer(), caseStudyConfig(), m), "");
+    m = baseMapping();
+    m.chipSpatial = ChipletPartition::Plane;
+    m.chipChannelWays = 8; // P-type must have cw == 1
+    EXPECT_NE(checkMapping(testLayer(), caseStudyConfig(), m), "");
+    m = baseMapping();
+    m.chipSpatial = ChipletPartition::Hybrid;
+    m.chipChannelWays = 8;
+    m.chipSplit = {1, 1}; // H-type needs both ways >= 2
+    EXPECT_NE(checkMapping(testLayer(), caseStudyConfig(), m), "");
+}
+
+TEST(CheckMapping, RejectsAl1Overflow)
+{
+    // A 7x7/s2 kernel inflates the input slice beyond 800 B A-L1 for
+    // an 8x8 core tile: (8-1)*2+7 = 21 -> 21*21*8 = 3528 B.
+    const ConvLayer big = makeConv("b", 112, 112, 64, 16, 7, 7, 2);
+    Mapping m = baseMapping();
+    m.chipletTile = {16, 16, 16};
+    m.chipChannelWays = 8;
+    EXPECT_NE(checkMapping(big, caseStudyConfig(), m), "");
+    // A 2x2 core tile fits: (2-1)*2+7 = 9 -> 9*9*8 = 648 B.
+    m.hoC = 2;
+    m.woC = 2;
+    EXPECT_EQ(checkMapping(big, caseStudyConfig(), m), "");
+}
+
+TEST(Mapping, Labels)
+{
+    Mapping m = baseMapping();
+    EXPECT_EQ(m.spatialLabel(), "(C,C)");
+    m.pkgSpatial = PackagePartition::Plane;
+    m.chipSpatial = ChipletPartition::Hybrid;
+    EXPECT_EQ(m.spatialLabel(), "(P,H)");
+    EXPECT_FALSE(m.toString().empty());
+}
+
+TEST(Mapping, EnumToStrings)
+{
+    EXPECT_STREQ(toString(PackagePartition::Channel), "C");
+    EXPECT_STREQ(toString(PackagePartition::Plane), "P");
+    EXPECT_STREQ(toString(ChipletPartition::Hybrid), "H");
+    EXPECT_STREQ(toString(LoopOrder::ChannelPriority), "CP");
+    EXPECT_STREQ(toString(LoopOrder::PlanePriority), "PP");
+}
+
+TEST(WorkShape, Volume)
+{
+    EXPECT_EQ((WorkShape{4, 5, 6}).volume(), 120);
+    EXPECT_EQ((WorkShape{}).volume(), 0);
+}

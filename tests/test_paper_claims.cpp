@@ -1,0 +1,136 @@
+/**
+ * @file
+ * End-to-end reproduction checks of the paper's headline claims
+ * (shape-level, not absolute numbers — see EXPERIMENTS.md):
+ *
+ *  - figure 12/13: NN-Baton beats the Simba weight-centric baseline,
+ *    with larger savings at 512x512 inputs and in the double-digit
+ *    percent range at model level (paper: 22.5%-44%);
+ *  - figure 14: under the 2 mm^2 chiplet-area constraint no 1-chiplet
+ *    2048-MAC design is valid and a multi-chiplet design wins EDP,
+ *    while without the constraint fewer chiplets give lower energy;
+ *  - figure 15: computation allocation is decided by the area
+ *    constraint; memory allocation varies with the model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baton/baton.hpp"
+
+using namespace nnbaton;
+
+TEST(PaperClaims, Fig13ModelLevelSavingsVsSimba)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    for (int resolution : {224, 512}) {
+        for (const Model &model :
+             {makeVgg16(resolution), makeResNet50(resolution),
+              makeDarkNet19(resolution)}) {
+            const ComparisonReport r = compareWithSimba(model, cfg);
+            EXPECT_GT(r.savings(), 0.05)
+                << model.name() << "@" << resolution;
+            EXPECT_LT(r.savings(), 0.75)
+                << model.name() << "@" << resolution;
+        }
+    }
+}
+
+TEST(PaperClaims, Fig12LargerSavingsOnActivationHeavyLayers)
+{
+    // Section VI-A.2: "significant advantages of NN-Baton in the
+    // activation-intensive and large kernel-size layers, especially
+    // in the 512x512 resolution case", while point-wise layers
+    // "perform similarly".
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const RepresentativeLayers reps = representativeLayers(512);
+
+    auto savings = [&](const ConvLayer &l) {
+        const auto baton = searchLayer(l, cfg, defaultTech());
+        const auto simba = simbaLayerCost(l, cfg, defaultTech());
+        return 1.0 - baton->energy.total() / simba.energy.total();
+    };
+    const double act = savings(reps.activationIntensive);
+    const double pw = savings(reps.pointWise);
+    EXPECT_GT(act, pw);
+    EXPECT_GT(act, 0.10);
+}
+
+TEST(PaperClaims, Fig14AreaConstraintForcesMultiChiplet)
+{
+    Model model("probe", 224);
+    // A representative slice of ResNet-50 keeps the sweep fast.
+    const Model resnet = makeResNet50(224);
+    model.addLayer(resnet.layer("conv1"));
+    model.addLayer(resnet.layer("res2a_branch2b"));
+    model.addLayer(resnet.layer("res4a_branch2a"));
+
+    DseOptions opt;
+    opt.totalMacs = 2048;
+    opt.proportionalMem = true;
+    opt.effort = SearchEffort::Fast;
+    opt.areaLimitMm2 = 2.0;
+    const DseResult constrained = explore(model, opt, defaultTech());
+    ASSERT_FALSE(constrained.points.empty());
+    for (const auto &p : constrained.points)
+        EXPECT_GT(p.compute.chiplets, 1) << p.toString();
+
+    const auto best = constrained.bestEdp();
+    ASSERT_TRUE(best.has_value());
+    EXPECT_GE(constrained.points[*best].compute.chiplets, 2);
+}
+
+TEST(PaperClaims, Fig14FewerChipletsLowerEnergyWithoutConstraint)
+{
+    // "without any area constraint, the energy consumption is
+    // generally higher with more chiplets".
+    Model model("probe", 224);
+    const Model resnet = makeResNet50(224);
+    model.addLayer(resnet.layer("res3a_branch2b"));
+    model.addLayer(resnet.layer("res4a_branch2a"));
+
+    DseOptions opt;
+    opt.totalMacs = 2048;
+    opt.proportionalMem = true;
+    opt.effort = SearchEffort::Fast;
+    const DseResult r = explore(model, opt, defaultTech());
+
+    auto best_for_chiplets = [&](int np) {
+        double best = 1e300;
+        for (const auto &p : r.points) {
+            if (p.compute.chiplets == np)
+                best = std::min(best, p.cost.energy.total());
+        }
+        return best;
+    };
+    const double e1 = best_for_chiplets(1);
+    const double e8 = best_for_chiplets(8);
+    EXPECT_LT(e1, e8);
+}
+
+TEST(PaperClaims, Fig15MemoryAllocationIsModelSensitive)
+{
+    // Section VI-B.2: the recommended computation allocation is fixed
+    // by the area constraint while the memory allocation differs per
+    // benchmark.  Probe with two very different workloads.
+    Model act_heavy("act", 512);
+    act_heavy.addLayer(makeConv("a", 256, 256, 64, 32, 3, 3, 1));
+    Model wt_heavy("wt", 224);
+    wt_heavy.addLayer(makeConv("w", 7, 7, 1024, 1024, 3, 3, 1));
+
+    DseOptions opt;
+    opt.totalMacs = 2048;
+    opt.proportionalMem = false;
+    opt.effort = SearchEffort::Sketch;
+    opt.areaLimitMm2 = 2.0;
+
+    const DseResult ra = explore(act_heavy, opt, defaultTech());
+    const DseResult rw = explore(wt_heavy, opt, defaultTech());
+    ASSERT_TRUE(ra.bestEnergy() && rw.bestEnergy());
+    const DesignPoint &pa = ra.points[*ra.bestEnergy()];
+    const DesignPoint &pw = rw.points[*rw.bestEnergy()];
+    // The weight-heavy probe prefers at least as much W-L1 and the
+    // activation-heavy probe at least as much A-L1.
+    EXPECT_GE(pw.memory.wl1Bytes, pa.memory.wl1Bytes);
+    EXPECT_GE(pa.memory.al1Bytes + pa.memory.al2Bytes,
+              pw.memory.al1Bytes);
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the text-format model parser and writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/parser.hpp"
+
+using namespace nnbaton;
+
+TEST(ParseModel, BasicDescription)
+{
+    const ParseResult r = parseModelString(
+        "# a tiny model\n"
+        "model tiny 64\n"
+        "conv c1 32 32 16 3 3 3 1\n"
+        "dwconv d1 16 16 16 3 2\n"
+        "fc head 10 16\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.model->name(), "tiny");
+    EXPECT_EQ(r.model->inputResolution(), 64);
+    ASSERT_EQ(r.model->layers().size(), 3u);
+    EXPECT_EQ(r.model->layer("c1").co, 16);
+    EXPECT_TRUE(r.model->layer("d1").isDepthwise());
+    EXPECT_EQ(r.model->layer("d1").stride, 2);
+    EXPECT_TRUE(r.model->layer("head").isPointWise());
+}
+
+TEST(ParseModel, CommentsAndBlankLines)
+{
+    const ParseResult r = parseModelString(
+        "\n"
+        "   # leading comment\n"
+        "model m 32   # trailing comment\n"
+        "\n"
+        "conv a 8 8 4 3 3 3 1 # another\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.model->layers().size(), 1u);
+}
+
+TEST(ParseModel, ErrorsCarryLineNumbers)
+{
+    EXPECT_NE(parseModelString("conv a 8 8 4 3 3 3 1\n")
+                  .error.find("line 1"),
+              std::string::npos); // model line missing
+    EXPECT_NE(parseModelString("model m 32\nconv a 8 8\n")
+                  .error.find("line 2"),
+              std::string::npos); // wrong arity
+    EXPECT_NE(parseModelString("model m 32\nconv a 8 8 x 3 3 3 1\n")
+                  .error.find("bad integer"),
+              std::string::npos);
+    EXPECT_NE(parseModelString("model m 32\nblah a 1 2\n")
+                  .error.find("unknown layer kind"),
+              std::string::npos);
+    EXPECT_NE(parseModelString("model m 32\nmodel n 32\n")
+                  .error.find("duplicate"),
+              std::string::npos);
+}
+
+TEST(ParseModel, RejectsEmptyAndZeroes)
+{
+    EXPECT_FALSE(parseModelString("").ok());
+    EXPECT_FALSE(parseModelString("model m 32\n").ok());
+    EXPECT_FALSE(
+        parseModelString("model m 32\nconv a 0 8 4 3 3 3 1\n").ok());
+    EXPECT_FALSE(
+        parseModelString("model m 32\nconv a -4 8 4 3 3 3 1\n").ok());
+}
+
+TEST(ParseModel, FileErrorsMentionPath)
+{
+    const ParseResult r = parseModelFile("/nonexistent/nn.model");
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("nonexistent"), std::string::npos);
+}
+
+TEST(WriteModelText, RoundTripsZooModels)
+{
+    for (const Model &m :
+         {makeVgg16(224), makeResNet50(224), makeMobileNetV2(224)}) {
+        const std::string text = writeModelText(m);
+        const ParseResult r = parseModelString(text);
+        ASSERT_TRUE(r.ok()) << m.name() << ": " << r.error;
+        ASSERT_EQ(r.model->layers().size(), m.layers().size());
+        for (size_t i = 0; i < m.layers().size(); ++i) {
+            const ConvLayer &a = m.layers()[i];
+            const ConvLayer &b = r.model->layers()[i];
+            EXPECT_EQ(a.name, b.name);
+            EXPECT_EQ(a.ho, b.ho);
+            EXPECT_EQ(a.wo, b.wo);
+            EXPECT_EQ(a.co, b.co);
+            EXPECT_EQ(a.ci, b.ci);
+            EXPECT_EQ(a.kh, b.kh);
+            EXPECT_EQ(a.stride, b.stride);
+            EXPECT_EQ(a.groups, b.groups);
+            EXPECT_EQ(a.macs(), b.macs());
+        }
+    }
+}

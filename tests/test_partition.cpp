@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the planar partition-pattern math (figures 7 and 8):
+ * exact tiled footprints, halo redundancy and conflict degree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dataflow/partition.hpp"
+#include "nn/layer.hpp"
+
+using namespace nnbaton;
+
+TEST(SplitExtent, NearEqualChunks)
+{
+    EXPECT_EQ(splitExtent(10, 2), (std::vector<int>{5, 5}));
+    EXPECT_EQ(splitExtent(10, 3), (std::vector<int>{4, 3, 3}));
+    EXPECT_EQ(splitExtent(10, 4), (std::vector<int>{3, 3, 2, 2}));
+    // More parts than elements: zero chunks dropped.
+    EXPECT_EQ(splitExtent(2, 4), (std::vector<int>{1, 1}));
+}
+
+TEST(SplitExtent, SumInvariant)
+{
+    for (int n : {1, 7, 16, 100, 224}) {
+        for (int f : {1, 2, 3, 4, 8}) {
+            auto chunks = splitExtent(n, f);
+            EXPECT_EQ(std::accumulate(chunks.begin(), chunks.end(), 0),
+                      n)
+                << n << "/" << f;
+        }
+    }
+}
+
+TEST(TiledInputPlane, NoSplitEqualsExact)
+{
+    // fh = fw = 1 reproduces the exact input plane: (ho-1)s + k.
+    EXPECT_EQ(tiledInputPlane(56, 56, {1, 1}, 3, 3, 1), 58LL * 58);
+    EXPECT_EQ(tiledInputPlane(112, 112, {1, 1}, 7, 7, 2), 229LL * 229);
+}
+
+TEST(TiledInputPlane, SplitAddsHalo)
+{
+    // Two tiles of 28 rows each consume (28-1)+3 = 30 rows: the
+    // 2-row halo is loaded twice.
+    EXPECT_EQ(tiledInputPlane(56, 56, {2, 1}, 3, 3, 1),
+              2LL * 30 * 58);
+}
+
+TEST(TiledInputPlane, StrideEqualsKernelHasNoHalo)
+{
+    // stride == kernel (non-overlapping windows): tiling adds nothing.
+    EXPECT_EQ(tiledInputPlane(32, 32, {4, 4}, 2, 2, 2),
+              tiledInputPlane(32, 32, {1, 1}, 2, 2, 2));
+}
+
+TEST(HaloRedundancy, ZeroWithoutSplit)
+{
+    EXPECT_DOUBLE_EQ(haloRedundancy(56, 56, {1, 1}, 3, 3, 1), 0.0);
+}
+
+TEST(HaloRedundancy, GrowsWithParts)
+{
+    // More tiles -> more redundant halo (figure 7's rising curves).
+    double prev = 0.0;
+    for (int f : {2, 4, 8, 16}) {
+        const double r = haloRedundancy(128, 128, {f, f}, 3, 3, 1);
+        EXPECT_GT(r, prev) << f;
+        prev = r;
+    }
+}
+
+TEST(HaloRedundancy, SquareBeatsStripeAtSamePartCount)
+{
+    // Figure 7: with the same number of tiles, the square (1:1)
+    // pattern has less redundant access than the stripe/rectangle.
+    const double square = haloRedundancy(128, 128, {4, 4}, 3, 3, 1);
+    const double stripe = haloRedundancy(128, 128, {16, 1}, 3, 3, 1);
+    EXPECT_LT(square, stripe);
+}
+
+TEST(HaloRedundancy, LargeKernelWorseThanSmall)
+{
+    // Figure 7: the 7x7/s2 ResNet conv1 has much higher redundancy
+    // than the 3x3/s1 VGG layer at equal tiling.
+    const double k7 = haloRedundancy(256, 256, {8, 8}, 7, 7, 2);
+    const double k3 = haloRedundancy(512, 512, {8, 8}, 3, 3, 1);
+    EXPECT_GT(k7, k3);
+}
+
+TEST(HaloRedundancy, ResNetConv1FineTilingExceeds650Percent)
+{
+    // Paper figure 7: "up to 650% memory access increase" for the
+    // 7x7/s2 first layer of a 512-input model under fine partitions.
+    const ConvLayer conv1 = makeConv("c", 256, 256, 64, 3, 7, 7, 2);
+    const double r =
+        haloRedundancy(conv1.ho, conv1.wo, {256, 256}, 7, 7, 2);
+    EXPECT_GT(r, 6.5);
+}
+
+TEST(MaxHaloSharers, SquareVsRectangle)
+{
+    // Figure 8: a 2x2 square package split makes the central halo
+    // shared by 4 chiplets, while 1x4 stripes cap sharing at 2.
+    EXPECT_EQ(maxHaloSharers(128, 128, {2, 2}, 3, 3, 1), 4);
+    EXPECT_EQ(maxHaloSharers(128, 128, {1, 4}, 3, 3, 1), 2);
+    EXPECT_EQ(maxHaloSharers(128, 128, {4, 1}, 3, 3, 1), 2);
+}
+
+TEST(MaxHaloSharers, NoOverlapNoSharing)
+{
+    EXPECT_EQ(maxHaloSharers(32, 32, {4, 4}, 2, 2, 2), 1);
+    EXPECT_EQ(maxHaloSharers(32, 32, {1, 1}, 3, 3, 1), 1);
+}
+
+TEST(EnumerateSplits, MostSquareFirstAndFitting)
+{
+    const auto splits = enumerateSplits(4, 100, 100);
+    ASSERT_FALSE(splits.empty());
+    EXPECT_EQ(splits.front(), (PlanarSplit{2, 2}));
+    for (const auto &s : splits)
+        EXPECT_EQ(s.parts(), 4);
+}
+
+TEST(EnumerateSplits, RespectsPlaneBounds)
+{
+    // A 1-row plane cannot take fh > 1.
+    for (const auto &s : enumerateSplits(4, 1, 1000))
+        EXPECT_EQ(s.fh, 1);
+    // Nothing fits when the plane has fewer cells than parts.
+    EXPECT_TRUE(enumerateSplits(8, 2, 2).empty());
+}
+
+TEST(PlanarSplit, ToString)
+{
+    EXPECT_EQ((PlanarSplit{1, 4}).toString(), "1:4");
+    EXPECT_EQ((PlanarSplit{2, 2}).toString(), "2:2");
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the directional ring rotation schedule (figure 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ring.hpp"
+
+using namespace nnbaton;
+
+TEST(RingRotation, SingleChipletNeedsNoSteps)
+{
+    const RotationPlan p = planRotation(1, 1 << 20, 128);
+    EXPECT_TRUE(p.steps.empty());
+    EXPECT_EQ(p.totalCycles(), 0);
+    EXPECT_EQ(p.totalBits(), 0);
+}
+
+TEST(RingRotation, FourChipletsThreeSteps)
+{
+    // 4 chiplets sharing 4 Mbit: 1 Mbit chunks, 3 rotation steps.
+    const RotationPlan p = planRotation(4, 4 << 20, 128);
+    ASSERT_EQ(p.steps.size(), 3u);
+    EXPECT_EQ(p.chunkBits, 1 << 20);
+    for (const RotationStep &s : p.steps) {
+        EXPECT_EQ(s.bitsPerLink, 1 << 20);
+        EXPECT_EQ(s.cycles, (1 << 20) / 128);
+    }
+    // Each element crosses N_P - 1 links.
+    EXPECT_EQ(p.bitsPerLink(), 3 << 20);
+    EXPECT_EQ(p.totalBits(), 12LL << 20);
+}
+
+TEST(RingRotation, TotalBitsMatchAccessModelD2dFactor)
+{
+    // The access model charges shared_bits * (N_P - 1) of D2D traffic;
+    // the per-link plan must aggregate to the same number.
+    for (int np : {2, 4, 8}) {
+        const int64_t shared = 9997 * np; // divisible chunking
+        const RotationPlan p = planRotation(np, shared, 256);
+        EXPECT_EQ(p.totalBits(), shared * (np - 1)) << np;
+    }
+}
+
+TEST(RingRotation, ExposedCyclesOverlapWithCompute)
+{
+    const RotationPlan p = planRotation(4, 4 << 20, 128);
+    const int64_t step_cycles = p.steps.front().cycles;
+    // Compute longer than a transfer hides the rotation completely.
+    EXPECT_EQ(p.exposedCycles(step_cycles + 10), 0);
+    // Compute of zero exposes everything.
+    EXPECT_EQ(p.exposedCycles(0), p.totalCycles());
+    // Partial overlap exposes the per-step excess.
+    EXPECT_EQ(p.exposedCycles(step_cycles / 2),
+              3 * (step_cycles - step_cycles / 2));
+}
+
+TEST(RingRotation, CeilingChunking)
+{
+    // 10 bits over 4 chiplets -> 3-bit chunks (ceil), 3 steps.
+    const RotationPlan p = planRotation(4, 10, 2);
+    EXPECT_EQ(p.chunkBits, 3);
+    EXPECT_EQ(p.steps.front().cycles, 2); // ceil(3/2)
+}
+
+TEST(RingRotation, ToStringMentionsSteps)
+{
+    const RotationPlan p = planRotation(4, 1024, 128);
+    EXPECT_NE(p.toString().find("3 steps"), std::string::npos);
+}
+
+TEST(RingRotationDeath, RejectsBadArguments)
+{
+    EXPECT_DEATH(planRotation(0, 100, 128), "chiplet");
+    EXPECT_DEATH(planRotation(4, -1, 128), "bits");
+    EXPECT_DEATH(planRotation(4, 100, 0), "bandwidth");
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the runtime model: the closed-form estimator and the
+ * per-tile simulator, and their agreement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "c3p/access.hpp"
+#include "mapper/search.hpp"
+#include "sim/runtime.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+struct SimCase
+{
+    ConvLayer layer;
+    AcceleratorConfig cfg;
+    Mapping mapping;
+    AccessAnalysis analysis;
+};
+
+SimCase
+makeSetup(int ho = 56, int wo = 56, int co = 256, int ci = 128)
+{
+    SimCase s{makeConv("t", ho, wo, co, ci, 3, 3, 1), caseStudyConfig(),
+            {}, {}};
+    s.mapping.pkgSpatial = PackagePartition::Channel;
+    s.mapping.chipSpatial = ChipletPartition::Channel;
+    s.mapping.chipChannelWays = 8;
+    s.mapping.chipletTile = {16, 16, 64};
+    s.mapping.hoC = 8;
+    s.mapping.woC = 8;
+    s.analysis = analyzeMapping(s.layer, s.cfg, s.mapping);
+    return s;
+}
+
+} // namespace
+
+TEST(EstimateRuntime, ComputeCyclesMatchWorkload)
+{
+    const SimCase s = makeSetup();
+    const RuntimeResult r =
+        estimateRuntime(s.layer, s.cfg, s.analysis, defaultTech());
+    // Per-core tile: 8x8 plane x 3x3 kernel x ceil(128/8) ci groups.
+    const int64_t per_tile = 8 * 8 * 9 * 16;
+    EXPECT_EQ(r.computeCycles,
+              s.analysis.shapes.coreTilesPerChiplet() * per_tile);
+    EXPECT_GE(r.cycles, r.computeCycles);
+    EXPECT_EQ(r.stallCycles, r.cycles - r.computeCycles);
+}
+
+TEST(EstimateRuntime, UtilizationBounded)
+{
+    const SimCase s = makeSetup();
+    const RuntimeResult r =
+        estimateRuntime(s.layer, s.cfg, s.analysis, defaultTech());
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+}
+
+TEST(EstimateRuntime, FullLanesNearFullUtilization)
+{
+    // A compute-bound layer with full lanes and vectors should be
+    // close to 100% utilisation (only pipeline-fill overhead).
+    const SimCase s = makeSetup(64, 64, 256, 128);
+    const RuntimeResult r =
+        estimateRuntime(s.layer, s.cfg, s.analysis, defaultTech());
+    EXPECT_GT(r.utilization, 0.9);
+}
+
+TEST(EstimateRuntime, NarrowVectorHalvesUtilization)
+{
+    // ci = 4 on an 8-wide vector leaves half the slots idle.
+    SimCase s{makeConv("t", 56, 56, 256, 4, 3, 3, 1), caseStudyConfig(),
+            {}, {}};
+    s.mapping.pkgSpatial = PackagePartition::Channel;
+    s.mapping.chipSpatial = ChipletPartition::Channel;
+    s.mapping.chipChannelWays = 8;
+    s.mapping.chipletTile = {16, 16, 64};
+    s.mapping.hoC = 8;
+    s.mapping.woC = 8;
+    s.analysis = analyzeMapping(s.layer, s.cfg, s.mapping);
+    const RuntimeResult r =
+        estimateRuntime(s.layer, s.cfg, s.analysis, defaultTech());
+    EXPECT_LT(r.utilization, 0.55);
+}
+
+TEST(EstimateRuntime, BandwidthBoundLayerStalls)
+{
+    // Starve the DRAM: a huge point-wise layer with tiny compute per
+    // bit moved; with 1 bit/cycle DRAM the design must stall.
+    TechnologyModel tech = defaultTech();
+    tech.dramBitsPerCycle = 1;
+    const SimCase s = makeSetup(56, 56, 64, 64);
+    const RuntimeResult slow =
+        estimateRuntime(s.layer, s.cfg, s.analysis, tech);
+    const RuntimeResult fast =
+        estimateRuntime(s.layer, s.cfg, s.analysis, defaultTech());
+    EXPECT_GT(slow.stallCycles, fast.stallCycles);
+    EXPECT_GT(slow.cycles, fast.cycles);
+    EXPECT_LT(slow.utilization, fast.utilization);
+}
+
+TEST(RuntimeSimulator, AgreesWithEstimatorOnDivisibleShapes)
+{
+    const SimCase s = makeSetup(64, 64, 256, 128);
+    const RuntimeResult est =
+        estimateRuntime(s.layer, s.cfg, s.analysis, defaultTech());
+    const RuntimeSimulator sim(s.cfg, defaultTech());
+    const RuntimeResult run = sim.run(s.layer, s.analysis);
+    EXPECT_EQ(run.computeCycles, est.computeCycles);
+    // Estimator and simulator agree within 1% on divisible shapes.
+    EXPECT_NEAR(static_cast<double>(run.cycles),
+                static_cast<double>(est.cycles),
+                0.01 * static_cast<double>(est.cycles));
+}
+
+TEST(RuntimeSimulator, EdgeTilesReduceComputeVsEstimate)
+{
+    // 56 is not a multiple of 16: edge tiles are partial, so the
+    // simulator's compute is at most the estimator's padded count.
+    const SimCase s = makeSetup(56, 56, 256, 128);
+    const RuntimeResult est =
+        estimateRuntime(s.layer, s.cfg, s.analysis, defaultTech());
+    const RuntimeSimulator sim(s.cfg, defaultTech());
+    const RuntimeResult run = sim.run(s.layer, s.analysis);
+    EXPECT_LE(run.computeCycles, est.computeCycles);
+    EXPECT_GT(run.computeCycles, 0);
+}
+
+TEST(RuntimeResult, ToString)
+{
+    RuntimeResult r;
+    r.cycles = 100;
+    r.computeCycles = 90;
+    r.stallCycles = 10;
+    r.utilization = 0.5;
+    const std::string s = r.toString();
+    EXPECT_NE(s.find("100 cycles"), std::string::npos);
+    EXPECT_NE(s.find("0.500"), std::string::npos);
+}
+
+TEST(EstimateRuntime, MoreChipletsShortenRuntime)
+{
+    // Same layer, same per-chiplet resources: the 4-chiplet system
+    // must be faster than a 1-chiplet one (more parallel MACs).
+    AcceleratorConfig small = caseStudyConfig();
+    small.package.chiplets = 1;
+    const ConvLayer layer = makeConv("t", 56, 56, 256, 128, 3, 3, 1);
+
+    Mapping m1;
+    m1.pkgSpatial = PackagePartition::Channel;
+    m1.chipSpatial = ChipletPartition::Channel;
+    m1.chipChannelWays = 8;
+    m1.chipletTile = {16, 16, 256};
+    m1.hoC = 8;
+    m1.woC = 8;
+    const auto a1 = analyzeMapping(layer, small, m1);
+    const auto r1 = estimateRuntime(layer, small, a1, defaultTech());
+
+    const SimCase s4 = makeSetup();
+    const auto r4 =
+        estimateRuntime(s4.layer, s4.cfg, s4.analysis, defaultTech());
+    EXPECT_GT(r1.cycles, r4.cycles);
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The NN-Baton command-line driver.
+ *
+ * Subcommands:
+ *   post    — post-design flow: map a model on a hardware config and
+ *             print (or JSON-export) the per-layer mapping strategy.
+ *   pre     — pre-design flow: sweep the design space under MAC and
+ *             area budgets and recommend a design.
+ *   compare — evaluate the Simba weight-centric baseline against the
+ *             NN-Baton mappings on the same hardware.
+ *   models  — list the built-in model zoo (or dump one as text).
+ *
+ * Models come from the zoo (vgg16, resnet50, darknet19, alexnet,
+ * mobilenetv2) or from a text description file via --model-file (see
+ * nn/parser.hpp for the format).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baton/baton.hpp"
+#include "baton/export.hpp"
+#include "common/logging.hpp"
+#include "nn/parser.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::string model = "resnet50";
+    std::string modelFile;
+    std::string jsonPath;
+    int resolution = 224;
+    int64_t macs = 2048;
+    double areaMm2 = 0.0;
+    bool proportional = false;
+    bool edpObjective = false;
+    // Hardware overrides for `post` / `compare`.
+    AcceleratorConfig config = caseStudyConfig();
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: nn-baton <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  post     map a model on a hardware configuration\n"
+        "  pre      explore the design space (chiplet granularity)\n"
+        "  compare  Simba baseline vs NN-Baton on the same hardware\n"
+        "  models   list the built-in model zoo / dump one as text\n"
+        "\n"
+        "options:\n"
+        "  --model <name>        zoo model (vgg16 resnet50 darknet19\n"
+        "                        alexnet mobilenetv2) [resnet50]\n"
+        "  --model-file <path>   text model description instead\n"
+        "  --resolution <n>      input resolution (224 or 512) [224]\n"
+        "  --macs <n>            pre: required MAC units [2048]\n"
+        "  --area <mm2>          pre: chiplet area budget [none]\n"
+        "  --proportional        pre: memory proportional to compute\n"
+        "  --edp                 optimise EDP instead of energy\n"
+        "  --chiplets/--cores/--lanes/--vector <n>\n"
+        "                        post/compare hardware shape\n"
+        "  --ol1/--al1/--wl1/--al2 <bytes>\n"
+        "                        post/compare buffer sizes\n"
+        "  --json <path>         write a JSON report\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    if (argc < 2)
+        return false;
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string opt = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("option %s needs a value", opt.c_str());
+            return argv[++i];
+        };
+        if (opt == "--model") {
+            args.model = next();
+        } else if (opt == "--model-file") {
+            args.modelFile = next();
+        } else if (opt == "--resolution") {
+            args.resolution = std::atoi(next());
+        } else if (opt == "--macs") {
+            args.macs = std::atoll(next());
+        } else if (opt == "--area") {
+            args.areaMm2 = std::atof(next());
+        } else if (opt == "--proportional") {
+            args.proportional = true;
+        } else if (opt == "--edp") {
+            args.edpObjective = true;
+        } else if (opt == "--chiplets") {
+            args.config.package.chiplets = std::atoi(next());
+        } else if (opt == "--cores") {
+            args.config.chiplet.cores = std::atoi(next());
+        } else if (opt == "--lanes") {
+            args.config.core.lanes = std::atoi(next());
+        } else if (opt == "--vector") {
+            args.config.core.vectorSize = std::atoi(next());
+        } else if (opt == "--ol1") {
+            args.config.core.ol1Bytes = std::atoll(next());
+        } else if (opt == "--al1") {
+            args.config.core.al1Bytes = std::atoll(next());
+        } else if (opt == "--wl1") {
+            args.config.core.wl1Bytes = std::atoll(next());
+        } else if (opt == "--al2") {
+            args.config.chiplet.al2Bytes = std::atoll(next());
+        } else if (opt == "--json") {
+            args.jsonPath = next();
+        } else if (opt == "--help" || opt == "-h") {
+            return false;
+        } else {
+            fatal("unknown option %s (try --help)", opt.c_str());
+        }
+    }
+    return true;
+}
+
+Model
+loadModel(const Args &args)
+{
+    if (!args.modelFile.empty()) {
+        ParseResult r = parseModelFile(args.modelFile);
+        if (!r.ok())
+            fatal("%s", r.error.c_str());
+        return std::move(*r.model);
+    }
+    const std::string &n = args.model;
+    const int res = args.resolution;
+    if (n == "vgg16")
+        return makeVgg16(res);
+    if (n == "resnet50")
+        return makeResNet50(res);
+    if (n == "darknet19")
+        return makeDarkNet19(res);
+    if (n == "alexnet")
+        return makeAlexNet(res);
+    if (n == "mobilenetv2")
+        return makeMobileNetV2(res);
+    fatal("unknown model '%s'", n.c_str());
+}
+
+int
+runPost(const Args &args)
+{
+    const Model model = loadModel(args);
+    args.config.validate();
+    PostDesignFlow flow(args.config, defaultTech(),
+                        SearchEffort::Exhaustive,
+                        args.edpObjective ? Objective::MinEdp
+                                          : Objective::MinEnergy);
+    const PostDesignReport report = flow.run(model);
+    std::printf("%s", report.toString().c_str());
+    if (!args.jsonPath.empty()) {
+        std::ofstream out(args.jsonPath);
+        if (!out)
+            fatal("cannot write %s", args.jsonPath.c_str());
+        exportPostDesign(report, out);
+        std::printf("wrote %s\n", args.jsonPath.c_str());
+    }
+    return report.feasible ? 0 : 1;
+}
+
+int
+runPre(const Args &args)
+{
+    const Model model = loadModel(args);
+    DseOptions opt;
+    opt.totalMacs = args.macs;
+    opt.areaLimitMm2 = args.areaMm2;
+    opt.proportionalMem = args.proportional;
+    opt.effort = args.proportional ? SearchEffort::Fast
+                                   : SearchEffort::Sketch;
+    opt.objective = args.edpObjective ? Objective::MinEdp
+                                      : Objective::MinEnergy;
+    PreDesignFlow flow(opt);
+    const PreDesignReport report = flow.run(model);
+    std::printf("%s", report.toString().c_str());
+    if (!args.jsonPath.empty()) {
+        std::ofstream out(args.jsonPath);
+        if (!out)
+            fatal("cannot write %s", args.jsonPath.c_str());
+        exportPreDesign(report, out);
+        std::printf("wrote %s\n", args.jsonPath.c_str());
+    }
+    return report.recommended ? 0 : 1;
+}
+
+int
+runCompare(const Args &args)
+{
+    const Model model = loadModel(args);
+    args.config.validate();
+    const ComparisonReport r = compareWithSimba(model, args.config);
+    std::printf("model %s on %s\n", r.modelName.c_str(),
+                args.config.toString().c_str());
+    std::printf("  simba : %s\n", r.simbaEnergy.toString().c_str());
+    std::printf("  baton : %s\n", r.batonEnergy.toString().c_str());
+    std::printf("  savings: %.1f%%\n", 100.0 * r.savings());
+    return 0;
+}
+
+int
+runModels(const Args &args)
+{
+    if (!args.model.empty() && args.model != "resnet50") {
+        // Dump the requested model as a text description.
+        std::printf("%s", writeModelText(loadModel(args)).c_str());
+        return 0;
+    }
+    for (const char *name : {"alexnet", "vgg16", "resnet50",
+                             "darknet19", "mobilenetv2"}) {
+        Args a = args;
+        a.model = name;
+        const Model m = loadModel(a);
+        std::printf("%-12s %2zu layers, %7.2f GMACs, %6.2f M weights\n",
+                    name, m.layers().size(),
+                    static_cast<double>(m.totalMacs()) * 1e-9,
+                    static_cast<double>(m.totalWeights()) * 1e-6);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args)) {
+        usage();
+        return 2;
+    }
+    if (args.command == "post")
+        return runPost(args);
+    if (args.command == "pre")
+        return runPre(args);
+    if (args.command == "compare")
+        return runCompare(args);
+    if (args.command == "models")
+        return runModels(args);
+    usage();
+    return 2;
+}
