@@ -9,16 +9,21 @@
  *
  * This harness prints the energy/runtime scatter summarised per
  * chiplet count (the figure's colour classes) plus the optimum design
- * per model.
+ * per model, then times the same sweep serially and with the parallel
+ * engine, verifies the two produce bit-identical results, and writes
+ * the timings and search counters to BENCH_dse.json.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 
 #include "baton/baton.hpp"
+#include "common/json.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "common/util.hpp"
 
@@ -26,22 +31,38 @@ using namespace nnbaton;
 
 namespace {
 
-void
-printModel(const Model &model)
+DseOptions
+figureOptions()
 {
-    std::printf("\n--- model %s @%d ---\n", model.name().c_str(),
-                model.inputResolution());
     DseOptions opt;
     opt.totalMacs = 4096;
     opt.areaLimitMm2 = 3.0;
     opt.effort = SearchEffort::Sketch;
     opt.objective = Objective::MinEdp;
+    return opt;
+}
+
+void
+printModel(const Model &model, int threads)
+{
+    std::printf("\n--- model %s @%d ---\n", model.name().c_str(),
+                model.inputResolution());
+    DseOptions opt = figureOptions();
+    opt.threads = threads;
     const DseResult r = explore(model, opt, defaultTech());
     std::printf("sweep: %lld combos, %zu valid, %lld over area, %lld "
-                "infeasible\n",
+                "infeasible (%.2f s)\n",
                 static_cast<long long>(r.swept), r.points.size(),
                 static_cast<long long>(r.areaRejected),
-                static_cast<long long>(r.infeasible));
+                static_cast<long long>(r.infeasible),
+                r.elapsedSeconds);
+    std::printf("search: %lld evaluated, %lld pruned, %lld cache hits "
+                "/ %lld misses (%lld entries)\n",
+                static_cast<long long>(r.search.evaluated),
+                static_cast<long long>(r.search.pruned),
+                static_cast<long long>(r.search.cacheHits),
+                static_cast<long long>(r.search.cacheMisses),
+                static_cast<long long>(r.cacheEntries));
 
     // The figure's colour classes: summarise the valid cloud per N_P.
     struct Class
@@ -55,8 +76,7 @@ printModel(const Model &model)
         Class &c = classes[p.compute.chiplets];
         ++c.n;
         c.best_energy = std::min(c.best_energy, p.cost.energyMj());
-        c.best_runtime = std::min(c.best_runtime,
-                                  p.cost.runtimeMs(0.5));
+        c.best_runtime = std::min(c.best_runtime, p.runtimeMs());
     }
     TextTable t({"chiplets", "valid points", "best energy mJ",
                  "best runtime ms"});
@@ -76,13 +96,13 @@ printModel(const Model &model)
 }
 
 void
-printFigure()
+printFigure(int threads)
 {
     std::printf("=== Figure 15: 4096-MAC design space exploration "
                 "(table II grid, 3 mm^2 limit) ===\n");
-    printModel(makeVgg16(512));
-    printModel(makeResNet50(512));
-    printModel(makeDarkNet19(224));
+    printModel(makeVgg16(512), threads);
+    printModel(makeResNet50(512), threads);
+    printModel(makeDarkNet19(224), threads);
     std::printf(
         "\nexpected shape: designs with fewer chiplets trade area for "
         "lower EDP (layered point clouds); the optimal computation "
@@ -90,6 +110,99 @@ printFigure()
         "while the recommended memory allocation is model-dependent "
         "(larger A-L1 for 512-input models, smaller W-L1 for "
         "DarkNet@224) (paper section VI-B.2).\n\n");
+}
+
+/** Everything the engine promises to keep thread-count independent. */
+bool
+identicalResults(const DseResult &a, const DseResult &b)
+{
+    if (a.swept != b.swept || a.areaRejected != b.areaRejected ||
+        a.infeasible != b.infeasible ||
+        a.points.size() != b.points.size())
+        return false;
+    if (a.search.evaluated != b.search.evaluated ||
+        a.search.pruned != b.search.pruned ||
+        a.search.cacheHits != b.search.cacheHits ||
+        a.search.cacheMisses != b.search.cacheMisses)
+        return false;
+    for (size_t i = 0; i < a.points.size(); ++i) {
+        const DesignPoint &p = a.points[i];
+        const DesignPoint &q = b.points[i];
+        if (p.compute.chiplets != q.compute.chiplets ||
+            p.compute.cores != q.compute.cores ||
+            p.compute.lanes != q.compute.lanes ||
+            p.compute.vectorSize != q.compute.vectorSize ||
+            p.memory.ol1Bytes != q.memory.ol1Bytes ||
+            p.memory.al1Bytes != q.memory.al1Bytes ||
+            p.memory.wl1Bytes != q.memory.wl1Bytes ||
+            p.memory.al2Bytes != q.memory.al2Bytes)
+            return false;
+        // Bit-identical scores, not approximately equal.
+        if (p.cost.energy.total() != q.cost.energy.total() ||
+            p.edp() != q.edp())
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Serial-vs-parallel timing on the DarkNet@224 sweep (the smallest of
+ * the three), with the determinism cross-check the parallel engine
+ * guarantees.  Writes BENCH_dse.json for machine consumption.
+ */
+void
+benchSweep(int threads)
+{
+    const Model model = makeDarkNet19(224);
+    DseOptions opt = figureOptions();
+
+    opt.threads = 1;
+    const DseResult serial = explore(model, opt, defaultTech());
+    opt.threads = threads;
+    const DseResult parallel = explore(model, opt, defaultTech());
+
+    const bool identical = identicalResults(serial, parallel);
+    const double speedup =
+        parallel.elapsedSeconds > 0.0
+            ? serial.elapsedSeconds / parallel.elapsedSeconds
+            : 0.0;
+
+    std::printf("=== DSE sweep engine: serial vs %d threads "
+                "(darknet19@224) ===\n",
+                threads);
+    std::printf("serial:   %.2f s\n", serial.elapsedSeconds);
+    std::printf("parallel: %.2f s  (speedup %.2fx)\n",
+                parallel.elapsedSeconds, speedup);
+    std::printf("results bit-identical: %s\n",
+                identical ? "yes" : "NO (BUG)");
+
+    std::ofstream out("BENCH_dse.json");
+    JsonWriter j(out);
+    j.beginObject();
+    j.field("model", model.name());
+    j.field("resolution", model.inputResolution());
+    j.field("threads", threads);
+    j.field("hardware_threads", hardwareThreads());
+    j.field("serial_seconds", serial.elapsedSeconds);
+    j.field("parallel_seconds", parallel.elapsedSeconds);
+    j.field("speedup", speedup);
+    j.field("identical", identical);
+    j.key("sweep").beginObject();
+    j.field("swept", serial.swept);
+    j.field("valid", static_cast<int64_t>(serial.points.size()));
+    j.field("area_rejected", serial.areaRejected);
+    j.field("infeasible", serial.infeasible);
+    j.endObject();
+    j.key("search").beginObject();
+    j.field("evaluated", serial.search.evaluated);
+    j.field("pruned", serial.search.pruned);
+    j.field("cache_hits", serial.search.cacheHits);
+    j.field("cache_misses", serial.search.cacheMisses);
+    j.field("cache_entries", serial.cacheEntries);
+    j.endObject();
+    j.endObject();
+    out << "\n";
+    std::printf("wrote BENCH_dse.json\n\n");
 }
 
 void
@@ -111,7 +224,9 @@ BENCHMARK(BM_Fig15SingleConfig)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFigure();
+    const int threads = std::max(4, hardwareThreads());
+    printFigure(threads);
+    benchSweep(threads);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

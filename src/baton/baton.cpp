@@ -33,15 +33,17 @@ PostDesignReport::toString() const
     }
     t.print(ss);
     ss << strprintf("model total: %.4f mJ, %.3f ms\n", cost.energyMj(),
-                    cost.runtimeMs(0.5));
+                    cost.runtimeMs(clockGhz));
     return ss.str();
 }
 
 PostDesignReport
 PostDesignFlow::run(const Model &model) const
 {
+    SearchOptions search;
+    search.threads = threads_;
     ModelMappingResult mapped =
-        mapModel(model, cfg_, tech_, effort_, objective_);
+        mapModel(model, cfg_, tech_, effort_, objective_, search);
     if (!mapped.feasible) {
         warn("post-design: %s has layers with no legal mapping on %s",
              model.name().c_str(), cfg_.computeId().c_str());
@@ -52,13 +54,16 @@ PostDesignFlow::run(const Model &model) const
     report.cost = std::move(mapped.cost);
     report.mappings = std::move(mapped.choices);
     report.feasible = mapped.feasible;
+    report.clockGhz = tech_.frequencyGhz;
     return report;
 }
 
 std::optional<MappingChoice>
 PostDesignFlow::runLayer(const ConvLayer &layer) const
 {
-    return searchLayer(layer, cfg_, tech_, effort_, objective_);
+    SearchOptions search;
+    search.threads = threads_;
+    return searchLayer(layer, cfg_, tech_, effort_, objective_, search);
 }
 
 std::string
@@ -72,6 +77,14 @@ PreDesignReport::toString() const
         static_cast<long long>(sweep.points.size()),
         static_cast<long long>(sweep.areaRejected),
         static_cast<long long>(sweep.infeasible));
+    ss << strprintf(
+        "mapping search: %lld candidates evaluated, %lld pruned, "
+        "%lld cache hits / %lld misses, %.2f s\n",
+        static_cast<long long>(sweep.search.evaluated),
+        static_cast<long long>(sweep.search.pruned),
+        static_cast<long long>(sweep.search.cacheHits),
+        static_cast<long long>(sweep.search.cacheMisses),
+        sweep.elapsedSeconds);
     if (recommended) {
         ss << "recommended (min EDP): " << recommended->toString()
            << "\n";

@@ -44,6 +44,8 @@ struct PostDesignReport
     ModelCost cost;
     std::vector<MappingChoice> mappings; //!< per layer, model order
     bool feasible = true;
+    double clockGhz = 0.5; //!< core clock used for runtime reporting,
+                           //!< taken from the TechnologyModel
 
     /** Multi-line human-readable mapping strategy table. */
     std::string toString() const;
@@ -56,9 +58,10 @@ class PostDesignFlow
     explicit PostDesignFlow(AcceleratorConfig cfg,
                             const TechnologyModel &tech = defaultTech(),
                             SearchEffort effort = SearchEffort::Exhaustive,
-                            Objective objective = Objective::MinEnergy)
+                            Objective objective = Objective::MinEnergy,
+                            int threads = 1)
         : cfg_(std::move(cfg)), tech_(tech), effort_(effort),
-          objective_(objective)
+          objective_(objective), threads_(threads)
     {
         cfg_.validate();
     }
@@ -76,6 +79,7 @@ class PostDesignFlow
     const TechnologyModel &tech_;
     SearchEffort effort_;
     Objective objective_;
+    int threads_; //!< candidate-evaluation lanes; results identical
 };
 
 /** Pre-design flow output. */

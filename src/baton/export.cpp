@@ -111,6 +111,14 @@ exportPreDesign(const PreDesignReport &report, std::ostream &os)
     j.field("swept", report.sweep.swept);
     j.field("areaRejected", report.sweep.areaRejected);
     j.field("infeasible", report.sweep.infeasible);
+    j.key("search").beginObject();
+    j.field("evaluated", report.sweep.search.evaluated);
+    j.field("pruned", report.sweep.search.pruned);
+    j.field("cacheHits", report.sweep.search.cacheHits);
+    j.field("cacheMisses", report.sweep.search.cacheMisses);
+    j.field("cacheEntries", report.sweep.cacheEntries);
+    j.endObject();
+    j.field("elapsedSeconds", report.sweep.elapsedSeconds);
 
     j.key("points").beginArray();
     for (const DesignPoint &p : report.sweep.points) {

@@ -1,8 +1,11 @@
 #include "dse/explorer.hpp"
 
+#include <chrono>
 #include <limits>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "mapper/cache.hpp"
 
 namespace nnbaton {
 
@@ -17,7 +20,7 @@ DesignPoint::toString() const
         static_cast<long long>(memory.al1Bytes / 1024),
         static_cast<long long>(memory.wl1Bytes / 1024),
         static_cast<long long>(memory.al2Bytes / 1024), area.total(),
-        cost.energyMj(), cost.runtimeMs(0.5));
+        cost.energyMj(), runtimeMs());
 }
 
 std::optional<size_t>
@@ -48,10 +51,65 @@ DseResult::bestEnergy() const
     return best;
 }
 
+namespace {
+
+/** Per-design-point evaluation outcome, kept in sweep order so the
+ *  parallel collection is bit-identical to the serial one. */
+struct PointOutcome
+{
+    enum Kind
+    {
+        AreaRejected,
+        Infeasible,
+        Valid,
+    };
+    Kind kind = AreaRejected;
+    DesignPoint point;
+    SearchStats stats;
+};
+
+PointOutcome
+evaluatePoint(const Model &model, const DseOptions &options,
+              const TechnologyModel &tech,
+              const ComputeAllocation &compute,
+              const MemoryAllocation &memory, MappingCache &cache)
+{
+    PointOutcome out;
+    AcceleratorConfig cfg = makeConfig(compute, memory);
+    AreaBreakdown area = chipletArea(cfg, tech, defaultOl2Bytes(cfg));
+    if (options.areaLimitMm2 > 0.0 &&
+        area.total() > options.areaLimitMm2) {
+        out.kind = PointOutcome::AreaRejected;
+        return out;
+    }
+    SearchOptions search;
+    search.threads = 1; // point-level parallelism only (nested-free)
+    search.boundPruning = options.boundPruning;
+    ModelMappingResult mapped =
+        mapModel(model, cfg, tech, options.effort, options.objective,
+                 search, &cache);
+    out.stats = mapped.stats;
+    if (!mapped.feasible) {
+        out.kind = PointOutcome::Infeasible;
+        return out;
+    }
+    out.kind = PointOutcome::Valid;
+    out.point.compute = compute;
+    out.point.memory = memory;
+    out.point.area = area;
+    out.point.cost = std::move(mapped.cost);
+    out.point.clockGhz = tech.frequencyGhz;
+    return out;
+}
+
+} // namespace
+
 DseResult
 explore(const Model &model, const DseOptions &options,
         const TechnologyModel &tech)
 {
+    const auto start = std::chrono::steady_clock::now();
+
     DseResult result;
     const auto computes = enumerateCompute(options.totalMacs);
     if (computes.empty()) {
@@ -63,36 +121,59 @@ explore(const Model &model, const DseOptions &options,
     if (!options.proportionalMem)
         memories = enumerateMemory();
 
+    // Flatten the sweep into an index space first; the evaluation
+    // order then no longer matters and the collection pass below
+    // reproduces the serial ordering exactly.
+    struct Task
+    {
+        ComputeAllocation compute;
+        MemoryAllocation memory;
+    };
+    std::vector<Task> tasks;
     for (const ComputeAllocation &compute : computes) {
-        std::vector<MemoryAllocation> proportional;
-        if (options.proportionalMem)
-            proportional.push_back(proportionalMemory(compute));
-        const std::vector<MemoryAllocation> &mems =
-            options.proportionalMem ? proportional : memories;
-        for (const MemoryAllocation &memory : mems) {
-            ++result.swept;
-            AcceleratorConfig cfg = makeConfig(compute, memory);
-            AreaBreakdown area =
-                chipletArea(cfg, tech, defaultOl2Bytes(cfg));
-            if (options.areaLimitMm2 > 0.0 &&
-                area.total() > options.areaLimitMm2) {
-                ++result.areaRejected;
-                continue;
-            }
-            ModelMappingResult mapped = mapModel(
-                model, cfg, tech, options.effort, options.objective);
-            if (!mapped.feasible) {
-                ++result.infeasible;
-                continue;
-            }
-            DesignPoint point;
-            point.compute = compute;
-            point.memory = memory;
-            point.area = area;
-            point.cost = std::move(mapped.cost);
-            result.points.push_back(std::move(point));
+        if (options.proportionalMem) {
+            tasks.push_back({compute, proportionalMemory(compute)});
+            continue;
+        }
+        for (const MemoryAllocation &memory : memories)
+            tasks.push_back({compute, memory});
+    }
+
+    // One mapping cache serves every design point: swept points share
+    // layer shapes (repeated ResNet-50 blocks) and the table II grid
+    // revisits each compute geometry across memory allocations, so
+    // most lookups hit.  The cache is thread-safe and compute-once.
+    MappingCache cache;
+    std::vector<PointOutcome> outcomes(tasks.size());
+    ThreadPool pool(options.threads);
+    pool.parallelFor(static_cast<int64_t>(tasks.size()),
+                     [&](int64_t i) {
+                         outcomes[i] = evaluatePoint(
+                             model, options, tech, tasks[i].compute,
+                             tasks[i].memory, cache);
+                     });
+
+    // Deterministic collection in sweep order.
+    for (PointOutcome &out : outcomes) {
+        ++result.swept;
+        result.search += out.stats;
+        switch (out.kind) {
+        case PointOutcome::AreaRejected:
+            ++result.areaRejected;
+            break;
+        case PointOutcome::Infeasible:
+            ++result.infeasible;
+            break;
+        case PointOutcome::Valid:
+            result.points.push_back(std::move(out.point));
+            break;
         }
     }
+    result.cacheEntries = static_cast<int64_t>(cache.size());
+    result.elapsedSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     return result;
 }
 

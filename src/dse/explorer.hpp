@@ -29,8 +29,13 @@ struct DesignPoint
     MemoryAllocation memory;
     AreaBreakdown area; //!< per-chiplet area
     ModelCost cost;     //!< whole-model cost with optimal mappings
+    double clockGhz = 0.5; //!< core clock used for runtime reporting,
+                           //!< taken from the TechnologyModel
 
     double edp() const { return cost.edp(); }
+
+    /** Runtime in milliseconds at the technology model's clock. */
+    double runtimeMs() const { return cost.runtimeMs(clockGhz); }
 
     /** e.g. "2-8-16-16 | A-L1 32K W-L1 144K A-L2 64K | 2.86mm2". */
     std::string toString() const;
@@ -44,6 +49,13 @@ struct DseOptions
     bool proportionalMem = false;   //!< figure 14 mode (vs table II grid)
     SearchEffort effort = SearchEffort::Fast;
     Objective objective = Objective::MinEnergy;
+
+    /** Worker lanes for the sweep (including the caller); <= 1 runs
+     *  serially.  Results are bit-identical across thread counts. */
+    int threads = 1;
+
+    /** Score-bound pruning inside the mapping search (sound). */
+    bool boundPruning = true;
 };
 
 /** Sweep result. */
@@ -53,6 +65,17 @@ struct DseResult
     int64_t swept = 0;               //!< combos considered
     int64_t areaRejected = 0;        //!< failed the area budget
     int64_t infeasible = 0;          //!< no legal mapping for a layer
+
+    /** Mapping-search work counters, summed over the sweep.  The
+     *  compute-once cache and fixed-block pruning keep these
+     *  deterministic across thread counts. */
+    SearchStats search;
+
+    /** Wall-clock seconds spent in explore() (not deterministic). */
+    double elapsedSeconds = 0.0;
+
+    /** Distinct (layer shape, config) searches in the shared cache. */
+    int64_t cacheEntries = 0;
 
     /** Index of the minimum-EDP point, if any. */
     std::optional<size_t> bestEdp() const;

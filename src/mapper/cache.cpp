@@ -1,0 +1,98 @@
+#include "mapper/cache.hpp"
+
+namespace nnbaton {
+
+MappingCache::Key
+MappingCache::makeKey(const ConvLayer &layer,
+                      const AcceleratorConfig &cfg, SearchEffort effort,
+                      Objective objective)
+{
+    Key k;
+    k.ho = layer.ho;
+    k.wo = layer.wo;
+    k.co = layer.co;
+    k.ci = layer.ci;
+    k.kh = layer.kh;
+    k.kw = layer.kw;
+    k.stride = layer.stride;
+    k.groups = layer.groups;
+    k.chiplets = cfg.package.chiplets;
+    k.cores = cfg.chiplet.cores;
+    k.lanes = cfg.core.lanes;
+    k.vectorSize = cfg.core.vectorSize;
+    k.ol1Bytes = cfg.core.ol1Bytes;
+    k.al1Bytes = cfg.core.al1Bytes;
+    k.wl1Bytes = cfg.core.wl1Bytes;
+    k.al2Bytes = cfg.chiplet.al2Bytes;
+    k.effort = static_cast<int>(effort);
+    k.objective = static_cast<int>(objective);
+    return k;
+}
+
+size_t
+MappingCache::KeyHash::operator()(const Key &key) const
+{
+    // FNV-1a over the key fields; collisions only cost a comparison.
+    uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<uint64_t>(key.ho) << 32 |
+        static_cast<uint32_t>(key.wo));
+    mix(static_cast<uint64_t>(key.co) << 32 |
+        static_cast<uint32_t>(key.ci));
+    mix(static_cast<uint64_t>(key.kh) << 32 |
+        static_cast<uint32_t>(key.kw));
+    mix(static_cast<uint64_t>(key.stride) << 32 |
+        static_cast<uint32_t>(key.groups));
+    mix(static_cast<uint64_t>(key.chiplets) << 32 |
+        static_cast<uint32_t>(key.cores));
+    mix(static_cast<uint64_t>(key.lanes) << 32 |
+        static_cast<uint32_t>(key.vectorSize));
+    mix(static_cast<uint64_t>(key.ol1Bytes));
+    mix(static_cast<uint64_t>(key.al1Bytes));
+    mix(static_cast<uint64_t>(key.wl1Bytes));
+    mix(static_cast<uint64_t>(key.al2Bytes));
+    mix(static_cast<uint64_t>(key.effort) << 32 |
+        static_cast<uint32_t>(key.objective));
+    return static_cast<size_t>(h);
+}
+
+const std::optional<MappingChoice> &
+MappingCache::lookupOrCompute(
+    const Key &key,
+    const std::function<std::optional<MappingChoice>()> &search,
+    bool *was_hit)
+{
+    Shard &shard = shards_[KeyHash{}(key) % kShards];
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(shard.m);
+        std::shared_ptr<Entry> &slot = shard.map[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+    bool computed = false;
+    std::call_once(entry->once, [&] {
+        entry->value = search();
+        computed = true;
+    });
+    if (was_hit)
+        *was_hit = !computed;
+    return entry->value;
+}
+
+size_t
+MappingCache::size() const
+{
+    size_t n = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.m);
+        n += shard.map.size();
+    }
+    return n;
+}
+
+} // namespace nnbaton

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A thread-safe, cross-design-point cache for per-layer mapping
+ * search results.
+ *
+ * The pre-design sweep runs a full mapping search for every surviving
+ * design point, and each model re-visits the same layer shapes many
+ * times (ResNet-50's repeated residual blocks dominate the workload).
+ * Hoisting the memoization out of mapModel() and keying it on (layer
+ * shape, relevant configuration fields, effort, objective) lets one
+ * cache serve the whole sweep — including the parallel sweep, where
+ * many worker threads look up the same key concurrently.
+ *
+ * Entries are compute-once: the first thread to miss a key runs the
+ * search while later arrivals block on that entry, so every unique
+ * key is searched exactly once regardless of thread count.  That
+ * keeps the evaluated/pruned counters deterministic and bit-identical
+ * between serial and parallel runs.
+ *
+ * The map is sharded by key hash to keep lock hold times short; entry
+ * values are immutable after publication, so readers need no lock.
+ */
+
+#ifndef NNBATON_MAPPER_CACHE_HPP
+#define NNBATON_MAPPER_CACHE_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "arch/config.hpp"
+#include "mapper/search.hpp"
+#include "nn/layer.hpp"
+
+namespace nnbaton {
+
+class MappingCache
+{
+  public:
+    /**
+     * Everything the per-layer search result depends on: the layer
+     * shape (including grouping) and the configuration knobs visible
+     * to candidate enumeration, the C3P accounting and the cost
+     * models, plus the search effort and objective.
+     */
+    struct Key
+    {
+        // Layer shape.
+        int ho = 0, wo = 0, co = 0, ci = 0;
+        int kh = 0, kw = 0, stride = 0, groups = 0;
+        // Hardware configuration.
+        int chiplets = 0, cores = 0, lanes = 0, vectorSize = 0;
+        int64_t ol1Bytes = 0, al1Bytes = 0, wl1Bytes = 0, al2Bytes = 0;
+        // Search parameters.
+        int effort = 0, objective = 0;
+
+        bool operator==(const Key &) const = default;
+    };
+
+    static Key makeKey(const ConvLayer &layer,
+                       const AcceleratorConfig &cfg, SearchEffort effort,
+                       Objective objective);
+
+    /**
+     * Return the cached search result for the key, computing it with
+     * @p search on a miss.  @p search runs at most once per key
+     * across all threads; concurrent arrivals for the same key block
+     * until the value is published.  Sets @p was_hit (when non-null)
+     * to false only for the caller that ran the search.
+     *
+     * The returned reference stays valid for the cache's lifetime.
+     */
+    const std::optional<MappingChoice> &lookupOrCompute(
+        const Key &key,
+        const std::function<std::optional<MappingChoice>()> &search,
+        bool *was_hit = nullptr);
+
+    /** Number of distinct keys currently cached. */
+    size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        std::optional<MappingChoice> value;
+    };
+
+    struct KeyHash
+    {
+        size_t operator()(const Key &key) const;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex m;
+        std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> map;
+    };
+
+    static constexpr size_t kShards = 16;
+    std::array<Shard, kShards> shards_;
+};
+
+} // namespace nnbaton
+
+#endif // NNBATON_MAPPER_CACHE_HPP

@@ -1,9 +1,13 @@
 #include "mapper/search.hpp"
 
-#include <map>
-#include <tuple>
+#include <limits>
+#include <memory>
+#include <vector>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "mapper/bound.hpp"
+#include "mapper/cache.hpp"
 
 namespace nnbaton {
 
@@ -22,26 +26,88 @@ evaluateMapping(const ConvLayer &layer, const AcceleratorConfig &cfg,
 
 namespace {
 
+/**
+ * Candidates are consumed in fixed blocks: pruning decisions use the
+ * incumbent frozen at the block boundary, so they depend only on the
+ * candidate order — never on the thread count or timing — and the
+ * parallel search is bit-identical to the serial one (counters
+ * included).  The block size trades pruning strength (incumbent
+ * refreshes) against parallel width; it must stay a constant.
+ */
+constexpr size_t kPruneBlock = 32;
+
+/** Relative slack before a bound may prune, absorbing the rounding
+ *  difference between the bound's and the accounting's float paths
+ *  when a floor is exactly tight. */
+constexpr double kPruneMargin = 1.0 + 1e-9;
+
+double
+scoreOf(const MappingChoice &c, Objective objective)
+{
+    return objective == Objective::MinEnergy ? c.energy.total()
+                                             : c.edp();
+}
+
 std::optional<MappingChoice>
 pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
          const TechnologyModel &tech,
-         const std::vector<Mapping> &candidates, Objective objective)
+         const std::vector<Mapping> &candidates, Objective objective,
+         bool prune, ThreadPool *pool, SearchStats *stats)
 {
+    SearchStats local;
+    SearchStats &st = stats ? *stats : local;
+
     std::optional<MappingChoice> best;
-    for (const Mapping &m : candidates) {
-        MappingChoice c = evaluateMapping(layer, cfg, tech, m);
-        const double score = objective == Objective::MinEnergy
-                                 ? c.energy.total()
-                                 : c.edp();
-        if (!best) {
-            best = std::move(c);
-            continue;
+    double best_score = std::numeric_limits<double>::max();
+
+    const size_t n = candidates.size();
+    std::vector<MappingChoice> slots(std::min(n, kPruneBlock));
+    std::vector<size_t> survivors;
+    survivors.reserve(kPruneBlock);
+
+    for (size_t base = 0; base < n; base += kPruneBlock) {
+        const size_t count = std::min(kPruneBlock, n - base);
+
+        // Pruning pass against the block-boundary incumbent.
+        survivors.clear();
+        for (size_t i = 0; i < count; ++i) {
+            if (prune && best &&
+                scoreLowerBound(layer, cfg, tech, candidates[base + i],
+                                objective) >=
+                    best_score * kPruneMargin) {
+                ++st.pruned;
+                continue;
+            }
+            survivors.push_back(i);
         }
-        const double best_score = objective == Objective::MinEnergy
-                                      ? best->energy.total()
-                                      : best->edp();
-        if (score < best_score)
-            best = std::move(c);
+
+        // Full evaluation of the survivors, parallel when a pool is
+        // available (indices write disjoint slots; no ordering).
+        const auto evaluate = [&](int64_t j) {
+            const size_t i = survivors[static_cast<size_t>(j)];
+            slots[i] =
+                evaluateMapping(layer, cfg, tech, candidates[base + i]);
+        };
+        if (pool) {
+            pool->parallelFor(
+                static_cast<int64_t>(survivors.size()), evaluate);
+        } else {
+            for (int64_t j = 0;
+                 j < static_cast<int64_t>(survivors.size()); ++j)
+                evaluate(j);
+        }
+        st.evaluated += static_cast<int64_t>(survivors.size());
+
+        // Deterministic reduction in candidate order; strict '<'
+        // keeps the earliest candidate on score ties, matching the
+        // serial search.
+        for (const size_t i : survivors) {
+            const double score = scoreOf(slots[i], objective);
+            if (!best || score < best_score) {
+                best = std::move(slots[i]);
+                best_score = score;
+            }
+        }
     }
     return best;
 }
@@ -53,8 +119,22 @@ searchLayer(const ConvLayer &layer, const AcceleratorConfig &cfg,
             const TechnologyModel &tech, SearchEffort effort,
             Objective objective)
 {
+    return searchLayer(layer, cfg, tech, effort, objective,
+                       SearchOptions{});
+}
+
+std::optional<MappingChoice>
+searchLayer(const ConvLayer &layer, const AcceleratorConfig &cfg,
+            const TechnologyModel &tech, SearchEffort effort,
+            Objective objective, const SearchOptions &search,
+            SearchStats *stats)
+{
+    std::unique_ptr<ThreadPool> pool;
+    if (search.threads > 1 && !ThreadPool::inParallelRegion())
+        pool = std::make_unique<ThreadPool>(search.threads);
     return pickBest(layer, cfg, tech,
-                    enumerateCandidates(layer, cfg, effort), objective);
+                    enumerateCandidates(layer, cfg, effort), objective,
+                    search.boundPruning, pool.get(), stats);
 }
 
 std::optional<MappingChoice>
@@ -66,7 +146,8 @@ searchLayerWithSpatial(const ConvLayer &layer,
 {
     return pickBest(
         layer, cfg, tech,
-        enumerateCandidatesFor(layer, cfg, effort, pkg, chip), objective);
+        enumerateCandidatesFor(layer, cfg, effort, pkg, chip), objective,
+        /*prune=*/true, /*pool=*/nullptr, /*stats=*/nullptr);
 }
 
 ModelMappingResult
@@ -74,37 +155,59 @@ mapModel(const Model &model, const AcceleratorConfig &cfg,
          const TechnologyModel &tech, SearchEffort effort,
          Objective objective)
 {
+    return mapModel(model, cfg, tech, effort, objective,
+                    SearchOptions{});
+}
+
+ModelMappingResult
+mapModel(const Model &model, const AcceleratorConfig &cfg,
+         const TechnologyModel &tech, SearchEffort effort,
+         Objective objective, const SearchOptions &search,
+         MappingCache *cache)
+{
     ModelMappingResult result;
     result.cost.modelName = model.name();
 
     // Layers with identical shapes (repeated residual blocks) share
-    // one search result.
-    using ShapeKey = std::tuple<int, int, int, int, int, int, int>;
-    std::map<ShapeKey, std::optional<MappingChoice>> cache;
+    // one search result.  Without an external cache, a private one
+    // scopes the memoization to this call, as before.
+    MappingCache private_cache;
+    MappingCache &shared = cache ? *cache : private_cache;
+
+    std::unique_ptr<ThreadPool> pool;
+    if (search.threads > 1 && !ThreadPool::inParallelRegion())
+        pool = std::make_unique<ThreadPool>(search.threads);
 
     for (const ConvLayer &layer : model.layers()) {
-        const ShapeKey key{layer.ho, layer.wo, layer.co, layer.ci,
-                           layer.kh, layer.kw, layer.stride};
-        auto it = cache.find(key);
-        if (it == cache.end()) {
-            it = cache.emplace(key, searchLayer(layer, cfg, tech, effort,
-                                                objective))
-                     .first;
-        }
-        if (!it->second) {
+        const MappingCache::Key key =
+            MappingCache::makeKey(layer, cfg, effort, objective);
+        bool hit = false;
+        const std::optional<MappingChoice> &choice =
+            shared.lookupOrCompute(
+                key,
+                [&] {
+                    return pickBest(
+                        layer, cfg, tech,
+                        enumerateCandidates(layer, cfg, effort),
+                        objective, search.boundPruning, pool.get(),
+                        &result.stats);
+                },
+                &hit);
+        ++(hit ? result.stats.cacheHits : result.stats.cacheMisses);
+
+        if (!choice) {
             // The caller decides whether infeasibility is worth
             // reporting (the DSE sweeps hit this by design).
             result.feasible = false;
             continue;
         }
-        const MappingChoice &choice = *it->second;
         LayerCost lc;
         lc.layerName = layer.name;
-        lc.energy = choice.energy;
-        lc.cycles = choice.runtime.cycles;
-        lc.utilization = choice.runtime.utilization;
+        lc.energy = choice->energy;
+        lc.cycles = choice->runtime.cycles;
+        lc.utilization = choice->runtime.utilization;
         result.cost.add(std::move(lc));
-        result.choices.push_back(choice);
+        result.choices.push_back(*choice);
     }
     return result;
 }

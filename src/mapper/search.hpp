@@ -23,11 +23,51 @@
 
 namespace nnbaton {
 
+class MappingCache; // mapper/cache.hpp
+class ThreadPool;   // common/parallel.hpp
+
 /** Search objective. */
 enum class Objective
 {
     MinEnergy, //!< minimise total energy (the paper's default)
     MinEdp,    //!< minimise energy-delay product
+};
+
+/**
+ * Work counters for the mapping search.  All four are deterministic:
+ * pruning decisions are made at fixed block boundaries independent of
+ * the thread count, and the cross-design-point cache computes every
+ * unique key exactly once, so serial and parallel runs report
+ * identical totals.
+ */
+struct SearchStats
+{
+    int64_t evaluated = 0;   //!< candidates given the full C3P analysis
+    int64_t pruned = 0;      //!< candidates skipped by the score bound
+    int64_t cacheHits = 0;   //!< layer searches served from the cache
+    int64_t cacheMisses = 0; //!< layer searches actually run
+
+    SearchStats &operator+=(const SearchStats &other)
+    {
+        evaluated += other.evaluated;
+        pruned += other.pruned;
+        cacheHits += other.cacheHits;
+        cacheMisses += other.cacheMisses;
+        return *this;
+    }
+};
+
+/** Execution options for the mapping search. */
+struct SearchOptions
+{
+    /** Total threads (including the caller); <= 1 runs serially.
+     *  Results are bit-identical across thread counts. */
+    int threads = 1;
+
+    /** Skip candidates whose cheap score lower bound (mapper/
+     *  bound.hpp) cannot beat the incumbent.  Sound: never changes
+     *  the selected mapping. */
+    bool boundPruning = true;
 };
 
 /** A fully evaluated mapping for one layer. */
@@ -59,6 +99,18 @@ searchLayer(const ConvLayer &layer, const AcceleratorConfig &cfg,
             Objective objective = Objective::MinEnergy);
 
 /**
+ * searchLayer() with explicit execution options: candidate evaluation
+ * parallelised across @p search.threads lanes and (optionally)
+ * score-bound pruned.  @p stats, when non-null, accumulates work
+ * counters.
+ */
+std::optional<MappingChoice>
+searchLayer(const ConvLayer &layer, const AcceleratorConfig &cfg,
+            const TechnologyModel &tech, SearchEffort effort,
+            Objective objective, const SearchOptions &search,
+            SearchStats *stats = nullptr);
+
+/**
  * Search the best mapping for one layer restricted to a spatial
  * combination (figure 11 study).
  */
@@ -76,6 +128,7 @@ struct ModelMappingResult
     ModelCost cost;
     std::vector<MappingChoice> choices; //!< one per layer, model order
     bool feasible = true; //!< false if any layer had no legal mapping
+    SearchStats stats;    //!< work counters for this call
 };
 
 /**
@@ -88,6 +141,19 @@ mapModel(const Model &model, const AcceleratorConfig &cfg,
          const TechnologyModel &tech,
          SearchEffort effort = SearchEffort::Exhaustive,
          Objective objective = Objective::MinEnergy);
+
+/**
+ * mapModel() with explicit execution options.  When @p cache is
+ * non-null the per-layer memoization uses that (thread-safe,
+ * cross-design-point) cache instead of a private one, so repeated
+ * shapes are searched once per unique (shape, config) across every
+ * caller sharing the cache — the DSE sweep's dominant saving.
+ */
+ModelMappingResult
+mapModel(const Model &model, const AcceleratorConfig &cfg,
+         const TechnologyModel &tech, SearchEffort effort,
+         Objective objective, const SearchOptions &search,
+         MappingCache *cache = nullptr);
 
 } // namespace nnbaton
 

@@ -27,6 +27,24 @@ struct Phases
     int64_t ringPerTile = 0;     //!< cycles of ring rotation per tile
 };
 
+/** Cycles to compute one core tile (the dense / depthwise split). */
+int64_t
+computeCyclesPerTile(const ConvLayer &layer,
+                     const AcceleratorConfig &cfg,
+                     const MappingShapes &s)
+{
+    // Dense layers reduce the input channels over the P-wide vector;
+    // depthwise layers pack the kernel window into the vector instead.
+    if (layer.isDepthwise()) {
+        return static_cast<int64_t>(s.coreTile.ho) * s.coreTile.wo *
+               ceilDiv(static_cast<int64_t>(layer.kh) * layer.kw,
+                       cfg.core.vectorSize);
+    }
+    const int p = std::min<int>(cfg.core.vectorSize, layer.ciPerGroup());
+    return static_cast<int64_t>(s.coreTile.ho) * s.coreTile.wo *
+           layer.kh * layer.kw * ceilDiv(layer.ciPerGroup(), p);
+}
+
 Phases
 derivePhases(const ConvLayer &layer, const AcceleratorConfig &cfg,
              const AccessAnalysis &a, const TechnologyModel &tech)
@@ -34,21 +52,7 @@ derivePhases(const ConvLayer &layer, const AcceleratorConfig &cfg,
     Phases ph;
     const MappingShapes &s = a.shapes;
     ph.tiles = s.coreTilesPerChiplet();
-
-    // Dense layers reduce the input channels over the P-wide vector;
-    // depthwise layers pack the kernel window into the vector instead.
-    if (layer.isDepthwise()) {
-        ph.computePerTile =
-            static_cast<int64_t>(s.coreTile.ho) * s.coreTile.wo *
-            ceilDiv(static_cast<int64_t>(layer.kh) * layer.kw,
-                    cfg.core.vectorSize);
-    } else {
-        const int p =
-            std::min<int>(cfg.core.vectorSize, layer.ciPerGroup());
-        ph.computePerTile = static_cast<int64_t>(s.coreTile.ho) *
-                            s.coreTile.wo * layer.kh * layer.kw *
-                            ceilDiv(layer.ciPerGroup(), p);
-    }
+    ph.computePerTile = computeCyclesPerTile(layer, cfg, s);
 
     // DRAM traffic is spread over the N_P DDR PHYs (crossbar).
     const int np = cfg.package.chiplets;
@@ -67,6 +71,14 @@ derivePhases(const ConvLayer &layer, const AcceleratorConfig &cfg,
 }
 
 } // namespace
+
+int64_t
+computeCycles(const ConvLayer &layer, const AcceleratorConfig &cfg,
+              const MappingShapes &shapes)
+{
+    return shapes.coreTilesPerChiplet() *
+           computeCyclesPerTile(layer, cfg, shapes);
+}
 
 RuntimeResult
 estimateRuntime(const ConvLayer &layer, const AcceleratorConfig &cfg,

@@ -45,6 +45,19 @@ RuntimeResult estimateRuntime(const ConvLayer &layer,
                               const TechnologyModel &tech);
 
 /**
+ * Pure compute cycles (no stalls) for a mapping's derived shapes: the
+ * core-tile count times the per-tile vector-MAC issue count.  This is
+ * a hard floor on estimateRuntime()'s cycle count (which models edge
+ * tiles at full size, like the shapes), which is what the mapping
+ * search's score-bound pruning needs (mapper/bound.hpp).  The phase
+ * simulator shrinks edge tiles and may report fewer compute cycles;
+ * the search never scores with the simulator.
+ */
+int64_t computeCycles(const ConvLayer &layer,
+                      const AcceleratorConfig &cfg,
+                      const MappingShapes &shapes);
+
+/**
  * Per-tile phase simulator.
  *
  * Each chiplet runs its core-tile schedule; a tile's next-tile loads

@@ -8,7 +8,10 @@
  *  - every mapping candidate the enumerator produces for random
  *    layers/configs must be legal and satisfy the access-accounting
  *    invariants (exact output traffic, cold-tensor floors, capacity
- *    monotonicity).
+ *    monotonicity);
+ *  - the search's score lower bound must never exceed the exact score
+ *    of any candidate, and the pruned search must return the same
+ *    best mapping as the exhaustive one (pruning soundness).
  */
 
 #include <gtest/gtest.h>
@@ -16,7 +19,10 @@
 #include <random>
 
 #include "c3p/access.hpp"
+#include "mapper/bound.hpp"
 #include "mapper/candidates.hpp"
+#include "mapper/search.hpp"
+#include "tech/technology.hpp"
 #include "verif/interpreter.hpp"
 
 using namespace nnbaton;
@@ -218,3 +224,131 @@ TEST_P(CapacityMonotoneFuzz, LargerBuffersNeverIncreaseTraffic)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CapacityMonotoneFuzz,
                          ::testing::Values(7u, 11u, 19u));
+
+namespace {
+
+AcceleratorConfig
+randomConfig(std::mt19937 &g)
+{
+    AcceleratorConfig cfg;
+    cfg.package.chiplets = pick(g, {1, 2, 4, 8});
+    cfg.chiplet.cores = pick(g, {1, 2, 4, 8});
+    cfg.core.lanes = pick(g, {4, 8, 16});
+    cfg.core.vectorSize = pick(g, {4, 8, 16});
+    cfg.core.ol1Bytes = pick(g, {768, 1536, 3072});
+    cfg.core.al1Bytes = pick(g, {800, 2048, 8192});
+    cfg.core.wl1Bytes = pick(g, {8192, 18432, 65536});
+    cfg.chiplet.al2Bytes = pick(g, {32768, 65536, 262144});
+    cfg.validate();
+    return cfg;
+}
+
+ConvLayer
+randomLayer(std::mt19937 &g)
+{
+    // Every third layer depthwise; strided 1x1 shortcuts included
+    // deliberately — their input footprint is the tricky case for the
+    // activation floor in the bound.
+    if (pick(g, {0, 1, 2}) == 0) {
+        return makeDepthwiseConv("fuzz-dw", pick(g, {7, 14, 28}),
+                                 pick(g, {7, 14, 28}),
+                                 pick(g, {32, 64, 128}), 3,
+                                 pick(g, {1, 2}));
+    }
+    return makeConv("fuzz", pick(g, {7, 14, 28, 56}),
+                    pick(g, {7, 14, 28, 56}), pick(g, {32, 64, 256}),
+                    pick(g, {16, 64, 256}), pick(g, {1, 3}),
+                    pick(g, {1, 3}), pick(g, {1, 2}));
+}
+
+double
+exactScore(const MappingChoice &c, Objective objective)
+{
+    return objective == Objective::MinEnergy ? c.energy.total()
+                                             : c.edp();
+}
+
+} // namespace
+
+class PruningFuzz : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(PruningFuzz, BoundNeverExceedsExactScore)
+{
+    auto &g = rng(GetParam() * 7919u);
+    const TechnologyModel &tech = defaultTech();
+    for (int iter = 0; iter < 3; ++iter) {
+        const AcceleratorConfig cfg = randomConfig(g);
+        const ConvLayer layer = randomLayer(g);
+        const auto cands =
+            enumerateCandidates(layer, cfg, SearchEffort::Fast);
+        for (const Mapping &m : cands) {
+            const MappingChoice c =
+                evaluateMapping(layer, cfg, tech, m);
+            for (Objective obj :
+                 {Objective::MinEnergy, Objective::MinEdp}) {
+                const double bound =
+                    scoreLowerBound(layer, cfg, tech, m, obj);
+                const double exact = exactScore(c, obj);
+                // Soundness: allow only FP rounding slack.
+                EXPECT_LE(bound, exact * (1.0 + 1e-9))
+                    << "seed " << GetParam() << " iter " << iter
+                    << " obj " << static_cast<int>(obj) << " layer "
+                    << layer.toString() << " mapping " << m.toString();
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class PruningSearchFuzz : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(PruningSearchFuzz, PrunedSearchMatchesExhaustive)
+{
+    auto &g = rng(GetParam() * 104729u);
+    const TechnologyModel &tech = defaultTech();
+    for (int iter = 0; iter < 3; ++iter) {
+        const AcceleratorConfig cfg = randomConfig(g);
+        const ConvLayer layer = randomLayer(g);
+        for (Objective obj :
+             {Objective::MinEnergy, Objective::MinEdp}) {
+            SearchOptions pruned_opt;
+            pruned_opt.boundPruning = true;
+            SearchStats pruned_stats;
+            const auto pruned =
+                searchLayer(layer, cfg, tech, SearchEffort::Fast, obj,
+                            pruned_opt, &pruned_stats);
+
+            SearchOptions full_opt;
+            full_opt.boundPruning = false;
+            SearchStats full_stats;
+            const auto full =
+                searchLayer(layer, cfg, tech, SearchEffort::Fast, obj,
+                            full_opt, &full_stats);
+
+            ASSERT_EQ(pruned.has_value(), full.has_value())
+                << "seed " << GetParam() << " iter " << iter;
+            if (!pruned)
+                continue;
+            // Same winner, bit-identical score.
+            EXPECT_EQ(exactScore(*pruned, obj), exactScore(*full, obj))
+                << layer.toString();
+            EXPECT_EQ(pruned->mapping.toString(),
+                      full->mapping.toString())
+                << layer.toString();
+            // Pruning only ever skips work.
+            EXPECT_EQ(full_stats.pruned, 0);
+            EXPECT_LE(pruned_stats.evaluated, full_stats.evaluated);
+            EXPECT_EQ(pruned_stats.evaluated + pruned_stats.pruned,
+                      full_stats.evaluated);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningSearchFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u));

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the thread-pool / parallel-for utility: index
+ * coverage, serial degeneration, the nested-free guarantee, and
+ * exception propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+using namespace nnbaton;
+
+TEST(HardwareThreads, AtLeastOne)
+{
+    EXPECT_GE(hardwareThreads(), 1);
+}
+
+TEST(ThreadPool, LaneCountIncludesCaller)
+{
+    EXPECT_EQ(ThreadPool(1).threads(), 1);
+    EXPECT_EQ(ThreadPool(0).threads(), 1); // degenerates, never 0
+    EXPECT_EQ(ThreadPool(4).threads(), 4);
+}
+
+TEST(ThreadPool, VisitsEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 7}) {
+        ThreadPool pool(threads);
+        constexpr int64_t n = 1000;
+        std::vector<std::atomic<int>> visits(n);
+        pool.parallelFor(n, [&](int64_t i) {
+            visits[static_cast<size_t>(i)].fetch_add(1);
+        });
+        for (int64_t i = 0; i < n; ++i)
+            ASSERT_EQ(visits[static_cast<size_t>(i)].load(), 1)
+                << "threads " << threads << " index " << i;
+    }
+}
+
+TEST(ThreadPool, EmptyAndNegativeRangesRunNothing)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](int64_t) { ++calls; });
+    pool.parallelFor(-5, [&](int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleIndexRunsInlineOnCaller)
+{
+    ThreadPool pool(4);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::thread::id ran;
+    pool.parallelFor(1, [&](int64_t) {
+        ran = std::this_thread::get_id();
+    });
+    EXPECT_EQ(ran, caller);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> sum{0};
+    for (int job = 0; job < 50; ++job)
+        pool.parallelFor(10, [&](int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 50 * 45);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool outer(4);
+    ThreadPool inner(4);
+    std::atomic<int> nested_parallel{0};
+    std::atomic<int64_t> inner_calls{0};
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+    outer.parallelFor(8, [&](int64_t) {
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+        const std::thread::id me = std::this_thread::get_id();
+        inner.parallelFor(8, [&](int64_t) {
+            ++inner_calls;
+            // The nested-free guarantee: inner indices stay on the
+            // thread that owns the outer index.
+            if (std::this_thread::get_id() != me)
+                ++nested_parallel;
+        });
+    });
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+    EXPECT_EQ(inner_calls.load(), 64);
+    EXPECT_EQ(nested_parallel.load(), 0);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(pool.parallelFor(100,
+                                      [&](int64_t i) {
+                                          if (i == 42)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+                     std::runtime_error)
+            << "threads " << threads;
+        // The pool survives a throwing job.
+        std::atomic<int64_t> ok{0};
+        pool.parallelFor(10, [&](int64_t) { ++ok; });
+        EXPECT_EQ(ok.load(), 10);
+    }
+}
+
+TEST(ThreadPool, ExceptionAbandonsRemainingIndices)
+{
+    // Serial pool: indices run in order, so everything after the
+    // throwing index must be skipped.
+    ThreadPool pool(1);
+    std::vector<int> visited;
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](int64_t i) {
+                                      visited.push_back(
+                                          static_cast<int>(i));
+                                      if (i == 5)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    EXPECT_EQ(visited.size(), 6u);
+}

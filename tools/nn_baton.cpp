@@ -26,6 +26,7 @@
 #include "baton/baton.hpp"
 #include "baton/export.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "nn/parser.hpp"
 
 using namespace nnbaton;
@@ -43,6 +44,7 @@ struct Args
     double areaMm2 = 0.0;
     bool proportional = false;
     bool edpObjective = false;
+    int threads = hardwareThreads();
     // Hardware overrides for `post` / `compare`.
     AcceleratorConfig config = caseStudyConfig();
 };
@@ -68,6 +70,8 @@ usage()
         "  --area <mm2>          pre: chiplet area budget [none]\n"
         "  --proportional        pre: memory proportional to compute\n"
         "  --edp                 optimise EDP instead of energy\n"
+        "  --threads <n>         worker threads (1 = serial; results\n"
+        "                        are identical) [hardware concurrency]\n"
         "  --chiplets/--cores/--lanes/--vector <n>\n"
         "                        post/compare hardware shape\n"
         "  --ol1/--al1/--wl1/--al2 <bytes>\n"
@@ -102,6 +106,10 @@ parseArgs(int argc, char **argv, Args &args)
             args.proportional = true;
         } else if (opt == "--edp") {
             args.edpObjective = true;
+        } else if (opt == "--threads") {
+            args.threads = std::atoi(next());
+            if (args.threads < 1)
+                fatal("--threads needs a positive value");
         } else if (opt == "--chiplets") {
             args.config.package.chiplets = std::atoi(next());
         } else if (opt == "--cores") {
@@ -161,7 +169,8 @@ runPost(const Args &args)
     PostDesignFlow flow(args.config, defaultTech(),
                         SearchEffort::Exhaustive,
                         args.edpObjective ? Objective::MinEdp
-                                          : Objective::MinEnergy);
+                                          : Objective::MinEnergy,
+                        args.threads);
     const PostDesignReport report = flow.run(model);
     std::printf("%s", report.toString().c_str());
     if (!args.jsonPath.empty()) {
@@ -186,6 +195,7 @@ runPre(const Args &args)
                                    : SearchEffort::Sketch;
     opt.objective = args.edpObjective ? Objective::MinEdp
                                       : Objective::MinEnergy;
+    opt.threads = args.threads;
     PreDesignFlow flow(opt);
     const PreDesignReport report = flow.run(model);
     std::printf("%s", report.toString().c_str());
