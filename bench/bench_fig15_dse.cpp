@@ -24,7 +24,9 @@
 #include "baton/baton.hpp"
 #include "common/json.hpp"
 #include "common/parallel.hpp"
+#include "common/profile.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "common/util.hpp"
 
 using namespace nnbaton;
@@ -156,15 +158,35 @@ benchSweep(int threads)
     const Model model = makeDarkNet19(224);
     DseOptions opt = figureOptions();
 
+    // The timed serial and parallel sweeps run with tracing disabled
+    // (its cost there is one relaxed load per span site), keeping the
+    // numbers comparable across revisions.  A third, traced parallel
+    // sweep supplies the per-phase breakdown for BENCH_dse.json and
+    // measures the tracing-enabled overhead.
     opt.threads = 1;
     const DseResult serial = explore(model, opt, defaultTech());
     opt.threads = threads;
     const DseResult parallel = explore(model, opt, defaultTech());
 
-    const bool identical = identicalResults(serial, parallel);
+    const size_t spansBefore = obs::snapshotTrace().size();
+    obs::setTracingEnabled(true);
+    const DseResult traced = explore(model, opt, defaultTech());
+    obs::setTracingEnabled(false);
+    std::vector<obs::TraceEvent> spans = obs::snapshotTrace();
+    spans.erase(spans.begin(),
+                spans.begin() + static_cast<int64_t>(std::min(
+                                    spansBefore, spans.size())));
+    const obs::ProfileReport profile = obs::buildProfile(spans);
+
+    const bool identical = identicalResults(serial, parallel) &&
+                           identicalResults(parallel, traced);
     const double speedup =
         parallel.elapsedSeconds > 0.0
             ? serial.elapsedSeconds / parallel.elapsedSeconds
+            : 0.0;
+    const double trace_overhead =
+        parallel.elapsedSeconds > 0.0
+            ? traced.elapsedSeconds / parallel.elapsedSeconds - 1.0
             : 0.0;
 
     std::printf("=== DSE sweep engine: serial vs %d threads "
@@ -173,8 +195,11 @@ benchSweep(int threads)
     std::printf("serial:   %.2f s\n", serial.elapsedSeconds);
     std::printf("parallel: %.2f s  (speedup %.2fx)\n",
                 parallel.elapsedSeconds, speedup);
+    std::printf("traced:   %.2f s  (tracing overhead %+.1f%%)\n",
+                traced.elapsedSeconds, 100.0 * trace_overhead);
     std::printf("results bit-identical: %s\n",
                 identical ? "yes" : "NO (BUG)");
+    std::printf("%s", obs::formatProfile(profile).c_str());
 
     std::ofstream out("BENCH_dse.json");
     JsonWriter j(out);
@@ -186,6 +211,8 @@ benchSweep(int threads)
     j.field("serial_seconds", serial.elapsedSeconds);
     j.field("parallel_seconds", parallel.elapsedSeconds);
     j.field("speedup", speedup);
+    j.field("traced_seconds", traced.elapsedSeconds);
+    j.field("trace_overhead", trace_overhead);
     j.field("identical", identical);
     j.key("sweep").beginObject();
     j.field("swept", serial.swept);
@@ -200,6 +227,8 @@ benchSweep(int threads)
     j.field("cache_misses", serial.search.cacheMisses);
     j.field("cache_entries", serial.cacheEntries);
     j.endObject();
+    j.key("profile");
+    obs::writeProfileJson(j, profile);
     j.endObject();
     out << "\n";
     std::printf("wrote BENCH_dse.json\n\n");

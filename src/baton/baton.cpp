@@ -40,10 +40,8 @@ PostDesignReport::toString() const
 PostDesignReport
 PostDesignFlow::run(const Model &model) const
 {
-    SearchOptions search;
-    search.threads = threads_;
     ModelMappingResult mapped =
-        mapModel(model, cfg_, tech_, effort_, objective_, search);
+        mapModel(model, cfg_, tech_, effort_, objective_, search_);
     if (!mapped.feasible) {
         warn("post-design: %s has layers with no legal mapping on %s",
              model.name().c_str(), cfg_.computeId().c_str());
@@ -61,9 +59,8 @@ PostDesignFlow::run(const Model &model) const
 std::optional<MappingChoice>
 PostDesignFlow::runLayer(const ConvLayer &layer) const
 {
-    SearchOptions search;
-    search.threads = threads_;
-    return searchLayer(layer, cfg_, tech_, effort_, objective_, search);
+    return searchLayer(layer, cfg_, tech_, effort_, objective_,
+                       search_);
 }
 
 std::string

@@ -61,7 +61,18 @@ class PostDesignFlow
                             Objective objective = Objective::MinEnergy,
                             int threads = 1)
         : cfg_(std::move(cfg)), tech_(tech), effort_(effort),
-          objective_(objective), threads_(threads)
+          objective_(objective)
+    {
+        search_.threads = threads;
+        cfg_.validate();
+    }
+
+    /** Full execution-options variant (threads, pruning, metrics). */
+    PostDesignFlow(AcceleratorConfig cfg, const TechnologyModel &tech,
+                   SearchEffort effort, Objective objective,
+                   const SearchOptions &search)
+        : cfg_(std::move(cfg)), tech_(tech), effort_(effort),
+          objective_(objective), search_(search)
     {
         cfg_.validate();
     }
@@ -79,7 +90,8 @@ class PostDesignFlow
     const TechnologyModel &tech_;
     SearchEffort effort_;
     Objective objective_;
-    int threads_; //!< candidate-evaluation lanes; results identical
+    SearchOptions search_; //!< execution options; results identical
+                           //!< at any thread count
 };
 
 /** Pre-design flow output. */

@@ -1,10 +1,30 @@
 #include "baton/export.hpp"
 
 #include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/profile.hpp"
 
 namespace nnbaton {
 
 namespace {
+
+/**
+ * The shared observability block: the per-phase profile aggregated
+ * from any collected trace spans (empty when tracing was off) and a
+ * snapshot of the metrics registry, so an exported report carries the
+ * cost of producing it.
+ */
+void
+writeObservability(JsonWriter &j)
+{
+    j.beginObject();
+    j.key("profile");
+    obs::writeProfileJson(j, obs::buildProfile());
+    j.key("metrics");
+    obs::writeMetricsJson(j,
+                          obs::MetricsRegistry::instance().snapshot());
+    j.endObject();
+}
 
 void
 writeMapping(JsonWriter &j, const Mapping &m)
@@ -99,6 +119,8 @@ exportPostDesign(const PostDesignReport &report, std::ostream &os)
         j.endObject();
     }
     j.endArray();
+    j.key("observability");
+    writeObservability(j);
     j.endObject();
     os << "\n";
 }
@@ -154,6 +176,8 @@ exportPreDesign(const PreDesignReport &report, std::ostream &os)
         j.field("edp", report.recommended->edp());
         j.endObject();
     }
+    j.key("observability");
+    writeObservability(j);
     j.endObject();
     os << "\n";
 }

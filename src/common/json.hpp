@@ -1,18 +1,22 @@
 /**
  * @file
  * A minimal streaming JSON writer for the export interfaces (mapping
- * reports for the hardware compiler, DSE dumps for plotting).  Scope
- * is limited to what the library emits: objects, arrays, strings,
- * integers, doubles and booleans, with correct escaping and
- * machine-stable number formatting.
+ * reports for the hardware compiler, DSE dumps for plotting), plus a
+ * small recursive-descent parser (JsonValue / parseJson) so tests and
+ * tools can round-trip what the library emits.  Scope is limited to
+ * what the library needs: objects, arrays, strings, numbers and
+ * booleans, with correct escaping and machine-stable number
+ * formatting.
  */
 
 #ifndef NNBATON_COMMON_JSON_HPP
 #define NNBATON_COMMON_JSON_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nnbaton {
@@ -65,6 +69,54 @@ class JsonWriter
     std::vector<bool> hasElement_; //!< per nesting level
     bool pendingKey_ = false;
 };
+
+/**
+ * A parsed JSON document node.  Objects keep their members in
+ * insertion order (the writer's emit order), numbers are stored as
+ * doubles (the writer never emits integers above 2^53).
+ */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member by key, or nullptr (also for non-objects). */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/** parseJson() outcome: a value, or an error with its text offset. */
+struct JsonParseResult
+{
+    JsonValue value;
+    std::string error; //!< empty on success
+    size_t errorOffset = 0;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Parse one JSON document; trailing whitespace is allowed. */
+JsonParseResult parseJson(const std::string &text);
 
 } // namespace nnbaton
 

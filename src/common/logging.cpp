@@ -1,5 +1,6 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -8,28 +9,92 @@ namespace nnbaton {
 
 namespace {
 
-bool informEnabled = true;
+std::atomic<int> currentLevel{static_cast<int>(LogLevel::Info)};
 
+std::string
+vstrprintf(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+/**
+ * Format prefix + message + newline into one buffer and emit it with
+ * a single fwrite, so concurrent reporters never interleave mid-line
+ * (stdio locks the stream per call).
+ */
 void
 vreport(const char *prefix, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s", prefix);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    std::string line = prefix + vstrprintf(fmt, ap) + "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+bool
+levelEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >=
+           currentLevel.load(std::memory_order_relaxed);
 }
 
 } // namespace
 
 void
+setLogLevel(LogLevel level)
+{
+    currentLevel.store(static_cast<int>(level),
+                       std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        currentLevel.load(std::memory_order_relaxed));
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "debug")
+        out = LogLevel::Debug;
+    else if (name == "info")
+        out = LogLevel::Info;
+    else if (name == "warn")
+        out = LogLevel::Warn;
+    else if (name == "quiet")
+        out = LogLevel::Quiet;
+    else
+        return false;
+    return true;
+}
+
+void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    setLogLevel(enabled ? LogLevel::Info : LogLevel::Warn);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (!levelEnabled(LogLevel::Debug))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("debug: ", fmt, ap);
+    va_end(ap);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!levelEnabled(LogLevel::Info))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -40,6 +105,8 @@ inform(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (!levelEnabled(LogLevel::Warn))
+        return;
     va_list ap;
     va_start(ap, fmt);
     vreport("warn: ", fmt, ap);
@@ -71,14 +138,10 @@ strprintf(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    va_list ap2;
-    va_copy(ap2, ap);
-    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string s = vstrprintf(fmt, ap);
     va_end(ap);
-    std::vector<char> buf(static_cast<size_t>(n) + 1);
-    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
-    va_end(ap2);
-    return std::string(buf.data(), static_cast<size_t>(n));
+    return s;
 }
 
 } // namespace nnbaton
+

@@ -5,6 +5,11 @@
  * fatal() is for user errors (bad configuration, invalid arguments) and
  * exits with code 1; panic() is for internal invariant violations and
  * aborts.  inform()/warn() print status without stopping the program.
+ *
+ * All reporting functions are thread-safe: each message is formatted
+ * into a single buffer and written with one stdio call, so output
+ * from parallel sweep workers never interleaves mid-line.  Verbosity
+ * is controlled by an atomic log level (setLogLevel / --log-level).
  */
 
 #ifndef NNBATON_COMMON_LOGGING_HPP
@@ -14,6 +19,30 @@
 #include <string>
 
 namespace nnbaton {
+
+/** Message severities, in increasing order of importance. */
+enum class LogLevel
+{
+    Debug = 0, //!< debugLog(): extra detail for developers
+    Info = 1,  //!< inform(): normal progress (the default level)
+    Warn = 2,  //!< warn(): suspicious but recoverable
+    Quiet = 3, //!< only fatal()/panic() (which always print)
+};
+
+/** Set the minimum severity that gets printed (atomic, thread-safe). */
+void setLogLevel(LogLevel level);
+
+/** The current minimum printed severity. */
+LogLevel logLevel();
+
+/**
+ * Parse "debug" / "info" / "warn" / "quiet" into a level.  Returns
+ * false (leaving @p out untouched) for anything else.
+ */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
+/** Print a debug message to stderr (prefixed "debug:"). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Print an informational message to stderr (prefixed "info:"). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
@@ -35,7 +64,10 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Enable/disable inform() output (benches silence it). */
+/**
+ * Enable/disable inform() output (benches silence it).  Kept as a
+ * shim over setLogLevel: enabled maps to Info, disabled to Warn.
+ */
 void setInformEnabled(bool enabled);
 
 /** printf-style formatting into a std::string. */

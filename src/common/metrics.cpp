@@ -1,0 +1,178 @@
+#include "common/metrics.hpp"
+
+#include <bit>
+#include <limits>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace nnbaton {
+namespace obs {
+
+int
+Histogram::bucketIndex(int64_t v)
+{
+    if (v <= 0)
+        return 0;
+    // bit_width(v) = floor(log2(v)) + 1, so 1 -> 1, 2..3 -> 2, etc.
+    const int b = std::bit_width(static_cast<uint64_t>(v));
+    return b < kBuckets ? b : kBuckets - 1;
+}
+
+int64_t
+Histogram::bucketLowerBound(int b)
+{
+    if (b <= 0)
+        return 0;
+    return int64_t(1) << (b - 1);
+}
+
+int64_t
+Histogram::bucketUpperBound(int b)
+{
+    if (b <= 0)
+        return 0;
+    if (b >= kBuckets - 1)
+        return std::numeric_limits<int64_t>::max();
+    return (int64_t(1) << b) - 1;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry r;
+    return r;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::unique_ptr<Counter> &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::unique_ptr<Gauge> &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::unique_ptr<Histogram> &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot s;
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto &[name, c] : counters_)
+        s.counters.emplace_back(name, c->value());
+    for (const auto &[name, g] : gauges_)
+        s.gauges.emplace_back(name, g->value());
+    for (const auto &[name, h] : histograms_) {
+        HistogramSnapshot hs;
+        hs.name = name;
+        hs.count = h->count();
+        hs.sum = h->sum();
+        for (int b = 0; b < Histogram::kBuckets; ++b)
+            hs.buckets[b] = h->bucketCount(b);
+        s.histograms.push_back(std::move(hs));
+    }
+    return s;
+}
+
+std::string
+formatMetrics(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream ss;
+    TextTable t({"metric", "kind", "value", "detail"});
+    for (const auto &[name, v] : snapshot.counters)
+        t.newRow().add(name).add("counter").add(v).add("");
+    for (const auto &[name, v] : snapshot.gauges)
+        t.newRow().add(name).add("gauge").add(v, 3).add("");
+    for (const HistogramSnapshot &h : snapshot.histograms) {
+        t.newRow()
+            .add(h.name)
+            .add("histogram")
+            .add(h.count)
+            .add(strprintf("sum %lld mean %.1f",
+                           static_cast<long long>(h.sum), h.mean()));
+    }
+    t.print(ss);
+    return ss.str();
+}
+
+void
+writeMetricsJson(JsonWriter &j, const MetricsSnapshot &snapshot)
+{
+    j.beginObject();
+    j.key("counters").beginObject();
+    for (const auto &[name, v] : snapshot.counters)
+        j.field(name, v);
+    j.endObject();
+    j.key("gauges").beginObject();
+    for (const auto &[name, v] : snapshot.gauges)
+        j.field(name, v);
+    j.endObject();
+    j.key("histograms").beginObject();
+    for (const HistogramSnapshot &h : snapshot.histograms) {
+        j.key(h.name).beginObject();
+        j.field("count", h.count);
+        j.field("sum", h.sum);
+        j.field("mean", h.mean());
+        j.key("buckets").beginArray();
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+            if (!h.buckets[b])
+                continue;
+            j.beginObject();
+            j.field("lo", Histogram::bucketLowerBound(b));
+            j.field("hi", Histogram::bucketUpperBound(b));
+            j.field("n", h.buckets[b]);
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+    }
+    j.endObject();
+    j.endObject();
+}
+
+} // namespace obs
+} // namespace nnbaton

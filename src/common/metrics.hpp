@@ -1,0 +1,207 @@
+/**
+ * @file
+ * A thread-safe metrics registry for the DSE/mapping pipeline:
+ * counters (monotonic), gauges (last-written value) and histograms
+ * with fixed log2 buckets.
+ *
+ * Instruments register by name ("subsystem.what", dot-separated) and
+ * are process-wide; hot paths should cache the returned reference in
+ * a function-local static so the name lookup happens once:
+ *
+ * @code
+ *   static obs::Counter &evals =
+ *       obs::MetricsRegistry::instance().counter(
+ *           "mapper.candidates.evaluated");
+ *   evals.add(survivors);
+ * @endcode
+ *
+ * Updates are relaxed atomics (lock-free, no ordering guarantees
+ * between different instruments); registration and snapshotting take
+ * a registry mutex.  reset() zeroes every registered instrument so
+ * tests and benches can measure deltas.
+ */
+
+#ifndef NNBATON_COMMON_METRICS_HPP
+#define NNBATON_COMMON_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nnbaton {
+
+class JsonWriter; // common/json.hpp
+
+namespace obs {
+
+/** A monotonically increasing counter. */
+class Counter
+{
+  public:
+    void
+    add(int64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    int64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        v_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** A last-written-value gauge. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        v_.store(0.0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * A histogram over non-negative integers with fixed log2 buckets:
+ * bucket 0 holds values <= 0 and bucket k >= 1 holds
+ * [2^(k-1), 2^k - 1], so bucket 1 is exactly {1}, bucket 2 is {2,3},
+ * bucket 3 is {4..7}, and the last bucket absorbs everything above
+ * 2^(kBuckets-2).
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    /** Bucket index for @p v (see the class comment for the bounds). */
+    static int bucketIndex(int64_t v);
+
+    /** Smallest value mapping to bucket @p b (0 for bucket 0). */
+    static int64_t bucketLowerBound(int b);
+
+    /** Largest value mapping to bucket @p b. */
+    static int64_t bucketUpperBound(int b);
+
+    void
+    record(int64_t v)
+    {
+        buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    int64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    int64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    int64_t
+    bucketCount(int b) const
+    {
+        return buckets_[b].load(std::memory_order_relaxed);
+    }
+
+    void reset();
+
+  private:
+    std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+    std::atomic<int64_t> count_{0};
+    std::atomic<int64_t> sum_{0};
+};
+
+/** A point-in-time copy of one histogram. */
+struct HistogramSnapshot
+{
+    std::string name;
+    int64_t count = 0;
+    int64_t sum = 0;
+    std::array<int64_t, Histogram::kBuckets> buckets{};
+
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) / count : 0.0;
+    }
+};
+
+/** A point-in-time copy of every registered instrument. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+};
+
+/** The process-wide instrument registry. */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /** Find-or-create; references stay valid for the process. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Zero every registered instrument (names stay registered). */
+    void reset();
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex m_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** Render a snapshot as a column-aligned table (the --metrics view). */
+std::string formatMetrics(const MetricsSnapshot &snapshot);
+
+/** Write a snapshot as one JSON object value (key set by caller). */
+void writeMetricsJson(JsonWriter &j, const MetricsSnapshot &snapshot);
+
+} // namespace obs
+} // namespace nnbaton
+
+#endif // NNBATON_COMMON_METRICS_HPP

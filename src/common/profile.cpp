@@ -1,0 +1,106 @@
+#include "common/profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+
+namespace nnbaton {
+namespace obs {
+
+ProfileReport
+buildProfile(const std::vector<TraceEvent> &events)
+{
+    struct Agg
+    {
+        int64_t count = 0;
+        uint64_t totalNs = 0;
+        uint64_t maxNs = 0;
+    };
+    // Span names are static strings, but aggregate by value so two
+    // sites sharing one phase name merge.
+    std::map<std::string, Agg> byName;
+    for (const TraceEvent &e : events) {
+        Agg &a = byName[e.name];
+        ++a.count;
+        a.totalNs += e.durNs;
+        a.maxNs = std::max(a.maxNs, e.durNs);
+    }
+
+    ProfileReport report;
+    report.events = static_cast<int64_t>(events.size());
+    report.dropped = droppedTraceEvents();
+    for (const auto &[name, a] : byName) {
+        PhaseProfile p;
+        p.name = name;
+        p.count = a.count;
+        p.totalMs = static_cast<double>(a.totalNs) * 1e-6;
+        p.meanUs = a.count
+                       ? static_cast<double>(a.totalNs) * 1e-3 / a.count
+                       : 0.0;
+        p.maxUs = static_cast<double>(a.maxNs) * 1e-3;
+        report.phases.push_back(std::move(p));
+    }
+    std::sort(report.phases.begin(), report.phases.end(),
+              [](const PhaseProfile &a, const PhaseProfile &b) {
+                  return a.totalMs > b.totalMs;
+              });
+    return report;
+}
+
+ProfileReport
+buildProfile()
+{
+    return buildProfile(snapshotTrace());
+}
+
+std::string
+formatProfile(const ProfileReport &report)
+{
+    std::ostringstream ss;
+    if (report.empty()) {
+        ss << "profile: no trace spans collected (run with tracing "
+              "enabled)\n";
+        return ss.str();
+    }
+    TextTable t({"phase", "count", "total ms", "mean us", "max us"});
+    for (const PhaseProfile &p : report.phases) {
+        t.newRow()
+            .add(p.name)
+            .add(p.count)
+            .add(p.totalMs, 3)
+            .add(p.meanUs, 1)
+            .add(p.maxUs, 1);
+    }
+    t.print(ss);
+    if (report.dropped) {
+        ss << "(" << report.dropped
+           << " spans dropped at the per-thread buffer cap)\n";
+    }
+    return ss.str();
+}
+
+void
+writeProfileJson(JsonWriter &j, const ProfileReport &report)
+{
+    j.beginObject();
+    j.field("events", report.events);
+    j.field("dropped", report.dropped);
+    j.key("phases").beginArray();
+    for (const PhaseProfile &p : report.phases) {
+        j.beginObject();
+        j.field("name", p.name);
+        j.field("count", p.count);
+        j.field("total_ms", p.totalMs);
+        j.field("mean_us", p.meanUs);
+        j.field("max_us", p.maxUs);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+} // namespace obs
+} // namespace nnbaton

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * End-of-run profiling reports: aggregate the collected trace spans
+ * per phase (span name) into count / total / mean / max, render them
+ * as a table for stderr, and embed them in the JSON exports.
+ *
+ * The profiler consumes whatever the trace layer collected, so a run
+ * without tracing produces an empty report; it performs no timing of
+ * its own.
+ */
+
+#ifndef NNBATON_COMMON_PROFILE_HPP
+#define NNBATON_COMMON_PROFILE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+
+namespace nnbaton {
+
+class JsonWriter; // common/json.hpp
+
+namespace obs {
+
+/** Aggregated statistics for one span name. */
+struct PhaseProfile
+{
+    std::string name;
+    int64_t count = 0;
+    double totalMs = 0.0;
+    double meanUs = 0.0;
+    double maxUs = 0.0;
+};
+
+/** Per-phase aggregation of a trace, sorted by total time spent. */
+struct ProfileReport
+{
+    std::vector<PhaseProfile> phases;
+    int64_t events = 0;  //!< spans aggregated
+    int64_t dropped = 0; //!< spans lost to buffer caps
+
+    bool
+    empty() const
+    {
+        return phases.empty();
+    }
+};
+
+/** Aggregate an explicit list of spans (e.g. a snapshot delta). */
+ProfileReport buildProfile(const std::vector<TraceEvent> &events);
+
+/** Aggregate everything collected so far (snapshotTrace()). */
+ProfileReport buildProfile();
+
+/** Render the report as a column-aligned table. */
+std::string formatProfile(const ProfileReport &report);
+
+/** Write the report as one JSON object value (key set by caller). */
+void writeProfileJson(JsonWriter &j, const ProfileReport &report);
+
+} // namespace obs
+} // namespace nnbaton
+
+#endif // NNBATON_COMMON_PROFILE_HPP

@@ -1,0 +1,214 @@
+#include "common/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "common/json.hpp"
+
+namespace nnbaton {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> tracingOn{false};
+std::atomic<int64_t> droppedEvents{0};
+
+/**
+ * A chunked append-only event buffer owned by one writer thread.
+ *
+ * The writer appends into the current chunk (no synchronisation) and
+ * then publishes the new total with a release store of `count`;
+ * readers take `chunksMutex` (so the chunk list is stable), load
+ * `count` with acquire, and read exactly that many events.  The mutex
+ * is only contended when the writer starts a new chunk, which happens
+ * once per kChunkEvents spans.
+ */
+struct ThreadBuffer
+{
+    static constexpr size_t kChunkEvents = 4096;
+    /** Per-thread cap; beyond it spans are counted as dropped. */
+    static constexpr size_t kMaxEvents = size_t(1) << 20;
+
+    const uint32_t tid;
+
+    std::atomic<uint64_t> count{0};
+
+    std::mutex chunksMutex; //!< guards `chunks` (the vector, not the
+                            //!< events, which are write-once)
+    std::vector<std::unique_ptr<TraceEvent[]>> chunks;
+
+    // Writer-thread-only state.
+    TraceEvent *current = nullptr;
+    size_t currentUsed = kChunkEvents;
+
+    explicit ThreadBuffer(uint32_t id) : tid(id) {}
+
+    void
+    append(const char *name, uint64_t startNs, uint64_t durNs)
+    {
+        const uint64_t n = count.load(std::memory_order_relaxed);
+        if (n >= kMaxEvents) {
+            droppedEvents.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        if (currentUsed == kChunkEvents) {
+            auto chunk = std::make_unique<TraceEvent[]>(kChunkEvents);
+            current = chunk.get();
+            currentUsed = 0;
+            std::lock_guard<std::mutex> lock(chunksMutex);
+            chunks.push_back(std::move(chunk));
+        }
+        TraceEvent &e = current[currentUsed++];
+        e.name = name;
+        e.tid = tid;
+        e.startNs = startNs;
+        e.durNs = durNs;
+        count.store(n + 1, std::memory_order_release);
+    }
+};
+
+/** All thread buffers ever created; buffers outlive their threads. */
+struct TraceRegistry
+{
+    std::mutex m;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    uint32_t nextTid = 1;
+
+    static TraceRegistry &
+    instance()
+    {
+        static TraceRegistry r;
+        return r;
+    }
+
+    std::shared_ptr<ThreadBuffer>
+    createBuffer()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        auto buf = std::make_shared<ThreadBuffer>(nextTid++);
+        buffers.push_back(buf);
+        return buf;
+    }
+
+    std::vector<std::shared_ptr<ThreadBuffer>>
+    snapshotBuffers()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return buffers;
+    }
+};
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buf =
+        TraceRegistry::instance().createBuffer();
+    return *buf;
+}
+
+/** The span-name prefix before the first '.', as the Chrome "cat". */
+std::string
+categoryOf(const char *name)
+{
+    const std::string s(name);
+    const size_t dot = s.find('.');
+    return dot == std::string::npos ? s : s.substr(0, dot);
+}
+
+} // namespace
+
+void
+setTracingEnabled(bool enabled)
+{
+    tracingOn.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+tracingEnabled()
+{
+    return tracingOn.load(std::memory_order_relaxed);
+}
+
+uint64_t
+traceNowNs()
+{
+    static const std::chrono::steady_clock::time_point origin =
+        std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin)
+            .count());
+}
+
+void
+recordSpan(const char *name, uint64_t startNs, uint64_t endNs)
+{
+    threadBuffer().append(name, startNs,
+                          endNs >= startNs ? endNs - startNs : 0);
+}
+
+std::vector<TraceEvent>
+snapshotTrace()
+{
+    std::vector<TraceEvent> out;
+    for (const auto &buf : TraceRegistry::instance().snapshotBuffers()) {
+        std::lock_guard<std::mutex> lock(buf->chunksMutex);
+        const uint64_t n = buf->count.load(std::memory_order_acquire);
+        for (uint64_t i = 0; i < n; ++i) {
+            out.push_back(
+                buf->chunks[i / ThreadBuffer::kChunkEvents]
+                           [i % ThreadBuffer::kChunkEvents]);
+        }
+    }
+    return out;
+}
+
+int64_t
+droppedTraceEvents()
+{
+    return droppedEvents.load(std::memory_order_relaxed);
+}
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    const std::vector<TraceEvent> events = snapshotTrace();
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("traceEvents").beginArray();
+
+    // Process-name metadata record (Perfetto shows it as the track
+    // group title).
+    j.beginObject();
+    j.field("ph", "M");
+    j.field("pid", 0);
+    j.field("tid", 0);
+    j.field("name", "process_name");
+    j.key("args").beginObject();
+    j.field("name", "nn-baton");
+    j.endObject();
+    j.endObject();
+
+    for (const TraceEvent &e : events) {
+        j.beginObject();
+        j.field("ph", "X");
+        j.field("pid", 0);
+        j.field("tid", static_cast<int64_t>(e.tid));
+        j.field("name", e.name);
+        j.field("cat", categoryOf(e.name));
+        // Chrome timestamps are microseconds.
+        j.field("ts", static_cast<double>(e.startNs) * 1e-3);
+        j.field("dur", static_cast<double>(e.durNs) * 1e-3);
+        j.endObject();
+    }
+    j.endArray();
+    j.field("droppedEvents", droppedTraceEvents());
+    j.endObject();
+    os << "\n";
+}
+
+} // namespace obs
+} // namespace nnbaton

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Scoped trace spans for the DSE/mapping pipeline.
+ *
+ * Usage: drop NNBATON_TRACE_SCOPE("dse.map_model") at the top of a
+ * scope; when tracing is enabled (obs::setTracingEnabled) the span's
+ * wall-clock extent is recorded into a per-thread buffer and can be
+ * exported as Chrome trace-event JSON (open in Perfetto or
+ * chrome://tracing).  When tracing is disabled the macro costs one
+ * relaxed atomic load and a predictable branch; defining
+ * NNBATON_TRACE_DISABLED compiles every span site away entirely.
+ *
+ * Recording is observation-only and lock-free on the hot path: each
+ * thread appends to its own chunked buffer and publishes the event
+ * count with a release store, so writers never block each other and
+ * the exporter (which reads under the rarely-taken chunk mutex with
+ * an acquire load of the count) sees only fully written events.  The
+ * buffers are owned by a process-wide registry and outlive their
+ * threads, so pools may come and go between export calls.
+ *
+ * Span names must be string literals (or otherwise outlive the
+ * process): buffers store the pointer, not a copy.
+ */
+
+#ifndef NNBATON_COMMON_TRACE_HPP
+#define NNBATON_COMMON_TRACE_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nnbaton {
+namespace obs {
+
+/** One completed span, times in nanoseconds since the trace origin. */
+struct TraceEvent
+{
+    const char *name = nullptr; //!< static string, "subsystem.phase"
+    uint32_t tid = 0;           //!< small per-thread id (not the OS tid)
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+};
+
+/** Turn span collection on or off (off by default). */
+void setTracingEnabled(bool enabled);
+
+/** True when spans are currently being collected. */
+bool tracingEnabled();
+
+/** Nanoseconds since the process trace origin (steady clock). */
+uint64_t traceNowNs();
+
+/** Append a completed span to the calling thread's buffer. */
+void recordSpan(const char *name, uint64_t startNs, uint64_t endNs);
+
+/**
+ * Copy out every event recorded so far, in per-thread buffer order.
+ * Safe to call while other threads are still tracing: events
+ * published before the call are included, later ones are not.
+ */
+std::vector<TraceEvent> snapshotTrace();
+
+/** Events discarded because a thread buffer hit its capacity. */
+int64_t droppedTraceEvents();
+
+/**
+ * Write the collected spans as a Chrome trace-event JSON object
+ * ({"traceEvents":[...]}).  The "cat" of each event is the span-name
+ * prefix before the first '.'.
+ */
+void writeChromeTrace(std::ostream &os);
+
+/** RAII span; prefer the NNBATON_TRACE_SCOPE macro. */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char *name)
+    {
+        if (tracingEnabled()) {
+            name_ = name;
+            start_ = traceNowNs();
+        }
+    }
+
+    ~TraceScope()
+    {
+        if (name_)
+            recordSpan(name_, start_, traceNowNs());
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    const char *name_ = nullptr; //!< null when tracing was off at entry
+    uint64_t start_ = 0;
+};
+
+} // namespace obs
+} // namespace nnbaton
+
+#define NNBATON_TRACE_CAT2(a, b) a##b
+#define NNBATON_TRACE_CAT(a, b) NNBATON_TRACE_CAT2(a, b)
+
+#ifdef NNBATON_TRACE_DISABLED
+#define NNBATON_TRACE_SCOPE(name) static_cast<void>(0)
+#else
+/** Trace the enclosing scope as a span named @p name (a literal). */
+#define NNBATON_TRACE_SCOPE(name)                                       \
+    ::nnbaton::obs::TraceScope NNBATON_TRACE_CAT(nnbatonTraceScope_,    \
+                                                 __LINE__)(name)
+#endif
+
+#endif // NNBATON_COMMON_TRACE_HPP

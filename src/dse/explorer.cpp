@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "mapper/cache.hpp"
 
 namespace nnbaton {
@@ -74,6 +76,8 @@ evaluatePoint(const Model &model, const DseOptions &options,
               const ComputeAllocation &compute,
               const MemoryAllocation &memory, MappingCache &cache)
 {
+    NNBATON_TRACE_SCOPE("dse.design_point");
+
     PointOutcome out;
     AcceleratorConfig cfg = makeConfig(compute, memory);
     AreaBreakdown area = chipletArea(cfg, tech, defaultOl2Bytes(cfg));
@@ -85,9 +89,18 @@ evaluatePoint(const Model &model, const DseOptions &options,
     SearchOptions search;
     search.threads = 1; // point-level parallelism only (nested-free)
     search.boundPruning = options.boundPruning;
+    search.detailedMetrics = options.detailedMetrics;
+    const uint64_t t0 = options.detailedMetrics ? obs::traceNowNs() : 0;
     ModelMappingResult mapped =
         mapModel(model, cfg, tech, options.effort, options.objective,
                  search, &cache);
+    if (options.detailedMetrics) {
+        static obs::Histogram &m_point_us =
+            obs::MetricsRegistry::instance().histogram(
+                "dse.point_latency_us");
+        m_point_us.record(
+            static_cast<int64_t>((obs::traceNowNs() - t0) / 1000));
+    }
     out.stats = mapped.stats;
     if (!mapped.feasible) {
         out.kind = PointOutcome::Infeasible;
@@ -108,18 +121,10 @@ DseResult
 explore(const Model &model, const DseOptions &options,
         const TechnologyModel &tech)
 {
+    NNBATON_TRACE_SCOPE("dse.explore");
     const auto start = std::chrono::steady_clock::now();
 
     DseResult result;
-    const auto computes = enumerateCompute(options.totalMacs);
-    if (computes.empty()) {
-        fatal("explore: no table II compute allocation yields %lld MACs",
-              static_cast<long long>(options.totalMacs));
-    }
-
-    std::vector<MemoryAllocation> memories;
-    if (!options.proportionalMem)
-        memories = enumerateMemory();
 
     // Flatten the sweep into an index space first; the evaluation
     // order then no longer matters and the collection pass below
@@ -130,14 +135,31 @@ explore(const Model &model, const DseOptions &options,
         MemoryAllocation memory;
     };
     std::vector<Task> tasks;
-    for (const ComputeAllocation &compute : computes) {
-        if (options.proportionalMem) {
-            tasks.push_back({compute, proportionalMemory(compute)});
-            continue;
+    {
+        NNBATON_TRACE_SCOPE("dse.enumerate_space");
+        const auto computes = enumerateCompute(options.totalMacs);
+        if (computes.empty()) {
+            fatal(
+                "explore: no table II compute allocation yields %lld "
+                "MACs",
+                static_cast<long long>(options.totalMacs));
         }
-        for (const MemoryAllocation &memory : memories)
-            tasks.push_back({compute, memory});
+
+        std::vector<MemoryAllocation> memories;
+        if (!options.proportionalMem)
+            memories = enumerateMemory();
+
+        for (const ComputeAllocation &compute : computes) {
+            if (options.proportionalMem) {
+                tasks.push_back({compute, proportionalMemory(compute)});
+                continue;
+            }
+            for (const MemoryAllocation &memory : memories)
+                tasks.push_back({compute, memory});
+        }
     }
+    debugLog("explore: %zu design points to evaluate on %d lane(s)",
+             tasks.size(), options.threads);
 
     // One mapping cache serves every design point: swept points share
     // layer shapes (repeated ResNet-50 blocks) and the table II grid
@@ -154,22 +176,35 @@ explore(const Model &model, const DseOptions &options,
                      });
 
     // Deterministic collection in sweep order.
-    for (PointOutcome &out : outcomes) {
-        ++result.swept;
-        result.search += out.stats;
-        switch (out.kind) {
-        case PointOutcome::AreaRejected:
-            ++result.areaRejected;
-            break;
-        case PointOutcome::Infeasible:
-            ++result.infeasible;
-            break;
-        case PointOutcome::Valid:
-            result.points.push_back(std::move(out.point));
-            break;
+    {
+        NNBATON_TRACE_SCOPE("dse.collect");
+        for (PointOutcome &out : outcomes) {
+            ++result.swept;
+            result.search += out.stats;
+            switch (out.kind) {
+            case PointOutcome::AreaRejected:
+                ++result.areaRejected;
+                break;
+            case PointOutcome::Infeasible:
+                ++result.infeasible;
+                break;
+            case PointOutcome::Valid:
+                result.points.push_back(std::move(out.point));
+                break;
+            }
         }
     }
     result.cacheEntries = static_cast<int64_t>(cache.size());
+
+    // Sweep-level metrics, mirrored once per explore() call.
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    reg.counter("dse.points.swept").add(result.swept);
+    reg.counter("dse.points.valid")
+        .add(static_cast<int64_t>(result.points.size()));
+    reg.counter("dse.points.area_rejected").add(result.areaRejected);
+    reg.counter("dse.points.infeasible").add(result.infeasible);
+    reg.gauge("dse.cache_entries")
+        .set(static_cast<double>(result.cacheEntries));
     result.elapsedSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)

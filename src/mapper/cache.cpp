@@ -1,6 +1,48 @@
 #include "mapper/cache.hpp"
 
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
 namespace nnbaton {
+
+namespace {
+
+/**
+ * Cache observability: aggregate and per-shard hit/miss counters,
+ * registered once and cached so the per-lookup cost is two relaxed
+ * atomic increments.  The per-shard split shows whether the key hash
+ * spreads the sweep's load (a hot shard means serialized lookups).
+ */
+struct CacheMetrics
+{
+    obs::Counter *hits;
+    obs::Counter *misses;
+    std::array<obs::Counter *, MappingCache::kShards> shardHits;
+    std::array<obs::Counter *, MappingCache::kShards> shardMisses;
+
+    CacheMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+        hits = &reg.counter("mapper.cache.hits");
+        misses = &reg.counter("mapper.cache.misses");
+        for (size_t s = 0; s < MappingCache::kShards; ++s) {
+            shardHits[s] = &reg.counter(
+                strprintf("mapper.cache.shard%02zu.hits", s));
+            shardMisses[s] = &reg.counter(
+                strprintf("mapper.cache.shard%02zu.misses", s));
+        }
+    }
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics m;
+    return m;
+}
+
+} // namespace
 
 MappingCache::Key
 MappingCache::makeKey(const ConvLayer &layer,
@@ -65,9 +107,11 @@ MappingCache::lookupOrCompute(
     const std::function<std::optional<MappingChoice>()> &search,
     bool *was_hit)
 {
-    Shard &shard = shards_[KeyHash{}(key) % kShards];
+    const size_t shard_idx = KeyHash{}(key) % kShards;
+    Shard &shard = shards_[shard_idx];
     std::shared_ptr<Entry> entry;
     {
+        NNBATON_TRACE_SCOPE("mapper.cache_lookup");
         std::lock_guard<std::mutex> lock(shard.m);
         std::shared_ptr<Entry> &slot = shard.map[key];
         if (!slot)
@@ -79,6 +123,9 @@ MappingCache::lookupOrCompute(
         entry->value = search();
         computed = true;
     });
+    CacheMetrics &cm = cacheMetrics();
+    (computed ? cm.misses : cm.hits)->add();
+    (computed ? cm.shardMisses : cm.shardHits)[shard_idx]->add();
     if (was_hit)
         *was_hit = !computed;
     return entry->value;

@@ -83,6 +83,9 @@ class MappingCache
     /** Number of distinct keys currently cached. */
     size_t size() const;
 
+    /** Shard count (public so metrics can name per-shard counters). */
+    static constexpr size_t kShards = 16;
+
   private:
     struct Entry
     {
@@ -101,7 +104,6 @@ class MappingCache
         std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> map;
     };
 
-    static constexpr size_t kShards = 16;
     std::array<Shard, kShards> shards_;
 };
 

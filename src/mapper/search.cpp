@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "mapper/bound.hpp"
 #include "mapper/cache.hpp"
 
@@ -52,10 +54,16 @@ std::optional<MappingChoice>
 pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
          const TechnologyModel &tech,
          const std::vector<Mapping> &candidates, Objective objective,
-         bool prune, ThreadPool *pool, SearchStats *stats)
+         const SearchOptions &search, ThreadPool *pool,
+         SearchStats *stats)
 {
+    NNBATON_TRACE_SCOPE("mapper.pick_best");
+
     SearchStats local;
     SearchStats &st = stats ? *stats : local;
+    const bool prune = search.boundPruning;
+    int64_t evaluated_here = 0;
+    int64_t pruned_here = 0;
 
     std::optional<MappingChoice> best;
     double best_score = std::numeric_limits<double>::max();
@@ -69,34 +77,40 @@ pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
         const size_t count = std::min(kPruneBlock, n - base);
 
         // Pruning pass against the block-boundary incumbent.
-        survivors.clear();
-        for (size_t i = 0; i < count; ++i) {
-            if (prune && best &&
-                scoreLowerBound(layer, cfg, tech, candidates[base + i],
-                                objective) >=
-                    best_score * kPruneMargin) {
-                ++st.pruned;
-                continue;
+        {
+            NNBATON_TRACE_SCOPE("mapper.bound_prune");
+            survivors.clear();
+            for (size_t i = 0; i < count; ++i) {
+                if (prune && best &&
+                    scoreLowerBound(layer, cfg, tech,
+                                    candidates[base + i], objective) >=
+                        best_score * kPruneMargin) {
+                    ++pruned_here;
+                    continue;
+                }
+                survivors.push_back(i);
             }
-            survivors.push_back(i);
         }
 
         // Full evaluation of the survivors, parallel when a pool is
         // available (indices write disjoint slots; no ordering).
-        const auto evaluate = [&](int64_t j) {
-            const size_t i = survivors[static_cast<size_t>(j)];
-            slots[i] =
-                evaluateMapping(layer, cfg, tech, candidates[base + i]);
-        };
-        if (pool) {
-            pool->parallelFor(
-                static_cast<int64_t>(survivors.size()), evaluate);
-        } else {
-            for (int64_t j = 0;
-                 j < static_cast<int64_t>(survivors.size()); ++j)
-                evaluate(j);
+        {
+            NNBATON_TRACE_SCOPE("mapper.c3p_analysis");
+            const auto evaluate = [&](int64_t j) {
+                const size_t i = survivors[static_cast<size_t>(j)];
+                slots[i] = evaluateMapping(layer, cfg, tech,
+                                           candidates[base + i]);
+            };
+            if (pool) {
+                pool->parallelFor(
+                    static_cast<int64_t>(survivors.size()), evaluate);
+            } else {
+                for (int64_t j = 0;
+                     j < static_cast<int64_t>(survivors.size()); ++j)
+                    evaluate(j);
+            }
         }
-        st.evaluated += static_cast<int64_t>(survivors.size());
+        evaluated_here += static_cast<int64_t>(survivors.size());
 
         // Deterministic reduction in candidate order; strict '<'
         // keeps the earliest candidate on score ties, matching the
@@ -109,6 +123,28 @@ pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
             }
         }
     }
+
+    st.evaluated += evaluated_here;
+    st.pruned += pruned_here;
+
+    // Mirror the SearchStats work counters into the metrics registry
+    // (totals stay equal by construction) and keep a histogram of how
+    // many candidates the bound killed per search — the pruning
+    // effectiveness distribution.
+    static obs::Counter &m_evaluated =
+        obs::MetricsRegistry::instance().counter(
+            "mapper.candidates.evaluated");
+    static obs::Counter &m_pruned =
+        obs::MetricsRegistry::instance().counter(
+            "mapper.candidates.pruned");
+    static obs::Histogram &m_prune_hist =
+        obs::MetricsRegistry::instance().histogram(
+            "mapper.prune.pruned_per_search");
+    m_evaluated.add(evaluated_here);
+    m_pruned.add(pruned_here);
+    if (prune)
+        m_prune_hist.record(pruned_here);
+
     return best;
 }
 
@@ -132,9 +168,13 @@ searchLayer(const ConvLayer &layer, const AcceleratorConfig &cfg,
     std::unique_ptr<ThreadPool> pool;
     if (search.threads > 1 && !ThreadPool::inParallelRegion())
         pool = std::make_unique<ThreadPool>(search.threads);
-    return pickBest(layer, cfg, tech,
-                    enumerateCandidates(layer, cfg, effort), objective,
-                    search.boundPruning, pool.get(), stats);
+    std::vector<Mapping> candidates;
+    {
+        NNBATON_TRACE_SCOPE("mapper.candidates");
+        candidates = enumerateCandidates(layer, cfg, effort);
+    }
+    return pickBest(layer, cfg, tech, candidates, objective, search,
+                    pool.get(), stats);
 }
 
 std::optional<MappingChoice>
@@ -147,7 +187,7 @@ searchLayerWithSpatial(const ConvLayer &layer,
     return pickBest(
         layer, cfg, tech,
         enumerateCandidatesFor(layer, cfg, effort, pkg, chip), objective,
-        /*prune=*/true, /*pool=*/nullptr, /*stats=*/nullptr);
+        SearchOptions{}, /*pool=*/nullptr, /*stats=*/nullptr);
 }
 
 ModelMappingResult
@@ -165,6 +205,8 @@ mapModel(const Model &model, const AcceleratorConfig &cfg,
          Objective objective, const SearchOptions &search,
          MappingCache *cache)
 {
+    NNBATON_TRACE_SCOPE("mapper.map_model");
+
     ModelMappingResult result;
     result.cost.modelName = model.name();
 
@@ -178,22 +220,36 @@ mapModel(const Model &model, const AcceleratorConfig &cfg,
     if (search.threads > 1 && !ThreadPool::inParallelRegion())
         pool = std::make_unique<ThreadPool>(search.threads);
 
+    static obs::Histogram &m_layer_us =
+        obs::MetricsRegistry::instance().histogram(
+            "mapper.layer_search_us");
+
     for (const ConvLayer &layer : model.layers()) {
         const MappingCache::Key key =
             MappingCache::makeKey(layer, cfg, effort, objective);
+        const uint64_t t0 =
+            search.detailedMetrics ? obs::traceNowNs() : 0;
         bool hit = false;
         const std::optional<MappingChoice> &choice =
             shared.lookupOrCompute(
                 key,
                 [&] {
-                    return pickBest(
-                        layer, cfg, tech,
-                        enumerateCandidates(layer, cfg, effort),
-                        objective, search.boundPruning, pool.get(),
-                        &result.stats);
+                    std::vector<Mapping> candidates;
+                    {
+                        NNBATON_TRACE_SCOPE("mapper.candidates");
+                        candidates =
+                            enumerateCandidates(layer, cfg, effort);
+                    }
+                    return pickBest(layer, cfg, tech, candidates,
+                                    objective, search, pool.get(),
+                                    &result.stats);
                 },
                 &hit);
         ++(hit ? result.stats.cacheHits : result.stats.cacheMisses);
+        if (search.detailedMetrics) {
+            m_layer_us.record(static_cast<int64_t>(
+                (obs::traceNowNs() - t0) / 1000));
+        }
 
         if (!choice) {
             // The caller decides whether infeasibility is worth

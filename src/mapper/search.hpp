@@ -68,6 +68,11 @@ struct SearchOptions
      *  bound.hpp) cannot beat the incumbent.  Sound: never changes
      *  the selected mapping. */
     bool boundPruning = true;
+
+    /** Record latency histograms (per-layer search time) into the
+     *  obs metrics registry (the --metrics CLI flag).  Observation
+     *  only: adds clock reads but never changes results. */
+    bool detailedMetrics = false;
 };
 
 /** A fully evaluated mapping for one layer. */

@@ -102,6 +102,53 @@ structurallyValid(const std::string &s)
 
 } // namespace
 
+TEST(JsonParser, RoundTripsWriterOutput)
+{
+    std::ostringstream ss;
+    JsonWriter j(ss);
+    j.beginObject();
+    j.field("name", "conv\"1\"");
+    j.field("count", 42);
+    j.field("ratio", -1.25);
+    j.field("ok", true);
+    j.key("tiles").beginArray().value(4).value(8).endArray();
+    j.key("nested").beginObject().field("deep", 7).endObject();
+    j.endObject();
+
+    const JsonParseResult r = parseJson(ss.str());
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_TRUE(r.value.isObject());
+    EXPECT_EQ(r.value.find("name")->string, "conv\"1\"");
+    EXPECT_DOUBLE_EQ(r.value.find("count")->number, 42.0);
+    EXPECT_DOUBLE_EQ(r.value.find("ratio")->number, -1.25);
+    EXPECT_TRUE(r.value.find("ok")->boolean);
+    ASSERT_TRUE(r.value.find("tiles")->isArray());
+    EXPECT_EQ(r.value.find("tiles")->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.value.find("nested")->find("deep")->number, 7.0);
+}
+
+TEST(JsonParser, ReportsErrors)
+{
+    EXPECT_FALSE(parseJson("").ok());
+    EXPECT_FALSE(parseJson("{\"a\":1").ok());
+    EXPECT_FALSE(parseJson("{\"a\" 1}").ok());
+    EXPECT_FALSE(parseJson("[1,2,]").ok());
+    EXPECT_FALSE(parseJson("{} trailing").ok());
+    EXPECT_FALSE(parseJson("nul").ok());
+    const JsonParseResult r = parseJson("{\"a\":bogus}");
+    EXPECT_FALSE(r.ok());
+    EXPECT_GT(r.errorOffset, 0u);
+}
+
+TEST(JsonParser, AcceptsWhitespaceAndEscapes)
+{
+    const JsonParseResult r =
+        parseJson(" { \"s\" : \"a\\n\\t\\u0041\" , \"n\" : null } \n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.value.find("s")->string, "a\n\tA");
+    EXPECT_TRUE(r.value.find("n")->isNull());
+}
+
 TEST(Export, PostDesignJsonIsStructured)
 {
     Model m("mini", 64);
@@ -119,6 +166,14 @@ TEST(Export, PostDesignJsonIsStructured)
     EXPECT_NE(out.find("\"spatial\""), std::string::npos);
     EXPECT_NE(out.find("\"temporal\""), std::string::npos);
     EXPECT_NE(out.find("\"chipletTile\""), std::string::npos);
+
+    // The full export (including the observability block) parses.
+    const JsonParseResult parsed = parseJson(out);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const JsonValue *observability = parsed.value.find("observability");
+    ASSERT_NE(observability, nullptr);
+    EXPECT_NE(observability->find("profile"), nullptr);
+    EXPECT_NE(observability->find("metrics"), nullptr);
 }
 
 TEST(Export, PreDesignJsonCarriesPoints)

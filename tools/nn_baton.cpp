@@ -16,7 +16,9 @@
  * nn/parser.hpp for the format).
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,7 +28,10 @@
 #include "baton/baton.hpp"
 #include "baton/export.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/profile.hpp"
+#include "common/trace.hpp"
 #include "nn/parser.hpp"
 
 using namespace nnbaton;
@@ -39,6 +44,8 @@ struct Args
     std::string model = "resnet50";
     std::string modelFile;
     std::string jsonPath;
+    std::string tracePath; //!< --trace: Chrome trace-event JSON output
+    bool metrics = false;  //!< --metrics: stderr table + histograms
     int resolution = 224;
     int64_t macs = 2048;
     double areaMm2 = 0.0;
@@ -48,6 +55,42 @@ struct Args
     // Hardware overrides for `post` / `compare`.
     AcceleratorConfig config = caseStudyConfig();
 };
+
+/**
+ * Strict numeric flag parsing: the whole token must be a number and
+ * the value must be positive, otherwise the malformed input is a
+ * fatal() user error (atoi would silently read "x" as 0).
+ */
+int64_t
+parsePositiveInt64(const char *opt, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || v <= 0)
+        fatal("%s needs a positive integer, got '%s'", opt, text);
+    return static_cast<int64_t>(v);
+}
+
+int
+parsePositiveInt(const char *opt, const char *text)
+{
+    const int64_t v = parsePositiveInt64(opt, text);
+    if (v > INT32_MAX)
+        fatal("%s value '%s' is out of range", opt, text);
+    return static_cast<int>(v);
+}
+
+double
+parsePositiveDouble(const char *opt, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0' || !(v > 0.0))
+        fatal("%s needs a positive number, got '%s'", opt, text);
+    return v;
+}
 
 void
 usage()
@@ -76,7 +119,12 @@ usage()
         "                        post/compare hardware shape\n"
         "  --ol1/--al1/--wl1/--al2 <bytes>\n"
         "                        post/compare buffer sizes\n"
-        "  --json <path>         write a JSON report\n");
+        "  --json <path>         write a JSON report\n"
+        "  --trace <path>        write a Chrome trace-event JSON file\n"
+        "                        (open in Perfetto / chrome://tracing)\n"
+        "  --metrics             print the metrics table and per-phase\n"
+        "                        profile to stderr at exit\n"
+        "  --log-level <level>   debug, info, warn or quiet [info]\n");
 }
 
 bool
@@ -92,42 +140,56 @@ parseArgs(int argc, char **argv, Args &args)
                 fatal("option %s needs a value", opt.c_str());
             return argv[++i];
         };
+        const char *name = opt.c_str();
         if (opt == "--model") {
             args.model = next();
         } else if (opt == "--model-file") {
             args.modelFile = next();
         } else if (opt == "--resolution") {
-            args.resolution = std::atoi(next());
+            args.resolution = parsePositiveInt(name, next());
         } else if (opt == "--macs") {
-            args.macs = std::atoll(next());
+            args.macs = parsePositiveInt64(name, next());
         } else if (opt == "--area") {
-            args.areaMm2 = std::atof(next());
+            args.areaMm2 = parsePositiveDouble(name, next());
         } else if (opt == "--proportional") {
             args.proportional = true;
         } else if (opt == "--edp") {
             args.edpObjective = true;
         } else if (opt == "--threads") {
-            args.threads = std::atoi(next());
-            if (args.threads < 1)
-                fatal("--threads needs a positive value");
+            args.threads = parsePositiveInt(name, next());
         } else if (opt == "--chiplets") {
-            args.config.package.chiplets = std::atoi(next());
+            args.config.package.chiplets = parsePositiveInt(name, next());
         } else if (opt == "--cores") {
-            args.config.chiplet.cores = std::atoi(next());
+            args.config.chiplet.cores = parsePositiveInt(name, next());
         } else if (opt == "--lanes") {
-            args.config.core.lanes = std::atoi(next());
+            args.config.core.lanes = parsePositiveInt(name, next());
         } else if (opt == "--vector") {
-            args.config.core.vectorSize = std::atoi(next());
+            args.config.core.vectorSize =
+                parsePositiveInt(name, next());
         } else if (opt == "--ol1") {
-            args.config.core.ol1Bytes = std::atoll(next());
+            args.config.core.ol1Bytes = parsePositiveInt64(name, next());
         } else if (opt == "--al1") {
-            args.config.core.al1Bytes = std::atoll(next());
+            args.config.core.al1Bytes = parsePositiveInt64(name, next());
         } else if (opt == "--wl1") {
-            args.config.core.wl1Bytes = std::atoll(next());
+            args.config.core.wl1Bytes = parsePositiveInt64(name, next());
         } else if (opt == "--al2") {
-            args.config.chiplet.al2Bytes = std::atoll(next());
+            args.config.chiplet.al2Bytes =
+                parsePositiveInt64(name, next());
         } else if (opt == "--json") {
             args.jsonPath = next();
+        } else if (opt == "--trace") {
+            args.tracePath = next();
+        } else if (opt == "--metrics") {
+            args.metrics = true;
+        } else if (opt == "--log-level") {
+            LogLevel level;
+            const char *text = next();
+            if (!parseLogLevel(text, level)) {
+                fatal("--log-level expects debug, info, warn or "
+                      "quiet, got '%s'",
+                      text);
+            }
+            setLogLevel(level);
         } else if (opt == "--help" || opt == "-h") {
             return false;
         } else {
@@ -166,11 +228,14 @@ runPost(const Args &args)
 {
     const Model model = loadModel(args);
     args.config.validate();
+    SearchOptions search;
+    search.threads = args.threads;
+    search.detailedMetrics = args.metrics;
     PostDesignFlow flow(args.config, defaultTech(),
                         SearchEffort::Exhaustive,
                         args.edpObjective ? Objective::MinEdp
                                           : Objective::MinEnergy,
-                        args.threads);
+                        search);
     const PostDesignReport report = flow.run(model);
     std::printf("%s", report.toString().c_str());
     if (!args.jsonPath.empty()) {
@@ -196,6 +261,7 @@ runPre(const Args &args)
     opt.objective = args.edpObjective ? Objective::MinEdp
                                       : Objective::MinEnergy;
     opt.threads = args.threads;
+    opt.detailedMetrics = args.metrics;
     PreDesignFlow flow(opt);
     const PreDesignReport report = flow.run(model);
     std::printf("%s", report.toString().c_str());
@@ -244,6 +310,32 @@ runModels(const Args &args)
     return 0;
 }
 
+/** End-of-run observability output (--trace / --metrics). */
+void
+reportObservability(const Args &args)
+{
+    if (!args.tracePath.empty()) {
+        obs::setTracingEnabled(false);
+        std::ofstream out(args.tracePath);
+        if (!out)
+            fatal("cannot write %s", args.tracePath.c_str());
+        obs::writeChromeTrace(out);
+        std::fprintf(stderr, "wrote trace to %s (open in Perfetto or "
+                             "chrome://tracing)\n",
+                     args.tracePath.c_str());
+    }
+    if (args.metrics) {
+        const obs::ProfileReport profile = obs::buildProfile();
+        if (!profile.empty())
+            std::fputs(obs::formatProfile(profile).c_str(), stderr);
+        std::fputs(
+            obs::formatMetrics(
+                obs::MetricsRegistry::instance().snapshot())
+                .c_str(),
+            stderr);
+    }
+}
+
 } // namespace
 
 int
@@ -254,14 +346,22 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    if (!args.tracePath.empty())
+        obs::setTracingEnabled(true);
+
+    int rc = 2;
     if (args.command == "post")
-        return runPost(args);
-    if (args.command == "pre")
-        return runPre(args);
-    if (args.command == "compare")
-        return runCompare(args);
-    if (args.command == "models")
-        return runModels(args);
-    usage();
-    return 2;
+        rc = runPost(args);
+    else if (args.command == "pre")
+        rc = runPre(args);
+    else if (args.command == "compare")
+        rc = runCompare(args);
+    else if (args.command == "models")
+        rc = runModels(args);
+    else {
+        usage();
+        return 2;
+    }
+    reportObservability(args);
+    return rc;
 }
