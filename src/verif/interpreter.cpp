@@ -77,10 +77,17 @@ enumerateTile(Tensor tensor, const Offsets &off, const TileSpan &span,
         const int64_t col0 = off.wo * s + off.kw;
         const int64_t col1 = (off.wo + span.wo - 1) * s + off.kw +
                              kw_span;
-        for (int64_t ci = off.ci; ci < off.ci + span.ci; ++ci)
+        // Depthwise layers select input channels through the output
+        // channel index (one input channel per output channel); dense
+        // layers walk the IC span.
+        const int64_t ch0 = layer.isDepthwise() ? off.co : off.ci;
+        const int64_t chn = layer.isDepthwise()
+                                ? std::min<int64_t>(layer.ci, span.co)
+                                : span.ci;
+        for (int64_t ch = ch0; ch < ch0 + chn; ++ch)
             for (int64_t r = row0; r < row1; ++r)
                 for (int64_t c = col0; c < col1; ++c)
-                    touch(ci, r, c, 0);
+                    touch(ch, r, c, 0);
         break;
       }
       case Tensor::Outputs:
@@ -137,6 +144,27 @@ ReferenceResult
 referenceFills(const LoopNest &nest, Tensor tensor, const ConvLayer &layer,
                int64_t capacity_bytes)
 {
+    if (capacity_bytes <= 0) {
+        fatal("referenceFills: capacity must be positive, got %lld "
+              "bytes",
+              static_cast<long long>(capacity_bytes));
+    }
+    // The coordinate key packs four 16-bit fields; reject nests whose
+    // extents (including the input halo) would alias under that
+    // linearisation instead of silently under-counting.
+    const TileSpan full = nest.spanBelow(0);
+    const int64_t bound = 65536;
+    const int64_t rows = (full.ho - 1) * layer.stride + full.kh +
+                         layer.kh;
+    const int64_t cols = (full.wo - 1) * layer.stride + full.kw +
+                         layer.kw;
+    if (full.ho >= bound || full.wo >= bound || full.co >= bound ||
+        full.ci >= bound || full.kh >= bound || full.kw >= bound ||
+        rows >= bound || cols >= bound) {
+        fatal("referenceFills: nest extents exceed the 16-bit "
+              "coordinate linearisation (nest %s)",
+              nest.toString().c_str());
+    }
     Walker w{nest, tensor, layer, capacity_bytes, {}};
     w.visit(0, Offsets{});
     return w.result;

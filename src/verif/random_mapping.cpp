@@ -1,0 +1,258 @@
+#include "verif/random_mapping.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/util.hpp"
+#include "dataflow/partition.hpp"
+
+namespace nnbaton {
+
+namespace {
+
+int
+uniform(std::mt19937 &gen, int lo, int hi)
+{
+    if (hi <= lo)
+        return lo;
+    return std::uniform_int_distribution<int>(lo, hi)(gen);
+}
+
+template <typename T>
+const T &
+pickOne(std::mt19937 &gen, const std::vector<T> &values)
+{
+    return values[static_cast<size_t>(
+        uniform(gen, 0, static_cast<int>(values.size()) - 1))];
+}
+
+/** One random draw; may be illegal — the caller retries. */
+Mapping
+drawMapping(std::mt19937 &gen, const ConvLayer &layer,
+            const AcceleratorConfig &cfg)
+{
+    const int np = cfg.package.chiplets;
+    const int nc = cfg.chiplet.cores;
+    Mapping m;
+
+    m.pkgSpatial = uniform(gen, 0, 1) ? PackagePartition::Plane
+                                      : PackagePartition::Channel;
+    if (m.pkgSpatial == PackagePartition::Plane) {
+        const auto splits = enumerateSplits(np, layer.ho, layer.wo);
+        if (splits.empty())
+            m.pkgSpatial = PackagePartition::Channel;
+        else
+            m.pkgSplit = pickOne(gen, splits);
+    }
+
+    switch (uniform(gen, 0, 2)) {
+      case 0:
+        m.chipSpatial = ChipletPartition::Channel;
+        m.chipChannelWays = nc;
+        m.chipSplit = {1, 1};
+        break;
+      case 1: {
+        m.chipSpatial = ChipletPartition::Plane;
+        m.chipChannelWays = 1;
+        const auto pairs = factorPairs(nc);
+        const auto &fp = pickOne(gen, pairs);
+        m.chipSplit = {fp.first, fp.second};
+        break;
+      }
+      default: {
+        std::vector<std::pair<int, int>> hybrid;
+        for (const auto &[cw, pw] : factorPairs(nc)) {
+            if (cw >= 2 && pw >= 2)
+                hybrid.push_back({cw, pw});
+        }
+        if (hybrid.empty()) {
+            m.chipSpatial = ChipletPartition::Channel;
+            m.chipChannelWays = nc;
+            m.chipSplit = {1, 1};
+            break;
+        }
+        m.chipSpatial = ChipletPartition::Hybrid;
+        const auto &ways = pickOne(gen, hybrid);
+        m.chipChannelWays = ways.first;
+        const auto planes = factorPairs(ways.second);
+        const auto &pp = pickOne(gen, planes);
+        m.chipSplit = {pp.first, pp.second};
+        break;
+      }
+    }
+
+    // Macro extents the chiplet tile is drawn from (mirrors the
+    // package-spatial carve; deriveShapes clamps, checkMapping
+    // rejects uncoverable draws).
+    const int macro_ho =
+        m.pkgSpatial == PackagePartition::Plane
+            ? static_cast<int>(ceilDiv(layer.ho, m.pkgSplit.fh))
+            : layer.ho;
+    const int macro_wo =
+        m.pkgSpatial == PackagePartition::Plane
+            ? static_cast<int>(ceilDiv(layer.wo, m.pkgSplit.fw))
+            : layer.wo;
+    const int macro_co =
+        m.pkgSpatial == PackagePartition::Channel
+            ? static_cast<int>(ceilDiv(layer.co, np))
+            : layer.co;
+
+    m.chipletTile.ho = uniform(gen, m.chipSplit.fh, macro_ho);
+    m.chipletTile.wo = uniform(gen, m.chipSplit.fw, macro_wo);
+    m.chipletTile.co = uniform(gen, m.chipChannelWays, macro_co);
+    m.hoC = uniform(
+        gen, 1,
+        static_cast<int>(ceilDiv(m.chipletTile.ho, m.chipSplit.fh)));
+    m.woC = uniform(
+        gen, 1,
+        static_cast<int>(ceilDiv(m.chipletTile.wo, m.chipSplit.fw)));
+    m.pkgOrder = uniform(gen, 0, 1) ? LoopOrder::PlanePriority
+                                    : LoopOrder::ChannelPriority;
+    m.chipOrder = uniform(gen, 0, 1) ? LoopOrder::PlanePriority
+                                     : LoopOrder::ChannelPriority;
+    return m;
+}
+
+} // namespace
+
+std::optional<Mapping>
+randomMapping(std::mt19937 &gen, const ConvLayer &layer,
+              const AcceleratorConfig &cfg, int max_attempts)
+{
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        const Mapping m = drawMapping(gen, layer, cfg);
+        if (checkMapping(layer, cfg, m).empty())
+            return m;
+    }
+    return std::nullopt;
+}
+
+std::string
+DiffCase::toString() const
+{
+    return strprintf("layer %s | config %s | mapping %s",
+                     layer.toString().c_str(), cfg.toString().c_str(),
+                     mapping.toString().c_str());
+}
+
+namespace {
+
+/** A structurally sane case that the analytical engine accepts. */
+bool
+isLegal(const DiffCase &c)
+{
+    const ConvLayer &l = c.layer;
+    if (l.ho < 1 || l.wo < 1 || l.co < 1 || l.ci < 1 || l.kh < 1 ||
+        l.kw < 1 || l.stride < 1 || l.groups < 1)
+        return false;
+    if (l.ci % l.groups != 0)
+        return false;
+    if (l.groups > 1 && !l.isDepthwise())
+        return false;
+    return checkMapping(c.layer, c.cfg, c.mapping).empty();
+}
+
+int
+halved(int v)
+{
+    return std::max(1, v / 2);
+}
+
+/**
+ * The shrink moves, most aggressive first.  Each returns the modified
+ * case; moves that produce an identical or illegal case are skipped
+ * by the minimisation loop.
+ */
+std::vector<DiffCase>
+shrinkCandidates(const DiffCase &c)
+{
+    std::vector<DiffCase> out;
+    auto push = [&](auto &&mutate) {
+        DiffCase next = c;
+        mutate(next);
+        out.push_back(std::move(next));
+    };
+
+    push([](DiffCase &n) { n.layer.ho = halved(n.layer.ho); });
+    push([](DiffCase &n) { n.layer.wo = halved(n.layer.wo); });
+    push([](DiffCase &n) {
+        // Depthwise layers keep co == ci == groups.
+        n.layer.co = halved(n.layer.co);
+        if (n.layer.isDepthwise() || n.layer.groups > 1) {
+            n.layer.ci = n.layer.co;
+            n.layer.groups = n.layer.co;
+        }
+    });
+    push([](DiffCase &n) {
+        if (n.layer.groups == 1)
+            n.layer.ci = halved(n.layer.ci);
+    });
+    push([](DiffCase &n) {
+        n.layer.kh = 1;
+        n.layer.kw = 1;
+        n.layer.stride = 1;
+    });
+    push([](DiffCase &n) { n.layer.kh = 1; });
+    push([](DiffCase &n) { n.layer.kw = 1; });
+    push([](DiffCase &n) { n.layer.stride = 1; });
+
+    push([](DiffCase &n) {
+        n.mapping.chipletTile.ho = halved(n.mapping.chipletTile.ho);
+    });
+    push([](DiffCase &n) {
+        n.mapping.chipletTile.wo = halved(n.mapping.chipletTile.wo);
+    });
+    push([](DiffCase &n) {
+        n.mapping.chipletTile.co = halved(n.mapping.chipletTile.co);
+    });
+    push([](DiffCase &n) { n.mapping.hoC = halved(n.mapping.hoC); });
+    push([](DiffCase &n) { n.mapping.woC = halved(n.mapping.woC); });
+
+    push([](DiffCase &n) {
+        n.cfg.core.wl1Bytes = std::max<int64_t>(
+            1, n.cfg.core.wl1Bytes / 2);
+    });
+    push([](DiffCase &n) {
+        n.cfg.core.al1Bytes = std::max<int64_t>(
+            1, n.cfg.core.al1Bytes / 2);
+    });
+    push([](DiffCase &n) {
+        n.cfg.chiplet.al2Bytes = std::max<int64_t>(
+            1, n.cfg.chiplet.al2Bytes / 2);
+    });
+    return out;
+}
+
+bool
+sameCase(const DiffCase &a, const DiffCase &b)
+{
+    return a.toString() == b.toString();
+}
+
+} // namespace
+
+DiffCase
+minimizeFailure(const DiffCase &failing,
+                const std::function<bool(const DiffCase &)> &still_fails)
+{
+    DiffCase best = failing;
+    // Greedy fixpoint: retry the whole move list after every accepted
+    // shrink; bounded so a pathological predicate cannot loop forever.
+    for (int round = 0; round < 256; ++round) {
+        bool improved = false;
+        for (const DiffCase &cand : shrinkCandidates(best)) {
+            if (sameCase(cand, best) || !isLegal(cand))
+                continue;
+            if (still_fails(cand)) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return best;
+}
+
+} // namespace nnbaton

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Randomised legal-mapping generation and failing-case minimisation
+ * for the differential verifier.
+ *
+ * randomMapping() draws package/chiplet spatial primitives, tile
+ * shapes and loop orders at random and retries until checkMapping()
+ * accepts, giving the fuzz suite coverage of mapping corners the
+ * candidate enumerator never emits (non-divisible tiles, skewed
+ * splits, mixed loop orders).
+ *
+ * minimizeFailure() greedily shrinks a failing (layer, config,
+ * mapping) triple — halving layer extents, collapsing kernels and
+ * strides, shrinking tiles and buffer capacities — while a caller
+ * predicate keeps reporting failure, so a differential mismatch is
+ * reported as a minimal loop nest instead of a full-size layer.
+ */
+
+#ifndef NNBATON_VERIF_RANDOM_MAPPING_HPP
+#define NNBATON_VERIF_RANDOM_MAPPING_HPP
+
+#include <functional>
+#include <optional>
+#include <random>
+#include <string>
+
+#include "arch/config.hpp"
+#include "dataflow/mapping.hpp"
+#include "nn/layer.hpp"
+
+namespace nnbaton {
+
+/**
+ * Draw a random mapping that passes checkMapping() for (layer, cfg).
+ * Returns std::nullopt if no legal mapping was found within
+ * @p max_attempts draws (tiny layers on large packages can make the
+ * space empty).  Deterministic for a given generator state.
+ */
+std::optional<Mapping> randomMapping(std::mt19937 &gen,
+                                     const ConvLayer &layer,
+                                     const AcceleratorConfig &cfg,
+                                     int max_attempts = 64);
+
+/** A self-contained differential test case. */
+struct DiffCase
+{
+    ConvLayer layer;
+    AcceleratorConfig cfg;
+    Mapping mapping;
+
+    /** Reproduction one-liner: layer, config and mapping. */
+    std::string toString() const;
+};
+
+/**
+ * Greedily shrink @p failing while @p still_fails holds.  Every
+ * candidate shrink is validated with checkMapping() before the
+ * predicate runs, so the result is always a legal case; the input is
+ * returned unchanged when no shrink preserves the failure.
+ */
+DiffCase minimizeFailure(const DiffCase &failing,
+                         const std::function<bool(const DiffCase &)>
+                             &still_fails);
+
+} // namespace nnbaton
+
+#endif // NNBATON_VERIF_RANDOM_MAPPING_HPP

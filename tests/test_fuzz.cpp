@@ -24,6 +24,8 @@
 #include "mapper/search.hpp"
 #include "tech/technology.hpp"
 #include "verif/interpreter.hpp"
+#include "verif/random_mapping.hpp"
+#include "verif/replay.hpp"
 
 using namespace nnbaton;
 
@@ -352,3 +354,76 @@ TEST_P(PruningSearchFuzz, PrunedSearchMatchesExhaustive)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PruningSearchFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u));
+
+namespace {
+
+/**
+ * A layer small enough that the coordinate-enumerating replay stays
+ * cheap (its cost is the number of touched elements).
+ */
+ConvLayer
+smallLayer(std::mt19937 &g)
+{
+    if (pick(g, {0, 1, 2, 3}) == 0) {
+        return makeDepthwiseConv("fuzz-dw", pick(g, {4, 7, 8}),
+                                 pick(g, {4, 7, 8}),
+                                 pick(g, {8, 16, 32}), 3,
+                                 pick(g, {1, 2}));
+    }
+    return makeConv("fuzz", pick(g, {4, 7, 8, 14}),
+                    pick(g, {4, 7, 8, 14}), pick(g, {8, 16, 32}),
+                    pick(g, {8, 16, 32}), pick(g, {1, 3}),
+                    pick(g, {1, 3}), pick(g, {1, 2}));
+}
+
+} // namespace
+
+class ReplayFuzz : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+/**
+ * The full-hierarchy differential check of this PR's tentpole: random
+ * legal mappings (generator, not the candidate enumerator) on random
+ * layers and buffer capacities must replay to bit-identical access
+ * counts, cycles and energy.  Ten seeds x 50 mappings = 500 cases.
+ */
+TEST_P(ReplayFuzz, FullHierarchyReplayMatchesAnalyticalEngine)
+{
+    auto &g = rng(GetParam() * 48271u);
+    const TechnologyModel &tech = defaultTech();
+    int replayed = 0;
+    for (int attempt = 0; attempt < 400 && replayed < 50; ++attempt) {
+        const AcceleratorConfig cfg = randomConfig(g);
+        const ConvLayer layer = smallLayer(g);
+        const auto mapping = randomMapping(g, layer, cfg, 16);
+        if (!mapping)
+            continue;
+        ++replayed;
+        const DifferentialReport report =
+            diffMapping(layer, cfg, tech, *mapping);
+        if (!report.ok()) {
+            // Shrink before reporting so the failure is actionable.
+            DiffCase c{layer, cfg, *mapping};
+            const DiffCase reduced = minimizeFailure(
+                c, [&](const DiffCase &n) {
+                    return !diffMapping(n.layer, n.cfg, tech,
+                                        n.mapping)
+                                .ok();
+                });
+            FAIL() << "seed " << GetParam() << " replay mismatch\n"
+                   << report.toString() << "full case: "
+                   << c.toString() << "\nminimised: "
+                   << reduced.toString() << "\n"
+                   << diffMapping(reduced.layer, reduced.cfg, tech,
+                                  reduced.mapping)
+                          .toString();
+        }
+    }
+    // The generator must actually exercise the differential check.
+    EXPECT_EQ(replayed, 50) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u, 9u, 10u));

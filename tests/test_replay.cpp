@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Full-hierarchy differential replay (verif/replay.hpp): the
+ * coordinate-enumerating replay must agree bit-for-bit with the
+ * analytical engine on the case-study layers, the random-mapping
+ * generator must only emit legal mappings, the shrinking minimiser
+ * must reduce failing cases, and the reference interpreter must
+ * reject invalid capacities (the PR's regression fix).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baton/baton.hpp"
+#include "common/metrics.hpp"
+#include "mapper/search.hpp"
+#include "nn/model.hpp"
+#include "verif/random_mapping.hpp"
+#include "verif/replay.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+/** The five figure-11/12 layers on the case-study hardware. */
+std::vector<ConvLayer>
+caseStudyLayers()
+{
+    const RepresentativeLayers rep = representativeLayers(224);
+    return {rep.activationIntensive, rep.weightIntensive,
+            rep.largeKernel, rep.pointWise, rep.common};
+}
+
+} // namespace
+
+TEST(Replay, AgreesWithAnalyticalOnCaseStudySearchWinners)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &tech = defaultTech();
+    for (const ConvLayer &layer : caseStudyLayers()) {
+        const auto choice =
+            searchLayer(layer, cfg, tech, SearchEffort::Fast);
+        ASSERT_TRUE(choice.has_value()) << layer.toString();
+        const DifferentialReport report =
+            diffMapping(layer, cfg, tech, choice->mapping);
+        EXPECT_TRUE(report.ok())
+            << layer.toString() << " mapping "
+            << choice->mapping.toString() << "\n"
+            << report.toString();
+    }
+}
+
+TEST(Replay, AgreesOnDepthwiseLayers)
+{
+    // MobileNetV2-style depthwise blocks exercise the channel-indexed
+    // activation enumeration (the interpreter's depthwise path).
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &tech = defaultTech();
+    for (int stride : {1, 2}) {
+        const ConvLayer layer = makeDepthwiseConv(
+            "dw", 28, 28, 96, 3, stride);
+        const auto choice =
+            searchLayer(layer, cfg, tech, SearchEffort::Fast);
+        ASSERT_TRUE(choice.has_value()) << layer.toString();
+        const DifferentialReport report =
+            diffMapping(layer, cfg, tech, choice->mapping);
+        EXPECT_TRUE(report.ok())
+            << layer.toString() << "\n"
+            << report.toString();
+    }
+}
+
+TEST(Replay, AgreesUnderAblatedOptions)
+{
+    // The replay must track the composition switches, not just the
+    // default dataflow.
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &tech = defaultTech();
+    const ConvLayer layer = makeConv("abl", 28, 28, 128, 64, 3, 3, 1);
+    const auto choice = searchLayer(layer, cfg, tech,
+                                    SearchEffort::Fast);
+    ASSERT_TRUE(choice.has_value());
+    for (int mask = 0; mask < 8; ++mask) {
+        AnalysisOptions opt;
+        opt.rotationSharing = mask & 1;
+        opt.wl1Pooling = mask & 2;
+        opt.al2Multicast = mask & 4;
+        const DifferentialReport report =
+            diffMapping(layer, cfg, tech, choice->mapping, opt);
+        EXPECT_TRUE(report.ok()) << "mask " << mask << "\n"
+                                 << report.toString();
+    }
+}
+
+TEST(Replay, CountsReplaysInMetrics)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &tech = defaultTech();
+    const ConvLayer layer = makeConv("m", 14, 14, 64, 32, 3, 3, 1);
+    const auto choice = searchLayer(layer, cfg, tech,
+                                    SearchEffort::Fast);
+    ASSERT_TRUE(choice.has_value());
+    obs::Counter &replays =
+        obs::MetricsRegistry::instance().counter("verif.replays");
+    const int64_t before = replays.value();
+    (void)diffMapping(layer, cfg, tech, choice->mapping);
+    EXPECT_EQ(replays.value(), before + 1);
+}
+
+TEST(RandomMapping, DrawsAreLegalAndDeterministic)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const ConvLayer layer = makeConv("r", 28, 28, 128, 64, 3, 3, 1);
+    std::mt19937 gen(42);
+    int found = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto m = randomMapping(gen, layer, cfg);
+        if (!m)
+            continue;
+        ++found;
+        EXPECT_EQ(checkMapping(layer, cfg, *m), "") << m->toString();
+    }
+    EXPECT_GT(found, 50);
+
+    // Same seed, same sequence.
+    std::mt19937 a(7), b(7);
+    const auto ma = randomMapping(a, layer, cfg);
+    const auto mb = randomMapping(b, layer, cfg);
+    ASSERT_TRUE(ma && mb);
+    EXPECT_EQ(ma->toString(), mb->toString());
+}
+
+TEST(Minimizer, ShrinksToMinimalFailingCase)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    DiffCase c;
+    c.layer = makeConv("min", 56, 56, 256, 128, 3, 3, 2);
+    c.cfg = cfg;
+    std::mt19937 gen(3);
+    const auto m = randomMapping(gen, c.layer, cfg);
+    ASSERT_TRUE(m.has_value());
+    c.mapping = *m;
+
+    // Synthetic failure: any case with more than 32 output channels
+    // "fails".  The minimiser must walk co down to the boundary while
+    // keeping the case legal.
+    const auto predicate = [](const DiffCase &n) {
+        return n.layer.co > 32;
+    };
+    ASSERT_TRUE(predicate(c));
+    const DiffCase reduced = minimizeFailure(c, predicate);
+    EXPECT_TRUE(predicate(reduced));
+    EXPECT_EQ(checkMapping(reduced.layer, reduced.cfg,
+                           reduced.mapping),
+              "");
+    // 256 -> 128 -> 64 halvings stay failing; 33..64 is reachable.
+    EXPECT_LE(reduced.layer.co, 64);
+    // Unrelated extents shrink too (down to whatever the mapping's
+    // spatial splits still permit).
+    EXPECT_LT(reduced.layer.ho, c.layer.ho);
+    EXPECT_EQ(reduced.layer.kh, 1);
+}
+
+TEST(Minimizer, ReturnsInputWhenNothingShrinks)
+{
+    DiffCase c;
+    c.layer = makeConv("one", 1, 1, 1, 1, 1, 1, 1);
+    c.cfg = caseStudyConfig();
+    c.cfg.package.chiplets = 1;
+    c.cfg.chiplet.cores = 1;
+    c.mapping = Mapping{};
+    c.mapping.chipSpatial = ChipletPartition::Channel;
+    c.mapping.chipChannelWays = 1;
+    c.mapping.chipletTile = {1, 1, 1};
+    ASSERT_EQ(checkMapping(c.layer, c.cfg, c.mapping), "");
+    int calls = 0;
+    const DiffCase reduced = minimizeFailure(
+        c, [&](const DiffCase &) {
+            ++calls;
+            return true;
+        });
+    // Only the buffer-capacity shrinks can still apply; the layer and
+    // mapping are already minimal.
+    EXPECT_EQ(reduced.layer.toString(), c.layer.toString());
+}
+
+TEST(InterpreterDeathTest, RejectsNonPositiveCapacity)
+{
+    // Regression: capacity_bytes flowed into the retention compare
+    // unchecked, so 0 or negative capacities silently degenerated to
+    // per-atom reloads instead of being reported as caller bugs.
+    const ConvLayer layer = makeConv("cap", 4, 4, 8, 8, 3, 3, 1);
+    LoopNest nest;
+    nest.atom.ho = 4;
+    nest.atom.wo = 4;
+    nest.atom.co = 8;
+    nest.atom.ci = 8;
+    nest.atom.kh = 3;
+    nest.atom.kw = 3;
+    EXPECT_DEATH(
+        referenceFills(nest, Tensor::Weights, layer, 0),
+        "capacity must be positive");
+    EXPECT_DEATH(
+        referenceFills(nest, Tensor::Weights, layer, -4096),
+        "capacity must be positive");
+    EXPECT_DEATH(referenceFills(nest, Tensor::Weights, layer,
+                                INT64_MIN),
+                 "capacity must be positive");
+}
+
+TEST(InterpreterDeathTest, RejectsExtentsBeyondLinearisationBound)
+{
+    // The coordinate key packs 16-bit fields; oversize nests must be
+    // rejected rather than silently aliased.
+    const ConvLayer layer = makeConv("big", 70000, 1, 1, 1, 1, 1, 1);
+    LoopNest nest;
+    nest.atom.ho = 70000;
+    EXPECT_DEATH(
+        referenceFills(nest, Tensor::Outputs, layer, 1 << 20),
+        "linearisation");
+}

@@ -64,6 +64,52 @@ TEST(RingRotation, CeilingChunking)
     EXPECT_EQ(p.steps.front().cycles, 2); // ceil(3/2)
 }
 
+TEST(RingRotation, NonPowerOfTwoChipletCounts)
+{
+    // Ring sizes off the power-of-two grid: N_P - 1 steps, ceiling
+    // chunks, and conservation (every link carries every foreign
+    // chunk exactly once).
+    for (int np : {3, 5, 6, 7}) {
+        const int64_t shared = 1000001; // prime-ish, never divisible
+        const RotationPlan p = planRotation(np, shared, 128);
+        ASSERT_EQ(p.steps.size(), static_cast<size_t>(np - 1)) << np;
+        EXPECT_EQ(p.chunkBits, (shared + np - 1) / np) << np;
+        for (const RotationStep &s : p.steps) {
+            EXPECT_EQ(s.bitsPerLink, p.chunkBits) << np;
+            EXPECT_EQ(s.cycles, (p.chunkBits + 127) / 128) << np;
+        }
+        // Ceiling chunking can only over-provision, never lose bits.
+        EXPECT_GE(p.totalBits(), shared * (np - 1)) << np;
+        EXPECT_LT(p.totalBits(), (shared + np) * (np - 1)) << np;
+        EXPECT_EQ(p.bitsPerLink(), p.chunkBits * (np - 1)) << np;
+    }
+}
+
+TEST(RingRotation, NonPowerOfTwoMatchesAccessModelWhenDivisible)
+{
+    // On divisible working sets the plan must aggregate to the access
+    // model's shared_bits * (N_P - 1) D2D charge, power of two or not.
+    for (int np : {3, 5, 6, 7, 12}) {
+        const int64_t shared = static_cast<int64_t>(7680) * np;
+        const RotationPlan p = planRotation(np, shared, 256);
+        EXPECT_EQ(p.totalBits(), shared * (np - 1)) << np;
+        EXPECT_EQ(p.chunkBits, shared / np) << np;
+    }
+}
+
+TEST(RingRotation, NonPowerOfTwoExposedCyclesScaleWithSteps)
+{
+    // 5 chiplets -> 4 steps; a half-hidden step exposes its excess on
+    // every one of the 4 forwards.
+    const RotationPlan p = planRotation(5, 5 << 10, 128);
+    ASSERT_EQ(p.steps.size(), 4u);
+    const int64_t step_cycles = p.steps.front().cycles;
+    EXPECT_EQ(p.exposedCycles(step_cycles), 0);
+    EXPECT_EQ(p.exposedCycles(0), 4 * step_cycles);
+    EXPECT_EQ(p.exposedCycles(step_cycles / 2),
+              4 * (step_cycles - step_cycles / 2));
+}
+
 TEST(RingRotation, ToStringMentionsSteps)
 {
     const RotationPlan p = planRotation(4, 1024, 128);

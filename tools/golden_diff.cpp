@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Golden regression corpus updater / checker.
+ *
+ * Regenerates pinned JSON snapshots of the bench-figure outputs
+ * (table I and figures 7 / 10 / 12 / 15) from the library and diffs
+ * them against the snapshots in tests/golden.  Every number
+ * round-trips through
+ * the JsonWriter's machine-stable formatting, so the comparison is
+ * exact: any drift in the analytical models shows up as a failing
+ * GoldenCorpus ctest entry with the JSON path of the first mismatch.
+ *
+ * Usage:
+ *   golden_diff [--dir <path>] [--only <name>] [--update] [--list]
+ *
+ * Exit codes: 0 all snapshots match, 1 drift / missing snapshot,
+ * 2 usage error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baton/baton.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "dataflow/partition.hpp"
+#include "mapper/search.hpp"
+#include "nn/model.hpp"
+#include "simba/simba.hpp"
+#include "tech/technology.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+/** Near-square fh:fw ~ 1:1 split covering @p parts tiles (fig. 7). */
+PlanarSplit
+squareSplit(int parts)
+{
+    int fh = static_cast<int>(std::sqrt(static_cast<double>(parts)));
+    while (parts % fh != 0)
+        --fh;
+    return {fh, parts / fh};
+}
+
+/** Stretched fh:fw ~ 1:4 split (fig. 7). */
+PlanarSplit
+rectSplit(int parts)
+{
+    int fh = static_cast<int>(std::sqrt(static_cast<double>(parts) / 4));
+    fh = std::max(fh, 1);
+    while (parts % fh != 0)
+        --fh;
+    return {fh, parts / fh};
+}
+
+PlanarSplit
+clampSplit(PlanarSplit s, int ho, int wo)
+{
+    return {std::min(s.fh, ho), std::min(s.fw, wo)};
+}
+
+void
+writeEnergy(JsonWriter &j, const EnergyBreakdown &e)
+{
+    j.beginObject();
+    j.field("total", e.total());
+    j.field("dram", e.dram);
+    j.field("d2d", e.d2d);
+    j.field("noc", e.noc);
+    j.field("al2", e.al2);
+    j.field("al1", e.al1);
+    j.field("wl1", e.wl1);
+    j.field("ol1", e.ol1);
+    j.field("ol2", e.ol2);
+    j.field("mac", e.mac);
+    j.endObject();
+}
+
+/** Table I: per-operation energies and recomputed relative costs. */
+void
+genTable1(JsonWriter &j)
+{
+    const TechnologyModel &t = defaultTech();
+    j.beginObject();
+    j.key("energy_pj_per_bit").beginObject();
+    j.field("dram", t.dramEnergyPerBit);
+    j.field("d2d", t.d2dEnergyPerBit);
+    j.field("l2_sram_32k", t.l2EnergyPerBitAt32K);
+    j.field("l1_sram_1k", t.l1EnergyPerBitAt1K);
+    j.field("rf_rmw", t.rfEnergyPerBitRmw);
+    j.field("noc_hop", t.nocEnergyPerBit);
+    j.endObject();
+    j.field("mac_pj_per_op", t.macEnergyPerOp);
+    // The paper's "relative cost" column recomputed from the anchors.
+    j.key("relative_to_mac").beginObject();
+    j.field("dram", t.dramEnergyPerBit / t.macEnergyPerOp);
+    j.field("d2d", t.d2dEnergyPerBit / t.macEnergyPerOp);
+    j.field("l2_sram_32k", t.l2EnergyPerBitAt32K / t.macEnergyPerOp);
+    j.field("l1_sram_1k", t.l1EnergyPerBitAt1K / t.macEnergyPerOp);
+    j.field("rf_rmw", t.rfEnergyPerBitRmw / t.macEnergyPerOp);
+    j.endObject();
+    j.key("area").beginObject();
+    j.field("mac_um2", t.macAreaUm2);
+    j.field("grs_phy_mm2", t.grsPhyAreaMm2);
+    j.field("ddr_phy_mm2", t.ddrPhyAreaMm2);
+    j.endObject();
+    j.key("timing").beginObject();
+    j.field("frequency_ghz", t.frequencyGhz);
+    j.field("dram_bits_per_cycle", t.dramBitsPerCycle);
+    j.field("d2d_bits_per_cycle", t.d2dBitsPerCycle);
+    j.endObject();
+    j.endObject();
+}
+
+/** Figure 7: halo redundancy of 1:1 vs 1:4 planar splits. */
+void
+genFig7(JsonWriter &j)
+{
+    const Model resnet = makeResNet50(512);
+    const Model vgg = makeVgg16(512);
+    const ConvLayer layers[] = {resnet.layer("conv1"),
+                                vgg.layer("conv3")};
+    j.beginObject();
+    j.key("layers").beginArray();
+    for (const ConvLayer &l : layers) {
+        j.beginObject();
+        j.field("name", l.name);
+        j.field("kh", l.kh);
+        j.field("kw", l.kw);
+        j.field("stride", l.stride);
+        j.field("ho", l.ho);
+        j.field("wo", l.wo);
+        j.key("rows").beginArray();
+        for (int parts : {4, 16, 64, 256, 1024, 4096, 16384}) {
+            const PlanarSplit sq =
+                clampSplit(squareSplit(parts), l.ho, l.wo);
+            const PlanarSplit re =
+                clampSplit(rectSplit(parts), l.ho, l.wo);
+            j.beginObject();
+            j.field("tiles", parts);
+            j.field("square_split", sq.toString());
+            j.field("square_redundancy",
+                    haloRedundancy(l.ho, l.wo, sq, l.kh, l.kw,
+                                   l.stride));
+            j.field("rect_split", re.toString());
+            j.field("rect_redundancy",
+                    haloRedundancy(l.ho, l.wo, re, l.kh, l.kw,
+                                   l.stride));
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+/** Figure 10: memory size vs energy / area linear fits. */
+void
+genFig10(JsonWriter &j)
+{
+    const TechnologyModel &t = defaultTech();
+    j.beginObject();
+    j.key("sram").beginArray();
+    for (int kb : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+        const int64_t bytes = static_cast<int64_t>(kb) * 1024;
+        j.beginObject();
+        j.field("kb", kb);
+        j.field("energy_pj_per_bit", t.sramEnergyPerBit(bytes));
+        j.field("area_mm2", t.sramAreaMm2(bytes));
+        j.endObject();
+    }
+    j.endArray();
+    j.key("rf").beginArray();
+    for (double kb : {0.25, 0.5, 1.0, 1.5, 2.0, 3.0}) {
+        j.beginObject();
+        j.field("kb", kb);
+        j.field("rmw_energy_pj_per_bit", t.rfEnergyPerBitRmw);
+        j.field("area_mm2",
+                t.rfAreaMm2(static_cast<int64_t>(kb * 1024)));
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+/**
+ * Figure 12: Simba baseline vs NN-Baton energy on the five
+ * representative layers at 224 and 512 input resolution.  The search
+ * runs at Fast effort so the corpus regenerates in seconds on one
+ * core; the pinned numbers are absolute picojoules (the figure's
+ * normalisation is a presentation detail).
+ */
+void
+genFig12(JsonWriter &j)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &tech = defaultTech();
+    j.beginObject();
+    j.key("resolutions").beginArray();
+    for (int resolution : {224, 512}) {
+        const RepresentativeLayers reps =
+            representativeLayers(resolution);
+        const struct
+        {
+            const ConvLayer *layer;
+            const char *role;
+        } cases[] = {
+            {&reps.activationIntensive, "activation-intensive"},
+            {&reps.weightIntensive, "weight-intensive"},
+            {&reps.largeKernel, "large-kernel"},
+            {&reps.pointWise, "point-wise"},
+            {&reps.common, "common"},
+        };
+        j.beginObject();
+        j.field("resolution", resolution);
+        j.key("layers").beginArray();
+        for (const auto &c : cases) {
+            const SimbaLayerCost simba =
+                simbaLayerCost(*c.layer, cfg, tech);
+            const auto baton = searchLayer(*c.layer, cfg, tech,
+                                           SearchEffort::Fast);
+            if (!baton)
+                fatal("fig12: no legal mapping for layer %s",
+                      c.layer->name.c_str());
+            j.beginObject();
+            j.field("role", c.role);
+            j.field("layer", c.layer->name);
+            j.key("simba_energy_pj");
+            writeEnergy(j, simba.energy);
+            j.field("simba_cycles", simba.runtime.cycles);
+            j.key("baton_energy_pj");
+            writeEnergy(j, baton->energy);
+            j.field("baton_cycles", baton->runtime.cycles);
+            j.field("baton_mapping", baton->mapping.toString());
+            j.field("normalized_total",
+                    baton->energy.total() / simba.energy.total());
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+/**
+ * Figure 15 (reduced scale): the 4096-MAC table II sweep under the
+ * 3 mm^2 chiplet-area budget for DarkNet19@224 only — the smallest of
+ * the paper's three benchmarks, chosen so the corpus check stays
+ * viable on a single core.  Pins the sweep statistics, deterministic
+ * search counters, the per-chiplet-count point-cloud summary and the
+ * recommended (min-EDP) design.
+ */
+void
+genFig15(JsonWriter &j)
+{
+    const Model model = makeDarkNet19(224);
+    DseOptions opt;
+    opt.totalMacs = 4096;
+    opt.areaLimitMm2 = 3.0;
+    opt.effort = SearchEffort::Sketch;
+    opt.objective = Objective::MinEdp;
+    opt.threads = 1;
+    const DseResult r = explore(model, opt, defaultTech());
+
+    j.beginObject();
+    j.field("model", model.name());
+    j.field("resolution", model.inputResolution());
+    j.key("sweep").beginObject();
+    j.field("swept", r.swept);
+    j.field("valid", static_cast<int64_t>(r.points.size()));
+    j.field("area_rejected", r.areaRejected);
+    j.field("infeasible", r.infeasible);
+    j.endObject();
+    j.key("search").beginObject();
+    j.field("evaluated", r.search.evaluated);
+    j.field("pruned", r.search.pruned);
+    j.field("cache_hits", r.search.cacheHits);
+    j.field("cache_misses", r.search.cacheMisses);
+    j.field("cache_entries", r.cacheEntries);
+    j.endObject();
+
+    // The figure's colour classes: the valid cloud summarised per N_P.
+    struct Class
+    {
+        int n = 0;
+        double best_energy = 1e300;
+        double best_runtime = 1e300;
+    };
+    std::map<int, Class> classes;
+    for (const DesignPoint &p : r.points) {
+        Class &c = classes[p.compute.chiplets];
+        ++c.n;
+        c.best_energy = std::min(c.best_energy, p.cost.energyMj());
+        c.best_runtime = std::min(c.best_runtime, p.runtimeMs());
+    }
+    j.key("classes").beginArray();
+    for (const auto &[np, c] : classes) {
+        j.beginObject();
+        j.field("chiplets", np);
+        j.field("valid_points", c.n);
+        j.field("best_energy_mj", c.best_energy);
+        j.field("best_runtime_ms", c.best_runtime);
+        j.endObject();
+    }
+    j.endArray();
+    if (auto best = r.bestEdp()) {
+        const DesignPoint &p = r.points[*best];
+        j.key("optimum").beginObject();
+        j.field("design", p.toString());
+        j.field("energy_mj", p.cost.energyMj());
+        j.field("runtime_ms", p.runtimeMs());
+        j.field("edp", p.edp());
+        j.endObject();
+    }
+    j.endObject();
+}
+
+struct Dataset
+{
+    const char *name;
+    void (*generate)(JsonWriter &);
+};
+
+const Dataset kDatasets[] = {
+    {"table1", genTable1}, {"fig7", genFig7},   {"fig10", genFig10},
+    {"fig12", genFig12},   {"fig15", genFig15},
+};
+
+std::string
+generate(const Dataset &d)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    d.generate(j);
+    os << "\n";
+    return os.str();
+}
+
+/** Recursive exact comparison; returns the path of the first diff. */
+bool
+diffValues(const JsonValue &golden, const JsonValue &fresh,
+           const std::string &path, std::string *where)
+{
+    if (golden.type != fresh.type) {
+        *where = path + ": type mismatch";
+        return false;
+    }
+    switch (golden.type) {
+    case JsonValue::Type::Null:
+        return true;
+    case JsonValue::Type::Bool:
+        if (golden.boolean != fresh.boolean) {
+            *where = strprintf("%s: %s != %s", path.c_str(),
+                               golden.boolean ? "true" : "false",
+                               fresh.boolean ? "true" : "false");
+            return false;
+        }
+        return true;
+    case JsonValue::Type::Number:
+        // Exact: both sides round-trip the writer's %.9g formatting.
+        if (golden.number != fresh.number) {
+            *where = strprintf("%s: %.17g != %.17g", path.c_str(),
+                               golden.number, fresh.number);
+            return false;
+        }
+        return true;
+    case JsonValue::Type::String:
+        if (golden.string != fresh.string) {
+            *where =
+                strprintf("%s: \"%s\" != \"%s\"", path.c_str(),
+                          golden.string.c_str(), fresh.string.c_str());
+            return false;
+        }
+        return true;
+    case JsonValue::Type::Array:
+        if (golden.array.size() != fresh.array.size()) {
+            *where = strprintf("%s: array size %zu != %zu",
+                               path.c_str(), golden.array.size(),
+                               fresh.array.size());
+            return false;
+        }
+        for (size_t i = 0; i < golden.array.size(); ++i)
+            if (!diffValues(golden.array[i], fresh.array[i],
+                            strprintf("%s[%zu]", path.c_str(), i),
+                            where))
+                return false;
+        return true;
+    case JsonValue::Type::Object:
+        if (golden.object.size() != fresh.object.size()) {
+            *where = strprintf("%s: object size %zu != %zu",
+                               path.c_str(), golden.object.size(),
+                               fresh.object.size());
+            return false;
+        }
+        for (size_t i = 0; i < golden.object.size(); ++i) {
+            if (golden.object[i].first != fresh.object[i].first) {
+                *where = strprintf(
+                    "%s: key \"%s\" != \"%s\"", path.c_str(),
+                    golden.object[i].first.c_str(),
+                    fresh.object[i].first.c_str());
+                return false;
+            }
+            if (!diffValues(golden.object[i].second,
+                            fresh.object[i].second,
+                            path + "." + golden.object[i].first,
+                            where))
+                return false;
+        }
+        return true;
+    }
+    return true;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: golden_diff [--dir <path>] [--only <name>] "
+        "[--update] [--list]\n"
+        "  --dir <path>   golden corpus directory "
+        "(default tests/golden)\n"
+        "  --only <name>  restrict to one dataset\n"
+        "  --update       rewrite the snapshots instead of checking\n"
+        "  --list         print the dataset names and exit\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = "tests/golden";
+    std::string only;
+    bool update = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--dir" && i + 1 < argc) {
+            dir = argv[++i];
+        } else if (arg == "--only" && i + 1 < argc) {
+            only = argv[++i];
+        } else if (arg == "--update") {
+            update = true;
+        } else if (arg == "--list") {
+            for (const Dataset &d : kDatasets)
+                std::printf("%s\n", d.name);
+            return 0;
+        } else {
+            std::fprintf(stderr, "golden_diff: unknown argument %s\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+    if (!only.empty()) {
+        bool known = false;
+        for (const Dataset &d : kDatasets)
+            known = known || only == d.name;
+        if (!known) {
+            std::fprintf(stderr, "golden_diff: unknown dataset %s\n",
+                         only.c_str());
+            return usage();
+        }
+    }
+
+    int failures = 0;
+    for (const Dataset &d : kDatasets) {
+        if (!only.empty() && only != d.name)
+            continue;
+        const std::string path = dir + "/" + d.name + ".json";
+        const std::string fresh = generate(d);
+
+        if (update) {
+            std::ofstream out(path);
+            if (!out) {
+                std::fprintf(stderr, "golden_diff: cannot write %s\n",
+                             path.c_str());
+                return 1;
+            }
+            out << fresh;
+            std::printf("updated %s\n", path.c_str());
+            continue;
+        }
+
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr,
+                         "FAIL %s: missing snapshot %s (run "
+                         "golden_diff --update)\n",
+                         d.name, path.c_str());
+            ++failures;
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+
+        const JsonParseResult golden = parseJson(buf.str());
+        if (!golden.ok()) {
+            std::fprintf(stderr, "FAIL %s: snapshot unparsable: %s\n",
+                         d.name, golden.error.c_str());
+            ++failures;
+            continue;
+        }
+        const JsonParseResult current = parseJson(fresh);
+        if (!current.ok())
+            fatal("golden_diff: generated invalid JSON for %s: %s",
+                  d.name, current.error.c_str());
+
+        std::string where;
+        if (diffValues(golden.value, current.value, d.name, &where)) {
+            std::printf("ok   %s\n", d.name);
+        } else {
+            std::fprintf(stderr,
+                         "FAIL %s: drift at %s\n"
+                         "     review, then re-pin with golden_diff "
+                         "--update\n",
+                         d.name, where.c_str());
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -25,6 +25,9 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <set>
+
 #include "baton/baton.hpp"
 #include "baton/export.hpp"
 #include "common/logging.hpp"
@@ -33,6 +36,8 @@
 #include "common/profile.hpp"
 #include "common/trace.hpp"
 #include "nn/parser.hpp"
+#include "verif/random_mapping.hpp"
+#include "verif/replay.hpp"
 
 using namespace nnbaton;
 
@@ -46,6 +51,8 @@ struct Args
     std::string jsonPath;
     std::string tracePath; //!< --trace: Chrome trace-event JSON output
     bool metrics = false;  //!< --metrics: stderr table + histograms
+    bool verify = false;   //!< post: replay winners differentially
+    int verifyBudget = 4;  //!< --verify-budget: mappings to replay
     int resolution = 224;
     int64_t macs = 2048;
     double areaMm2 = 0.0;
@@ -119,6 +126,11 @@ usage()
         "                        post/compare hardware shape\n"
         "  --ol1/--al1/--wl1/--al2 <bytes>\n"
         "                        post/compare buffer sizes\n"
+        "  --verify              post: replay the search winners\n"
+        "                        through the coordinate-level verifier\n"
+        "                        and fail on any analytical mismatch\n"
+        "  --verify-budget <n>   post: unique mappings to replay,\n"
+        "                        smallest layers first [4]\n"
         "  --json <path>         write a JSON report\n"
         "  --trace <path>        write a Chrome trace-event JSON file\n"
         "                        (open in Perfetto / chrome://tracing)\n"
@@ -181,6 +193,10 @@ parseArgs(int argc, char **argv, Args &args)
             args.tracePath = next();
         } else if (opt == "--metrics") {
             args.metrics = true;
+        } else if (opt == "--verify") {
+            args.verify = true;
+        } else if (opt == "--verify-budget") {
+            args.verifyBudget = parsePositiveInt(name, next());
         } else if (opt == "--log-level") {
             LogLevel level;
             const char *text = next();
@@ -223,6 +239,77 @@ loadModel(const Args &args)
     fatal("unknown model '%s'", n.c_str());
 }
 
+/**
+ * Differentially verify the post-design search winners: replay the
+ * cheapest unique (layer, mapping) pairs through the coordinate-level
+ * interpreter and fail loudly if any analytical figure disagrees.  On
+ * a mismatch the failing case is shrunk to a minimal reproducer
+ * before reporting.
+ */
+int
+runVerify(const Model &model, const PostDesignReport &report,
+          const Args &args)
+{
+    struct Item
+    {
+        const ConvLayer *layer;
+        const Mapping *mapping;
+        int64_t volume;
+    };
+    std::vector<Item> items;
+    std::set<std::string> seen;
+    const std::vector<ConvLayer> &layers = model.layers();
+    const size_t n = std::min(layers.size(), report.mappings.size());
+    for (size_t i = 0; i < n; ++i) {
+        const ConvLayer &l = layers[i];
+        const Mapping &m = report.mappings[i].mapping;
+        if (!seen.insert(l.toString() + "|" + m.toString()).second)
+            continue; // repeated layer shape with the same winner
+        items.push_back(
+            {&l, &m,
+             l.inputVolume() + l.weightVolume() + l.outputVolume()});
+    }
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item &a, const Item &b) {
+                         return a.volume < b.volume;
+                     });
+    const size_t budget = std::min<size_t>(
+        static_cast<size_t>(args.verifyBudget), items.size());
+
+    for (size_t i = 0; i < budget; ++i) {
+        const Item &it = items[i];
+        const DifferentialReport diff = diffMapping(
+            *it.layer, args.config, defaultTech(), *it.mapping);
+        if (diff.ok()) {
+            inform("verified %s against the replay interpreter",
+                   it.layer->name.c_str());
+            continue;
+        }
+        std::fprintf(stderr,
+                     "VERIFY FAIL: layer %s mapping %s\n%s",
+                     it.layer->toString().c_str(),
+                     it.mapping->toString().c_str(),
+                     diff.toString().c_str());
+        DiffCase failing;
+        failing.layer = *it.layer;
+        failing.cfg = args.config;
+        failing.mapping = *it.mapping;
+        const DiffCase minimal = minimizeFailure(
+            failing, [](const DiffCase &c) {
+                return !diffMapping(c.layer, c.cfg, defaultTech(),
+                                    c.mapping)
+                            .ok();
+            });
+        std::fprintf(stderr, "minimal reproducer:\n%s",
+                     minimal.toString().c_str());
+        return 1;
+    }
+    std::printf("verify: %zu/%zu unique mappings replayed "
+                "bit-identically (budget %d)\n",
+                budget, items.size(), args.verifyBudget);
+    return 0;
+}
+
 int
 runPost(const Args &args)
 {
@@ -244,6 +331,13 @@ runPost(const Args &args)
             fatal("cannot write %s", args.jsonPath.c_str());
         exportPostDesign(report, out);
         std::printf("wrote %s\n", args.jsonPath.c_str());
+    }
+    if (args.verify) {
+        if (!report.feasible)
+            fatal("--verify needs a feasible mapping report");
+        const int rc = runVerify(model, report, args);
+        if (rc != 0)
+            return rc;
     }
     return report.feasible ? 0 : 1;
 }
