@@ -31,7 +31,8 @@ pickModel(const char *name, int resolution)
         return makeDarkNet19(resolution);
     if (std::strcmp(name, "alexnet") == 0)
         return makeAlexNet(resolution);
-    fatal("unknown model '%s'", name);
+    std::fprintf(stderr, "unknown model '%s'\n", name);
+    std::exit(1);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "baton/baton.hpp"
@@ -30,8 +31,11 @@ pickModel(const char *name, int resolution)
         return makeDarkNet19(resolution);
     if (std::strcmp(name, "alexnet") == 0)
         return makeAlexNet(resolution);
-    fatal("unknown model '%s' (expected vgg16 | resnet50 | darknet19 "
-          "| alexnet)", name);
+    std::fprintf(stderr,
+                 "unknown model '%s' (expected vgg16 | resnet50 | "
+                 "darknet19 | alexnet)\n",
+                 name);
+    std::exit(1);
 }
 
 } // namespace
@@ -41,8 +45,12 @@ main(int argc, char **argv)
 {
     const char *name = argc > 1 ? argv[1] : "resnet50";
     const int resolution = argc > 2 ? std::atoi(argv[2]) : 224;
-    if (resolution != 224 && resolution != 512)
-        fatal("resolution must be 224 or 512, got %d", resolution);
+    if (resolution != 224 && resolution != 512) {
+        std::fprintf(stderr,
+                     "resolution must be 224 or 512, got %d\n",
+                     resolution);
+        return 1;
+    }
 
     const Model model = pickModel(name, resolution);
     const AcceleratorConfig cfg = caseStudyConfig();

@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -31,7 +32,8 @@ pickModel(const char *name, int resolution)
         return makeDarkNet19(resolution);
     if (std::strcmp(name, "alexnet") == 0)
         return makeAlexNet(resolution);
-    fatal("unknown model '%s'", name);
+    std::fprintf(stderr, "unknown model '%s'\n", name);
+    std::exit(1);
 }
 
 } // namespace
@@ -56,9 +58,12 @@ main(int argc, char **argv)
         const SimbaLayerCost s =
             simbaLayerCost(layer, cfg, defaultTech());
         const auto b = searchLayer(layer, cfg, defaultTech());
-        if (!b)
-            fatal("no legal NN-Baton mapping for %s",
-                  layer.name.c_str());
+        if (!b) {
+            std::fprintf(stderr,
+                         "no legal NN-Baton mapping for %s\n",
+                         layer.name.c_str());
+            return 1;
+        }
         simba_total += s.energy.total();
         baton_total += b->energy.total();
         t.newRow()

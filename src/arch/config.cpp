@@ -1,26 +1,37 @@
 #include "arch/config.hpp"
 
 #include "common/logging.hpp"
+#include "common/status.hpp"
 
 namespace nnbaton {
+
+Status
+AcceleratorConfig::check() const
+{
+    if (package.chiplets < 1 || package.chiplets > 8) {
+        return errInvalidArgument(
+            "chiplet count %d outside the 1-8 ring-NoP range",
+            package.chiplets);
+    }
+    if (chiplet.cores < 1) {
+        return errInvalidArgument("core count %d must be positive",
+                                  chiplet.cores);
+    }
+    if (core.lanes < 1 || core.vectorSize < 1) {
+        return errInvalidArgument("core shape %dx%d must be positive",
+                                  core.lanes, core.vectorSize);
+    }
+    if (core.al1Bytes <= 0 || core.wl1Bytes <= 0 || core.ol1Bytes <= 0 ||
+        chiplet.al2Bytes <= 0) {
+        return errInvalidArgument("all buffer sizes must be positive");
+    }
+    return Status::okStatus();
+}
 
 void
 AcceleratorConfig::validate() const
 {
-    if (package.chiplets < 1 || package.chiplets > 8) {
-        fatal("chiplet count %d outside the 1-8 ring-NoP range",
-              package.chiplets);
-    }
-    if (chiplet.cores < 1)
-        fatal("core count %d must be positive", chiplet.cores);
-    if (core.lanes < 1 || core.vectorSize < 1) {
-        fatal("core shape %dx%d must be positive", core.lanes,
-              core.vectorSize);
-    }
-    if (core.al1Bytes <= 0 || core.wl1Bytes <= 0 || core.ol1Bytes <= 0 ||
-        chiplet.al2Bytes <= 0) {
-        fatal("all buffer sizes must be positive");
-    }
+    throwIfError(check());
 }
 
 std::string

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.hpp"
+
 namespace nnbaton {
 
 /** Per-core compute and memory resources. */
@@ -81,7 +83,11 @@ struct AcceleratorConfig
         return static_cast<int64_t>(chiplet.cores) * core.macs();
     }
 
-    /** Validate resource counts; fatal() on user errors. */
+    /** Check resource counts; errInvalidArgument describing the first
+     *  violation, OK otherwise. */
+    Status check() const;
+
+    /** check(), but throwing the error as a StatusError. */
     void validate() const;
 
     /** Compact id, e.g. "4-8-8-8" = (chiplets, cores, lanes, vector). */

@@ -82,6 +82,28 @@ PreDesignReport::toString() const
         static_cast<long long>(sweep.search.cacheHits),
         static_cast<long long>(sweep.search.cacheMisses),
         sweep.elapsedSeconds);
+    if (sweep.resumed > 0) {
+        ss << strprintf("resumed: %lld points restored from checkpoint\n",
+                        static_cast<long long>(sweep.resumed));
+    }
+    if (!sweep.poisoned.empty()) {
+        ss << strprintf("poisoned: %lld design point(s) quarantined\n",
+                        static_cast<long long>(sweep.poisoned.size()));
+        for (const PoisonedPoint &p : sweep.poisoned) {
+            ss << strprintf("  [%lld] %d-%d-%d-%d: %s\n",
+                            static_cast<long long>(p.sweepIndex),
+                            p.compute.chiplets, p.compute.cores,
+                            p.compute.lanes, p.compute.vectorSize,
+                            p.error.c_str());
+        }
+    }
+    if (!sweep.complete) {
+        ss << strprintf(
+            "PARTIAL result: %lld of %lld points skipped "
+            "(cancelled or past deadline)\n",
+            static_cast<long long>(sweep.skipped),
+            static_cast<long long>(sweep.swept));
+    }
     if (recommended) {
         ss << "recommended (min EDP): " << recommended->toString()
            << "\n";

@@ -133,6 +133,9 @@ exportPreDesign(const PreDesignReport &report, std::ostream &os)
     j.field("swept", report.sweep.swept);
     j.field("areaRejected", report.sweep.areaRejected);
     j.field("infeasible", report.sweep.infeasible);
+    j.field("complete", report.sweep.complete);
+    j.field("skipped", report.sweep.skipped);
+    j.field("resumed", report.sweep.resumed);
     j.key("search").beginObject();
     j.field("evaluated", report.sweep.search.evaluated);
     j.field("pruned", report.sweep.search.pruned);
@@ -161,6 +164,27 @@ exportPreDesign(const PreDesignReport &report, std::ostream &os)
         j.field("energy_pj", p.cost.energy.total());
         j.field("cycles", p.cost.cycles);
         j.field("edp", p.edp());
+        j.endObject();
+    }
+    j.endArray();
+
+    j.key("poisoned").beginArray();
+    for (const PoisonedPoint &p : report.sweep.poisoned) {
+        j.beginObject();
+        j.field("sweepIndex", p.sweepIndex);
+        j.key("compute").beginArray();
+        j.value(p.compute.chiplets)
+            .value(p.compute.cores)
+            .value(p.compute.lanes)
+            .value(p.compute.vectorSize);
+        j.endArray();
+        j.key("memory").beginObject();
+        j.field("ol1Bytes", p.memory.ol1Bytes);
+        j.field("al1Bytes", p.memory.al1Bytes);
+        j.field("wl1Bytes", p.memory.wl1Bytes);
+        j.field("al2Bytes", p.memory.al2Bytes);
+        j.endObject();
+        j.field("error", p.error);
         j.endObject();
     }
     j.endArray();

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/logging.hpp"
+#include "common/status.hpp"
 
 namespace nnbaton {
 
@@ -40,8 +41,9 @@ analyzeForwarding(const Model &model, const PostDesignReport &report,
                   const TechnologyModel &tech)
 {
     if (report.cost.layers.size() != model.layers().size()) {
-        fatal("analyzeForwarding: report does not match model %s",
-              model.name().c_str());
+        throwStatus(errInvalidArgument(
+            "analyzeForwarding: report does not match model %s",
+            model.name().c_str()));
     }
 
     ForwardingReport out;

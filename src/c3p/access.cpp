@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/status.hpp"
 #include "common/util.hpp"
 #include "dataflow/loopnest.hpp"
 
@@ -35,9 +36,10 @@ analyzeMapping(const ConvLayer &layer, const AcceleratorConfig &cfg,
 {
     const std::string reason = checkMapping(layer, cfg, mapping);
     if (!reason.empty()) {
-        fatal("analyzeMapping(%s, %s): illegal mapping: %s",
-              layer.name.c_str(), mapping.toString().c_str(),
-              reason.c_str());
+        throwStatus(errInvalidArgument(
+            "analyzeMapping(%s, %s): illegal mapping: %s",
+            layer.name.c_str(), mapping.toString().c_str(),
+            reason.c_str()));
     }
 
     AccessAnalysis out;

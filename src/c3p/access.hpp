@@ -91,7 +91,8 @@ struct AnalysisOptions
 
 /**
  * Run the full C3P accounting for a (layer, config, mapping) triple.
- * The mapping must pass checkMapping(); this is fatal() otherwise.
+ * The mapping must pass checkMapping(); this throws
+ * StatusError(InvalidArgument) otherwise.
  */
 AccessAnalysis analyzeMapping(const ConvLayer &layer,
                               const AcceleratorConfig &cfg,

@@ -1,0 +1,80 @@
+#include "common/cancel.hpp"
+
+#include <chrono>
+#include <csignal>
+
+namespace nnbaton {
+
+namespace {
+
+int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+extern "C" void
+cancelSignalHandler(int)
+{
+    // One relaxed atomic store: async-signal-safe.  Restoring the
+    // default disposition means a second signal kills the process
+    // even if the run never polls the token.
+    globalCancelToken().requestCancel();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+}
+
+} // namespace
+
+void
+CancelToken::setDeadlineAfter(double seconds)
+{
+    int64_t ns = steadyNowNs() +
+                 static_cast<int64_t>(seconds * 1e9);
+    deadlineNs_.store(ns, std::memory_order_relaxed);
+}
+
+void
+CancelToken::reset()
+{
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadlineNs_.store(0, std::memory_order_relaxed);
+}
+
+bool
+CancelToken::cancelled() const
+{
+    if (cancelled_.load(std::memory_order_relaxed))
+        return true;
+    int64_t deadline = deadlineNs_.load(std::memory_order_relaxed);
+    return deadline != 0 && steadyNowNs() >= deadline;
+}
+
+Status
+CancelToken::toStatus() const
+{
+    if (cancelled_.load(std::memory_order_relaxed))
+        return errCancelled("cancellation requested");
+    int64_t deadline = deadlineNs_.load(std::memory_order_relaxed);
+    if (deadline != 0 && steadyNowNs() >= deadline)
+        return errDeadlineExceeded("wall-clock deadline expired");
+    return Status::okStatus();
+}
+
+CancelToken &
+globalCancelToken()
+{
+    static CancelToken token;
+    return token;
+}
+
+void
+installCancelSignalHandlers()
+{
+    std::signal(SIGINT, cancelSignalHandler);
+    std::signal(SIGTERM, cancelSignalHandler);
+}
+
+} // namespace nnbaton

@@ -143,6 +143,20 @@ JsonWriter::value(double v)
 }
 
 JsonWriter &
+JsonWriter::valueExact(double v)
+{
+    separator();
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(bool v)
 {
     separator();

@@ -52,6 +52,13 @@ class JsonWriter
     JsonWriter &value(double v);
     JsonWriter &value(bool v);
 
+    /**
+     * Write a double with full round-trip precision (%.17g instead of
+     * value()'s display-oriented %.9g).  Checkpoints use this so a
+     * resumed sweep restores bit-identical scores.
+     */
+    JsonWriter &valueExact(double v);
+
     /** key() + value() in one call. */
     template <typename T>
     JsonWriter &
@@ -59,6 +66,14 @@ class JsonWriter
     {
         key(name);
         return value(v);
+    }
+
+    /** key() + valueExact() in one call. */
+    JsonWriter &
+    fieldExact(const std::string &name, double v)
+    {
+        key(name);
+        return valueExact(v);
     }
 
   private:

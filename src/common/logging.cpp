@@ -2,26 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
+
+#include "common/status.hpp"
 
 namespace nnbaton {
 
 namespace {
 
 std::atomic<int> currentLevel{static_cast<int>(LogLevel::Info)};
-
-std::string
-vstrprintf(const char *fmt, va_list ap)
-{
-    va_list ap2;
-    va_copy(ap2, ap);
-    int n = std::vsnprintf(nullptr, 0, fmt, ap);
-    std::vector<char> buf(static_cast<size_t>(n) + 1);
-    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
-    va_end(ap2);
-    return std::string(buf.data(), static_cast<size_t>(n));
-}
 
 /**
  * Format prefix + message + newline into one buffer and emit it with
@@ -114,23 +103,15 @@ warn(const char *fmt, ...)
 }
 
 void
-fatal(const char *fmt, ...)
-{
-    va_list ap;
-    va_start(ap, fmt);
-    vreport("fatal: ", fmt, ap);
-    va_end(ap);
-    std::exit(1);
-}
-
-void
 panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("panic: ", fmt, ap);
+    std::string message = vstrprintf(fmt, ap);
     va_end(ap);
-    std::abort();
+    const std::string line = "panic: " + message + "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    throwStatus(Status(StatusCode::Internal, std::move(message)));
 }
 
 std::string
@@ -141,6 +122,18 @@ strprintf(const char *fmt, ...)
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
     return s;
+}
+
+std::string
+vstrprintf(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
 }
 
 } // namespace nnbaton

@@ -1,10 +1,13 @@
 /**
  * @file
- * gem5-style status/error reporting helpers.
+ * gem5-style status reporting helpers.
  *
- * fatal() is for user errors (bad configuration, invalid arguments) and
- * exits with code 1; panic() is for internal invariant violations and
- * aborts.  inform()/warn() print status without stopping the program.
+ * inform()/warn()/debugLog() print status without stopping the
+ * program; panic() reports an internal invariant violation and throws
+ * a StatusError (StatusCode::Internal).  User errors are reported via
+ * the Status types in common/status.hpp — the library never calls
+ * exit()/abort(); only the CLI drivers under tools/ turn errors into
+ * exit codes.
  *
  * All reporting functions are thread-safe: each message is formatted
  * into a single buffer and written with one stdio call, so output
@@ -26,7 +29,7 @@ enum class LogLevel
     Debug = 0, //!< debugLog(): extra detail for developers
     Info = 1,  //!< inform(): normal progress (the default level)
     Warn = 2,  //!< warn(): suspicious but recoverable
-    Quiet = 3, //!< only fatal()/panic() (which always print)
+    Quiet = 3, //!< only panic() (which always prints)
 };
 
 /** Set the minimum severity that gets printed (atomic, thread-safe). */
@@ -51,15 +54,11 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
- * Report a user error (bad configuration or arguments) and exit(1).
- * Use for conditions that are the caller's fault, not a library bug.
- */
-[[noreturn]] void fatal(const char *fmt, ...)
-    __attribute__((format(printf, 1, 2)));
-
-/**
- * Report an internal invariant violation and abort().
- * Use for conditions that should never happen regardless of input.
+ * Report an internal invariant violation: print the message and throw
+ * a StatusError with StatusCode::Internal.  Use for conditions that
+ * should never happen regardless of input.  Callers that cannot
+ * tolerate unwinding (the sweep engine's workers) quarantine the
+ * exception; the CLI turns it into a nonzero exit.
  */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
@@ -73,6 +72,9 @@ void setInformEnabled(bool enabled);
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/** va_list variant of strprintf (shared by the Status builders). */
+std::string vstrprintf(const char *fmt, va_list ap);
 
 } // namespace nnbaton
 

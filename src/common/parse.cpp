@@ -1,0 +1,60 @@
+#include "common/parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+
+namespace nnbaton {
+
+StatusOr<int64_t>
+parsePositiveInt64(const char *opt, const char *text)
+{
+    // strtoll would skip leading whitespace; the whole token rule
+    // forbids it.
+    if (std::isspace(static_cast<unsigned char>(text[0]))) {
+        return errInvalidArgument(
+            "%s needs a positive integer, got '%s'", opt, text);
+    }
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || v <= 0) {
+        return errInvalidArgument(
+            "%s needs a positive integer, got '%s'", opt, text);
+    }
+    return static_cast<int64_t>(v);
+}
+
+StatusOr<int>
+parsePositiveInt(const char *opt, const char *text)
+{
+    StatusOr<int64_t> v = parsePositiveInt64(opt, text);
+    if (!v.ok())
+        return v.status();
+    if (v.value() > INT_MAX)
+        return errInvalidArgument("%s value '%s' is out of range", opt,
+                                  text);
+    return static_cast<int>(v.value());
+}
+
+StatusOr<double>
+parsePositiveDouble(const char *opt, const char *text)
+{
+    if (std::isspace(static_cast<unsigned char>(text[0]))) {
+        return errInvalidArgument("%s needs a positive number, got '%s'",
+                                  opt, text);
+    }
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0' ||
+        !std::isfinite(v) || !(v > 0.0)) {
+        return errInvalidArgument("%s needs a positive number, got '%s'",
+                                  opt, text);
+    }
+    return v;
+}
+
+} // namespace nnbaton

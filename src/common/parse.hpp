@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Strict numeric parsing for CLI flags and other untrusted text.
+ *
+ * The whole token must be a number in range, otherwise an
+ * errInvalidArgument naming the option comes back (atoi would
+ * silently read "x" as 0).  Library code so the fuzz tests can hammer
+ * the same paths the CLI uses.
+ */
+
+#ifndef NNBATON_COMMON_PARSE_HPP
+#define NNBATON_COMMON_PARSE_HPP
+
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace nnbaton {
+
+/** Parse @p text as a positive int64; @p opt names the flag in the
+ *  error message. */
+StatusOr<int64_t> parsePositiveInt64(const char *opt, const char *text);
+
+/** parsePositiveInt64 further restricted to int range. */
+StatusOr<int> parsePositiveInt(const char *opt, const char *text);
+
+/** Parse @p text as a finite double > 0. */
+StatusOr<double> parsePositiveDouble(const char *opt, const char *text);
+
+} // namespace nnbaton
+
+#endif // NNBATON_COMMON_PARSE_HPP

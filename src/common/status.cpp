@@ -1,0 +1,92 @@
+#include "common/status.hpp"
+
+#include <cstdarg>
+
+#include "common/logging.hpp"
+
+namespace nnbaton {
+
+const char *
+toString(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::Ok:
+        return "OK";
+    case StatusCode::Cancelled:
+        return "CANCELLED";
+    case StatusCode::InvalidArgument:
+        return "INVALID_ARGUMENT";
+    case StatusCode::NotFound:
+        return "NOT_FOUND";
+    case StatusCode::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+    case StatusCode::FailedPrecondition:
+        return "FAILED_PRECONDITION";
+    case StatusCode::DataLoss:
+        return "DATA_LOSS";
+    case StatusCode::Internal:
+        return "INTERNAL";
+    case StatusCode::Unavailable:
+        return "UNAVAILABLE";
+    }
+    return "UNKNOWN";
+}
+
+Status
+Status::withContext(const std::string &context) const
+{
+    if (ok())
+        return *this;
+    return Status(code_, context + ": " + message_);
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    return std::string(nnbaton::toString(code_)) + ": " + message_;
+}
+
+namespace {
+
+Status
+makeStatus(StatusCode code, const char *fmt, va_list ap)
+{
+    return Status(code, vstrprintf(fmt, ap));
+}
+
+} // namespace
+
+#define NNBATON_STATUS_CTOR(fn, code)                                  \
+    Status fn(const char *fmt, ...)                                    \
+    {                                                                  \
+        va_list ap;                                                    \
+        va_start(ap, fmt);                                             \
+        Status s = makeStatus(StatusCode::code, fmt, ap);              \
+        va_end(ap);                                                    \
+        return s;                                                      \
+    }
+
+NNBATON_STATUS_CTOR(errCancelled, Cancelled)
+NNBATON_STATUS_CTOR(errInvalidArgument, InvalidArgument)
+NNBATON_STATUS_CTOR(errNotFound, NotFound)
+NNBATON_STATUS_CTOR(errDeadlineExceeded, DeadlineExceeded)
+NNBATON_STATUS_CTOR(errFailedPrecondition, FailedPrecondition)
+NNBATON_STATUS_CTOR(errDataLoss, DataLoss)
+NNBATON_STATUS_CTOR(errInternal, Internal)
+NNBATON_STATUS_CTOR(errUnavailable, Unavailable)
+
+#undef NNBATON_STATUS_CTOR
+
+void
+throwStatus(Status status)
+{
+    if (status.ok()) {
+        status = errInternal(
+            "throwStatus called with an OK status (library bug)");
+    }
+    throw StatusError(std::move(status));
+}
+
+} // namespace nnbaton

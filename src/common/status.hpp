@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Structured error propagation for the library.
+ *
+ * A Status carries an error code plus a human-readable message that
+ * accumulates context as it crosses subsystem boundaries
+ * (withContext() prepends "doing X: " the way errno wrappers do).
+ * StatusOr<T> is the value-or-error return type for fallible
+ * constructors and I/O.  StatusError wraps a Status into an exception
+ * so deep call paths (mapping derivation inside a sweep worker,
+ * config validation inside a zoo builder) can signal user errors
+ * without every intermediate frame growing a Status return.
+ *
+ * Ownership of process exit: the library never calls exit()/abort().
+ * Errors either return as Status/StatusOr or unwind as StatusError;
+ * only the CLI drivers under tools/ translate them into exit codes.
+ * The sweep engine additionally quarantines StatusError thrown by a
+ * worker into a poisoned-point report instead of failing the run (see
+ * dse/explorer.hpp).
+ */
+
+#ifndef NNBATON_COMMON_STATUS_HPP
+#define NNBATON_COMMON_STATUS_HPP
+
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace nnbaton {
+
+/** Error codes, loosely following the absl/gRPC canonical set. */
+enum class StatusCode
+{
+    Ok = 0,
+    Cancelled,          //!< caller asked to stop (SIGINT, CancelToken)
+    InvalidArgument,    //!< malformed input or configuration
+    NotFound,           //!< named entity or file absent
+    DeadlineExceeded,   //!< wall-clock budget expired
+    FailedPrecondition, //!< valid input, wrong state (e.g. stale file)
+    DataLoss,           //!< file present but unreadable / corrupt
+    Internal,           //!< library invariant violation (a bug)
+    Unavailable,        //!< transient environment failure (I/O)
+};
+
+/** Upper-case canonical name, e.g. "INVALID_ARGUMENT". */
+const char *toString(StatusCode code);
+
+/** An error code plus a context-chained message; default is OK. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status okStatus() { return Status(); }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** A copy with "context: " prepended; OK stays OK. */
+    Status withContext(const std::string &context) const;
+
+    /** "INVALID_ARGUMENT: chiplet count 16 outside ..." (or "OK"). */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/** printf-style constructors for the non-OK codes. */
+Status errCancelled(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status errInvalidArgument(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status errNotFound(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status errDeadlineExceeded(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status errFailedPrecondition(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status errDataLoss(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status errInternal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status errUnavailable(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** A Status travelling as an exception. */
+class StatusError : public std::exception
+{
+  public:
+    explicit StatusError(Status status)
+        : status_(std::move(status)), what_(status_.toString())
+    {
+    }
+
+    const Status &status() const { return status_; }
+
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    Status status_;
+    std::string what_;
+};
+
+/** Throw @p status as a StatusError (always throws; @p status must
+ *  not be OK — an OK status is upgraded to an Internal error). */
+[[noreturn]] void throwStatus(Status status);
+
+/** Throw a StatusError when @p status is not OK; no-op otherwise. */
+inline void
+throwIfError(const Status &status)
+{
+    if (!status.ok())
+        throwStatus(status);
+}
+
+/**
+ * Value-or-Status.  value() on an error throws the carried Status as
+ * a StatusError, so call sites may either branch on ok() or let the
+ * error unwind.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    StatusOr(Status status) : status_(std::move(status)) {} // NOLINT
+    StatusOr(T value) // NOLINT
+        : value_(std::move(value))
+    {
+    }
+
+    bool ok() const { return value_.has_value(); }
+
+    /** The carried error (OK when a value is present). */
+    const Status &status() const { return status_; }
+
+    T &value() &
+    {
+        ensure();
+        return *value_;
+    }
+    const T &value() const &
+    {
+        ensure();
+        return *value_;
+    }
+    T &&value() &&
+    {
+        ensure();
+        return std::move(*value_);
+    }
+
+    T *operator->()
+    {
+        ensure();
+        return &*value_;
+    }
+    const T *operator->() const
+    {
+        ensure();
+        return &*value_;
+    }
+
+  private:
+    void ensure() const
+    {
+        if (!value_.has_value())
+            throwStatus(status_);
+    }
+
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace nnbaton
+
+#endif // NNBATON_COMMON_STATUS_HPP

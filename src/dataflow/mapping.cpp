@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/status.hpp"
 #include "common/util.hpp"
 
 namespace nnbaton {
@@ -76,8 +77,9 @@ deriveShapes(const ConvLayer &layer, const AcceleratorConfig &cfg,
                           static_cast<int>(ceilDiv(layer.co, np))};
     } else {
         if (m.pkgSplit.parts() != np) {
-            fatal("package split %s does not cover %d chiplets",
-                  m.pkgSplit.toString().c_str(), np);
+            throwStatus(errInvalidArgument(
+                "package split %s does not cover %d chiplets",
+                m.pkgSplit.toString().c_str(), np));
         }
         s.chipletMacro = {static_cast<int>(ceilDiv(layer.ho, m.pkgSplit.fh)),
                           static_cast<int>(ceilDiv(layer.wo, m.pkgSplit.fw)),
@@ -102,8 +104,9 @@ deriveShapes(const ConvLayer &layer, const AcceleratorConfig &cfg,
                    static_cast<int>(ceilDiv(s.chipletTile.wo, m.chipSplit.fw)),
                    static_cast<int>(ceilDiv(s.chipletTile.co, cw))};
     if (cw * pw != cfg.chiplet.cores) {
-        fatal("chiplet split cw=%d x pw=%d != %d cores", cw, pw,
-              cfg.chiplet.cores);
+        throwStatus(errInvalidArgument(
+            "chiplet split cw=%d x pw=%d != %d cores", cw, pw,
+            cfg.chiplet.cores));
     }
 
     // 4. Chiplet temporal: core tiles of hoC x woC x L.

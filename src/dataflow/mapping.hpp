@@ -136,8 +136,9 @@ struct MappingShapes
 };
 
 /**
- * Compute the derived shapes.  fatal() if the mapping is malformed for
- * the configuration; use checkMapping() first for a soft answer.
+ * Compute the derived shapes.  Throws StatusError(InvalidArgument) if
+ * the mapping is malformed for the configuration; use checkMapping()
+ * first for a soft answer.
  */
 MappingShapes deriveShapes(const ConvLayer &layer,
                            const AcceleratorConfig &cfg,

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sweep checkpoints: periodic JSON snapshots of evaluated design
+ * points so a long pre-design sweep survives interruption
+ * (--checkpoint / --resume in the CLI).
+ *
+ * A checkpoint stores, per evaluated design point, its classification
+ * (valid / area-rejected / infeasible) and — for valid points — the
+ * full DesignPoint including the per-layer cost ledger, with doubles
+ * serialised at %.17g so a resumed sweep reproduces bit-identical
+ * points and winner.  Poisoned and skipped points are deliberately
+ * not recorded: a resume retries them.
+ *
+ * Search work counters (SearchStats) are NOT checkpointed.  Their
+ * cache-hit/miss attribution depends on which design point populated
+ * a shared cache entry first, which a partial run has already decided
+ * differently than a fresh one would; restored points therefore
+ * contribute no counters, and the determinism guarantee covers the
+ * points, classification counts and recommended winner only.
+ *
+ * Writes are atomic: the snapshot is written to "<path>.tmp" and
+ * renamed over the target, so a kill mid-write leaves the previous
+ * checkpoint intact (the kill/resume test exercises exactly this).
+ */
+
+#ifndef NNBATON_DSE_CHECKPOINT_HPP
+#define NNBATON_DSE_CHECKPOINT_HPP
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "dse/explorer.hpp"
+
+namespace nnbaton {
+
+/** One recorded design-point outcome. */
+struct CheckpointEntry
+{
+    enum class Kind
+    {
+        AreaRejected,
+        Infeasible,
+        Valid,
+    };
+    Kind kind = Kind::AreaRejected;
+    DesignPoint point; //!< populated only when kind == Valid
+};
+
+/** A (possibly partial) sweep snapshot. */
+struct SweepCheckpoint
+{
+    /** Guards against resuming with a different model or options. */
+    std::string fingerprint;
+
+    /** True when the snapshot covers the whole sweep. */
+    bool complete = false;
+
+    /** Outcomes keyed by designPointKey(). */
+    std::unordered_map<std::string, CheckpointEntry> entries;
+};
+
+/** Stable identity of a design point within a sweep,
+ *  e.g. "4-8-8-8|1536|800|18432|65536". */
+std::string designPointKey(const ComputeAllocation &compute,
+                           const MemoryAllocation &memory);
+
+/** Stable identity of a sweep: model plus every option that shapes
+ *  the space or the scores (threads excluded — results are
+ *  thread-count independent). */
+std::string sweepFingerprint(const Model &model,
+                             const DseOptions &options);
+
+/**
+ * Atomically write @p checkpoint to @p path (tmp file + rename).
+ * Returns errUnavailable on I/O failure — the sweep engine counts the
+ * failure and keeps going rather than losing completed work.
+ */
+Status saveSweepCheckpoint(const std::string &path,
+                           const SweepCheckpoint &checkpoint);
+
+/**
+ * Load a checkpoint: errNotFound when @p path cannot be opened,
+ * errDataLoss when the contents are not a valid checkpoint document.
+ * Fingerprint matching is the caller's job (the explorer rejects a
+ * mismatch with errFailedPrecondition).
+ */
+StatusOr<SweepCheckpoint> loadSweepCheckpoint(const std::string &path);
+
+} // namespace nnbaton
+
+#endif // NNBATON_DSE_CHECKPOINT_HPP

@@ -2,12 +2,17 @@
 
 #include <chrono>
 #include <limits>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/status.hpp"
 #include "common/trace.hpp"
+#include "dse/checkpoint.hpp"
 #include "mapper/cache.hpp"
+#include "verif/fault.hpp"
 
 namespace nnbaton {
 
@@ -64,10 +69,14 @@ struct PointOutcome
         AreaRejected,
         Infeasible,
         Valid,
+        Poisoned, //!< evaluation threw; quarantined with the error
+        Skipped,  //!< not evaluated (cancellation / deadline)
     };
     Kind kind = AreaRejected;
     DesignPoint point;
     SearchStats stats;
+    std::string error; //!< Poisoned only: the captured Status
+    bool restored = false; //!< prefilled from a --resume checkpoint
 };
 
 PointOutcome
@@ -90,6 +99,7 @@ evaluatePoint(const Model &model, const DseOptions &options,
     search.threads = 1; // point-level parallelism only (nested-free)
     search.boundPruning = options.boundPruning;
     search.detailedMetrics = options.detailedMetrics;
+    search.cancel = options.cancel;
     const uint64_t t0 = options.detailedMetrics ? obs::traceNowNs() : 0;
     ModelMappingResult mapped =
         mapModel(model, cfg, tech, options.effort, options.objective,
@@ -115,6 +125,97 @@ evaluatePoint(const Model &model, const DseOptions &options,
     return out;
 }
 
+/**
+ * Shared checkpoint state: workers append their settled outcome under
+ * the mutex and every checkpointEvery completions the current
+ * snapshot is flushed (atomically) to disk.  Poisoned and skipped
+ * points are not recorded — a resume retries them.
+ */
+class CheckpointSink
+{
+  public:
+    CheckpointSink(std::string path, int every, std::string fingerprint)
+        : path_(std::move(path)), every_(every < 1 ? 1 : every)
+    {
+        state_.fingerprint = std::move(fingerprint);
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Seed with entries restored from a --resume checkpoint so a
+     *  later resume of THIS run still sees them. */
+    void
+    seed(const std::string &key, const CheckpointEntry &entry)
+    {
+        if (!enabled())
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        state_.entries.emplace(key, entry);
+    }
+
+    /** Record a completed point; flushes every N completions. */
+    void
+    record(const std::string &key, const PointOutcome &out)
+    {
+        if (!enabled())
+            return;
+        CheckpointEntry entry;
+        switch (out.kind) {
+        case PointOutcome::AreaRejected:
+            entry.kind = CheckpointEntry::Kind::AreaRejected;
+            break;
+        case PointOutcome::Infeasible:
+            entry.kind = CheckpointEntry::Kind::Infeasible;
+            break;
+        case PointOutcome::Valid:
+            entry.kind = CheckpointEntry::Kind::Valid;
+            entry.point = out.point;
+            break;
+        case PointOutcome::Poisoned:
+        case PointOutcome::Skipped:
+            return;
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        state_.entries.emplace(key, std::move(entry));
+        if (++sinceFlush_ >= every_)
+            flushLocked();
+    }
+
+    /** Final flush; @p complete marks a full (uninterrupted) sweep. */
+    void
+    finish(bool complete)
+    {
+        if (!enabled())
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        state_.complete = complete;
+        flushLocked();
+    }
+
+  private:
+    void
+    flushLocked()
+    {
+        sinceFlush_ = 0;
+        Status s = saveSweepCheckpoint(path_, state_);
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+        if (s.ok()) {
+            reg.counter("dse.checkpoint.writes").add(1);
+        } else {
+            // Losing a checkpoint must not lose the sweep: count it,
+            // warn once per failure and keep going.
+            reg.counter("dse.checkpoint.failures").add(1);
+            warn("checkpoint write failed: %s", s.toString().c_str());
+        }
+    }
+
+    const std::string path_;
+    const int every_;
+    std::mutex mutex_;
+    SweepCheckpoint state_;
+    int sinceFlush_ = 0;
+};
+
 } // namespace
 
 DseResult
@@ -139,10 +240,10 @@ explore(const Model &model, const DseOptions &options,
         NNBATON_TRACE_SCOPE("dse.enumerate_space");
         const auto computes = enumerateCompute(options.totalMacs);
         if (computes.empty()) {
-            fatal(
+            throwStatus(errInvalidArgument(
                 "explore: no table II compute allocation yields %lld "
                 "MACs",
-                static_cast<long long>(options.totalMacs));
+                static_cast<long long>(options.totalMacs)));
         }
 
         std::vector<MemoryAllocation> memories;
@@ -161,24 +262,102 @@ explore(const Model &model, const DseOptions &options,
     debugLog("explore: %zu design points to evaluate on %d lane(s)",
              tasks.size(), options.threads);
 
+    const std::string fingerprint = sweepFingerprint(model, options);
+    CheckpointSink sink(options.checkpointPath, options.checkpointEvery,
+                        fingerprint);
+
+    std::vector<PointOutcome> outcomes(tasks.size());
+
+    // Restore previously evaluated points before spawning workers.
+    if (!options.resumePath.empty()) {
+        SweepCheckpoint restored =
+            loadSweepCheckpoint(options.resumePath).value();
+        if (restored.fingerprint != fingerprint) {
+            throwStatus(errFailedPrecondition(
+                "resume checkpoint %s was written for a different "
+                "sweep (its fingerprint \"%s\" != \"%s\")",
+                options.resumePath.c_str(),
+                restored.fingerprint.c_str(), fingerprint.c_str()));
+        }
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            const std::string key =
+                designPointKey(tasks[i].compute, tasks[i].memory);
+            auto it = restored.entries.find(key);
+            if (it == restored.entries.end())
+                continue;
+            PointOutcome &out = outcomes[i];
+            out.restored = true;
+            switch (it->second.kind) {
+            case CheckpointEntry::Kind::AreaRejected:
+                out.kind = PointOutcome::AreaRejected;
+                break;
+            case CheckpointEntry::Kind::Infeasible:
+                out.kind = PointOutcome::Infeasible;
+                break;
+            case CheckpointEntry::Kind::Valid:
+                out.kind = PointOutcome::Valid;
+                out.point = it->second.point;
+                break;
+            }
+            sink.seed(key, it->second);
+            ++result.resumed;
+        }
+        inform("resume: restored %lld of %zu design points from %s",
+               static_cast<long long>(result.resumed), tasks.size(),
+               options.resumePath.c_str());
+    }
+
     // One mapping cache serves every design point: swept points share
     // layer shapes (repeated ResNet-50 blocks) and the table II grid
     // revisits each compute geometry across memory allocations, so
     // most lookups hit.  The cache is thread-safe and compute-once.
     MappingCache cache;
-    std::vector<PointOutcome> outcomes(tasks.size());
     ThreadPool pool(options.threads);
-    pool.parallelFor(static_cast<int64_t>(tasks.size()),
-                     [&](int64_t i) {
-                         outcomes[i] = evaluatePoint(
-                             model, options, tech, tasks[i].compute,
-                             tasks[i].memory, cache);
-                     });
+    pool.parallelFor(
+        static_cast<int64_t>(tasks.size()), [&](int64_t i) {
+            PointOutcome &out = outcomes[i];
+            if (out.restored)
+                return;
+            if (options.cancel && options.cancel->cancelled()) {
+                out.kind = PointOutcome::Skipped;
+                return;
+            }
+            try {
+                verif::injectPointFault(i);
+                out = evaluatePoint(model, options, tech,
+                                    tasks[i].compute, tasks[i].memory,
+                                    cache);
+            } catch (const StatusError &e) {
+                const StatusCode code = e.status().code();
+                if (code == StatusCode::Cancelled ||
+                    code == StatusCode::DeadlineExceeded) {
+                    out = PointOutcome();
+                    out.kind = PointOutcome::Skipped;
+                    return;
+                }
+                if (options.strict)
+                    throw;
+                out = PointOutcome();
+                out.kind = PointOutcome::Poisoned;
+                out.error = e.status().toString();
+            } catch (const std::exception &e) {
+                if (options.strict)
+                    throw;
+                out = PointOutcome();
+                out.kind = PointOutcome::Poisoned;
+                out.error = e.what();
+            }
+            sink.record(designPointKey(tasks[i].compute,
+                                       tasks[i].memory),
+                        out);
+            verif::notifyPointCompleted(options.cancel);
+        });
 
     // Deterministic collection in sweep order.
     {
         NNBATON_TRACE_SCOPE("dse.collect");
-        for (PointOutcome &out : outcomes) {
+        for (size_t i = 0; i < outcomes.size(); ++i) {
+            PointOutcome &out = outcomes[i];
             ++result.swept;
             result.search += out.stats;
             switch (out.kind) {
@@ -191,10 +370,34 @@ explore(const Model &model, const DseOptions &options,
             case PointOutcome::Valid:
                 result.points.push_back(std::move(out.point));
                 break;
+            case PointOutcome::Poisoned:
+                result.poisoned.push_back(
+                    {tasks[i].compute, tasks[i].memory,
+                     static_cast<int64_t>(i), std::move(out.error)});
+                break;
+            case PointOutcome::Skipped:
+                ++result.skipped;
+                break;
             }
         }
     }
+    result.complete = result.skipped == 0;
     result.cacheEntries = static_cast<int64_t>(cache.size());
+    sink.finish(result.complete);
+
+    if (!result.poisoned.empty()) {
+        warn("explore: %zu design point(s) poisoned (first: %s)",
+             result.poisoned.size(),
+             result.poisoned.front().error.c_str());
+    }
+    if (!result.complete) {
+        warn("explore: stopped early (%lld of %lld points skipped): %s",
+             static_cast<long long>(result.skipped),
+             static_cast<long long>(result.swept),
+             options.cancel
+                 ? options.cancel->toStatus().toString().c_str()
+                 : "cancelled");
+    }
 
     // Sweep-level metrics, mirrored once per explore() call.
     obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
@@ -203,6 +406,10 @@ explore(const Model &model, const DseOptions &options,
         .add(static_cast<int64_t>(result.points.size()));
     reg.counter("dse.points.area_rejected").add(result.areaRejected);
     reg.counter("dse.points.infeasible").add(result.infeasible);
+    reg.counter("dse.points.poisoned")
+        .add(static_cast<int64_t>(result.poisoned.size()));
+    reg.counter("dse.points.skipped").add(result.skipped);
+    reg.counter("dse.points.resumed").add(result.resumed);
     reg.gauge("dse.cache_entries")
         .set(static_cast<double>(result.cacheEntries));
     result.elapsedSeconds =

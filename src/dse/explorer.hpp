@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "arch/area.hpp"
+#include "common/cancel.hpp"
 #include "cost/ledger.hpp"
 #include "dse/space.hpp"
 #include "mapper/search.hpp"
@@ -61,6 +62,44 @@ struct DseOptions
      *  search) into the obs metrics registry (the --metrics CLI
      *  flag).  Observation only: never changes results. */
     bool detailedMetrics = false;
+
+    /**
+     * Fail-fast mode (--strict): the first design point whose
+     * evaluation throws aborts the whole sweep by rethrowing.  The
+     * default quarantines such points into DseResult::poisoned and
+     * keeps sweeping.
+     */
+    bool strict = false;
+
+    /** Checkpoint file; empty disables checkpointing. */
+    std::string checkpointPath;
+
+    /** Flush the checkpoint every N completed design points (the
+     *  final flush always happens). */
+    int checkpointEvery = 32;
+
+    /** Resume from this checkpoint; empty starts fresh.  Throws
+     *  StatusError(FailedPrecondition) when the file was written for
+     *  a different model or options. */
+    std::string resumePath;
+
+    /**
+     * Cooperative cancellation (deadline / SIGINT).  Borrowed, may be
+     * null.  Once it fires, remaining design points are skipped, the
+     * sweep finishes collection and returns with complete == false.
+     */
+    CancelToken *cancel = nullptr;
+};
+
+/** A design point whose evaluation threw (quarantined, not fatal). */
+struct PoisonedPoint
+{
+    ComputeAllocation compute;
+    MemoryAllocation memory;
+    int64_t sweepIndex = 0; //!< position in the deterministic sweep
+                            //!< order — rerun with the same options to
+                            //!< reproduce
+    std::string error;      //!< the captured Status, stringified
 };
 
 /** Sweep result. */
@@ -82,6 +121,20 @@ struct DseResult
     /** Distinct (layer shape, config) searches in the shared cache. */
     int64_t cacheEntries = 0;
 
+    /** Design points whose evaluation threw, quarantined with the
+     *  error (empty under --strict, which rethrows instead). */
+    std::vector<PoisonedPoint> poisoned;
+
+    /** Points not evaluated because cancellation / deadline fired. */
+    int64_t skipped = 0;
+
+    /** Points restored from a --resume checkpoint (their search work
+     *  counters are not re-counted; see dse/checkpoint.hpp). */
+    int64_t resumed = 0;
+
+    /** False when the sweep was cut short (skipped > 0). */
+    bool complete = true;
+
     /** Index of the minimum-EDP point, if any. */
     std::optional<size_t> bestEdp() const;
 
@@ -89,7 +142,17 @@ struct DseResult
     std::optional<size_t> bestEnergy() const;
 };
 
-/** Run the pre-design sweep for @p model. */
+/**
+ * Run the pre-design sweep for @p model.
+ *
+ * Resilience: a design point whose evaluation throws is quarantined
+ * into DseResult::poisoned (unless options.strict), a fired
+ * options.cancel token skips the remaining points and marks the
+ * result incomplete, and options.checkpointPath / resumePath persist
+ * and restore evaluated points so an interrupted sweep resumed with
+ * identical options reproduces the same points, classification counts
+ * and winner bit-for-bit.
+ */
 DseResult explore(const Model &model, const DseOptions &options,
                   const TechnologyModel &tech);
 

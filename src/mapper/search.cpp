@@ -7,9 +7,11 @@
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/status.hpp"
 #include "common/trace.hpp"
 #include "mapper/bound.hpp"
 #include "mapper/cache.hpp"
+#include "verif/fault.hpp"
 
 namespace nnbaton {
 
@@ -74,6 +76,16 @@ pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
     survivors.reserve(kPruneBlock);
 
     for (size_t base = 0; base < n; base += kPruneBlock) {
+        // Cancellation granularity: one poll per prune block, so a
+        // fired deadline stops even a single huge layer search within
+        // ~kPruneBlock evaluations.  Unwinding here is safe: the
+        // compute-once cache does not latch an entry whose factory
+        // throws, so a later (post-resume) search recomputes it.
+        if (search.cancel && search.cancel->cancelled())
+            throwStatus(search.cancel->toStatus());
+        if (verif::faultPlanArmed())
+            verif::injectSearchBlockFault();
+
         const size_t count = std::min(kPruneBlock, n - base);
 
         // Pruning pass against the block-boundary incumbent.
@@ -225,6 +237,8 @@ mapModel(const Model &model, const AcceleratorConfig &cfg,
             "mapper.layer_search_us");
 
     for (const ConvLayer &layer : model.layers()) {
+        if (search.cancel && search.cancel->cancelled())
+            throwStatus(search.cancel->toStatus());
         const MappingCache::Key key =
             MappingCache::makeKey(layer, cfg, effort, objective);
         const uint64_t t0 =

@@ -14,6 +14,7 @@
 
 #include "arch/config.hpp"
 #include "c3p/access.hpp"
+#include "common/cancel.hpp"
 #include "cost/energy.hpp"
 #include "cost/ledger.hpp"
 #include "mapper/candidates.hpp"
@@ -73,6 +74,14 @@ struct SearchOptions
      *  obs metrics registry (the --metrics CLI flag).  Observation
      *  only: adds clock reads but never changes results. */
     bool detailedMetrics = false;
+
+    /**
+     * Cooperative cancellation, polled at prune-block boundaries and
+     * between layers.  Borrowed, may be null.  A fired token unwinds
+     * the search with StatusError(Cancelled / DeadlineExceeded); the
+     * sweep engine maps that to a skipped design point.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** A fully evaluated mapping for one layer. */

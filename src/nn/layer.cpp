@@ -1,6 +1,7 @@
 #include "nn/layer.hpp"
 
 #include "common/logging.hpp"
+#include "common/status.hpp"
 
 namespace nnbaton {
 
@@ -27,18 +28,21 @@ void
 ConvLayer::validate() const
 {
     if (ho <= 0 || wo <= 0 || co <= 0 || ci <= 0) {
-        fatal("layer %s: non-positive extent (ho=%d wo=%d co=%d ci=%d)",
-              name.c_str(), ho, wo, co, ci);
+        throwStatus(errInvalidArgument(
+            "layer %s: non-positive extent (ho=%d wo=%d co=%d ci=%d)",
+            name.c_str(), ho, wo, co, ci));
     }
     if (kh <= 0 || kw <= 0 || stride <= 0) {
-        fatal("layer %s: non-positive kernel/stride (kh=%d kw=%d s=%d)",
-              name.c_str(), kh, kw, stride);
+        throwStatus(errInvalidArgument(
+            "layer %s: non-positive kernel/stride (kh=%d kw=%d s=%d)",
+            name.c_str(), kh, kw, stride));
     }
     if (groups != 1 && !(groups == ci && groups == co)) {
-        fatal("layer %s: only dense (groups=1) and depthwise "
-              "(groups=ci=co) convolutions are supported, got "
-              "groups=%d ci=%d co=%d",
-              name.c_str(), groups, ci, co);
+        throwStatus(errInvalidArgument(
+            "layer %s: only dense (groups=1) and depthwise "
+            "(groups=ci=co) convolutions are supported, got "
+            "groups=%d ci=%d co=%d",
+            name.c_str(), groups, ci, co));
     }
 }
 

@@ -92,7 +92,8 @@ struct ConvLayer
      */
     LayerKind kind() const;
 
-    /** Validate extents; fatal() on nonsensical shapes. */
+    /** Validate extents; throws StatusError(InvalidArgument) on
+     *  nonsensical shapes. */
     void validate() const;
 
     /** Human-readable one-line summary. */

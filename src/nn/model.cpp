@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "common/logging.hpp"
+#include "common/status.hpp"
 
 namespace nnbaton {
 
@@ -14,8 +14,8 @@ Model::layer(const std::string &layer_name) const
         if (l.name == layer_name)
             return l;
     }
-    fatal("model %s: no layer named %s", name_.c_str(),
-          layer_name.c_str());
+    throwStatus(errNotFound("model %s: no layer named %s", name_.c_str(),
+                            layer_name.c_str()));
 }
 
 int64_t

@@ -42,7 +42,7 @@ class Model
     /** All layers in execution order. */
     const std::vector<ConvLayer> &layers() const { return layers_; }
 
-    /** Find a layer by name; fatal() if absent. */
+    /** Find a layer by name; throws StatusError(NotFound) if absent. */
     const ConvLayer &layer(const std::string &layer_name) const;
 
     /** Total MACs over all layers. */

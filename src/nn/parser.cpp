@@ -174,6 +174,20 @@ parseModelFile(const std::string &path)
     return result;
 }
 
+StatusOr<Model>
+loadModelFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return errNotFound("cannot open model file '%s'", path.c_str());
+    ParseResult result = parseModel(in);
+    if (!result.ok()) {
+        return errInvalidArgument("%s: %s", path.c_str(),
+                                  result.error.c_str());
+    }
+    return std::move(*result.model);
+}
+
 std::string
 writeModelText(const Model &model)
 {

@@ -25,6 +25,7 @@
 #include <optional>
 #include <string>
 
+#include "common/status.hpp"
 #include "nn/model.hpp"
 
 namespace nnbaton {
@@ -46,6 +47,10 @@ ParseResult parseModelString(const std::string &text);
 
 /** Parse a model description from a file; error mentions the path. */
 ParseResult parseModelFile(const std::string &path);
+
+/** parseModelFile() as a StatusOr: errNotFound when the file cannot
+ *  be opened, errInvalidArgument for a malformed description. */
+StatusOr<Model> loadModelFile(const std::string &path);
 
 /** Serialise a model back to the text format (round-trippable). */
 std::string writeModelText(const Model &model);

@@ -9,7 +9,7 @@
  * layers) at both resolutions.
  */
 
-#include "common/logging.hpp"
+#include "common/status.hpp"
 #include "nn/model.hpp"
 
 namespace nnbaton {
@@ -28,8 +28,10 @@ windowOut(int n, int k, int s, int p)
 Model
 makeAlexNet(int resolution)
 {
-    if (resolution < 64)
-        fatal("AlexNet resolution too small: %d", resolution);
+    if (resolution < 64) {
+        throwStatus(errInvalidArgument(
+            "AlexNet resolution too small: %d", resolution));
+    }
 
     Model m("AlexNet", resolution);
 

@@ -7,7 +7,7 @@
  * 1000-way classifier convolution.
  */
 
-#include "common/logging.hpp"
+#include "common/status.hpp"
 #include "nn/model.hpp"
 
 namespace nnbaton {
@@ -16,8 +16,9 @@ Model
 makeDarkNet19(int resolution)
 {
     if (resolution % 32 != 0)
-        fatal("DarkNet-19 resolution must be a multiple of 32, got %d",
-              resolution);
+        throwStatus(errInvalidArgument(
+            "DarkNet-19 resolution must be a multiple of 32, got %d",
+            resolution));
 
     Model m("DarkNet-19", resolution);
     const int r = resolution;

@@ -10,7 +10,7 @@
  * layers, while the output-centric dataflow parallelises the plane.
  */
 
-#include "common/logging.hpp"
+#include "common/status.hpp"
 #include "nn/model.hpp"
 
 namespace nnbaton {
@@ -19,8 +19,9 @@ Model
 makeMobileNetV2(int resolution)
 {
     if (resolution % 32 != 0)
-        fatal("MobileNetV2 resolution must be a multiple of 32, got %d",
-              resolution);
+        throwStatus(errInvalidArgument(
+            "MobileNetV2 resolution must be a multiple of 32, got %d",
+            resolution));
 
     Model m("MobileNetV2", resolution);
     const int r = resolution;

@@ -9,7 +9,7 @@
  * the stride-2 convolution in branch2a (ResNet v1).
  */
 
-#include "common/logging.hpp"
+#include "common/status.hpp"
 #include "nn/model.hpp"
 
 namespace nnbaton {
@@ -18,8 +18,9 @@ Model
 makeResNet50(int resolution)
 {
     if (resolution % 32 != 0)
-        fatal("ResNet-50 resolution must be a multiple of 32, got %d",
-              resolution);
+        throwStatus(errInvalidArgument(
+            "ResNet-50 resolution must be a multiple of 32, got %d",
+            resolution));
 
     Model m("ResNet-50", resolution);
     const int r = resolution;

@@ -11,7 +11,7 @@
  * sweep.
  */
 
-#include "common/logging.hpp"
+#include "common/status.hpp"
 #include "nn/model.hpp"
 
 namespace nnbaton {
@@ -20,8 +20,9 @@ Model
 makeVgg16(int resolution)
 {
     if (resolution % 32 != 0)
-        fatal("VGG-16 resolution must be a multiple of 32, got %d",
-              resolution);
+        throwStatus(errInvalidArgument(
+            "VGG-16 resolution must be a multiple of 32, got %d",
+            resolution));
 
     Model m("VGG-16", resolution);
     const int r = resolution;

@@ -5,6 +5,7 @@
 
 #include "c3p/analysis.hpp"
 #include "common/logging.hpp"
+#include "common/status.hpp"
 #include "common/util.hpp"
 #include "dataflow/loopnest.hpp"
 
@@ -268,8 +269,9 @@ simbaLayerCost(const ConvLayer &layer, const AcceleratorConfig &cfg,
         }
     }
     if (!best) {
-        fatal("simbaLayerCost: no legal Simba arrangement for %s on %s",
-              layer.name.c_str(), cfg.computeId().c_str());
+        throwStatus(errInvalidArgument(
+            "simbaLayerCost: no legal Simba arrangement for %s on %s",
+            layer.name.c_str(), cfg.computeId().c_str()));
     }
     return *best;
 }

@@ -1,0 +1,113 @@
+#include "verif/fault.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/cancel.hpp"
+#include "common/status.hpp"
+
+namespace nnbaton {
+namespace verif {
+
+namespace {
+
+// armed_ is the fast-path gate: hooks bail on one relaxed load when
+// no test has armed a plan.  The mutable countdown state lives behind
+// a mutex — fault injection is test-only, so contention is irrelevant.
+std::atomic<bool> armed{false};
+std::mutex planMutex;
+FaultPlan plan;
+int64_t searchBlockCountdown = -1;
+int64_t completedPoints = 0;
+
+} // namespace
+
+void
+armFaultPlan(const FaultPlan &p)
+{
+    std::lock_guard<std::mutex> lock(planMutex);
+    plan = p;
+    searchBlockCountdown = p.failAtSearchBlock;
+    completedPoints = 0;
+    armed.store(true, std::memory_order_release);
+}
+
+void
+disarmFaultPlan()
+{
+    std::lock_guard<std::mutex> lock(planMutex);
+    plan = FaultPlan{};
+    searchBlockCountdown = -1;
+    completedPoints = 0;
+    armed.store(false, std::memory_order_release);
+}
+
+bool
+faultPlanArmed()
+{
+    return armed.load(std::memory_order_relaxed);
+}
+
+void
+injectPointFault(int64_t index)
+{
+    if (!faultPlanArmed())
+        return;
+    bool fire = false;
+    {
+        std::lock_guard<std::mutex> lock(planMutex);
+        fire = plan.failAtPoint >= 0 && index == plan.failAtPoint;
+    }
+    if (fire) {
+        throwStatus(errInternal(
+            "injected fault at design point %lld",
+            static_cast<long long>(index)));
+    }
+}
+
+void
+injectSearchBlockFault()
+{
+    if (!faultPlanArmed())
+        return;
+    bool fire = false;
+    {
+        std::lock_guard<std::mutex> lock(planMutex);
+        if (searchBlockCountdown >= 0 && searchBlockCountdown-- == 0)
+            fire = true;
+    }
+    if (fire)
+        throwStatus(errInternal("injected fault inside mapping search"));
+}
+
+bool
+injectCheckpointWriteFailure()
+{
+    if (!faultPlanArmed())
+        return false;
+    std::lock_guard<std::mutex> lock(planMutex);
+    if (!plan.failNextCheckpointWrite)
+        return false;
+    plan.failNextCheckpointWrite = false;
+    return true;
+}
+
+void
+notifyPointCompleted(CancelToken *cancel)
+{
+    if (!faultPlanArmed() || cancel == nullptr)
+        return;
+    bool fire = false;
+    {
+        std::lock_guard<std::mutex> lock(planMutex);
+        if (plan.cancelAfterPoints >= 0 &&
+            ++completedPoints == plan.cancelAfterPoints) {
+            fire = true;
+        }
+    }
+    if (fire)
+        cancel->requestCancel();
+}
+
+} // namespace verif
+} // namespace nnbaton

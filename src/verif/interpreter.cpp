@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.hpp"
+#include "common/status.hpp"
 
 namespace nnbaton {
 
@@ -145,9 +146,9 @@ referenceFills(const LoopNest &nest, Tensor tensor, const ConvLayer &layer,
                int64_t capacity_bytes)
 {
     if (capacity_bytes <= 0) {
-        fatal("referenceFills: capacity must be positive, got %lld "
-              "bytes",
-              static_cast<long long>(capacity_bytes));
+        throwStatus(errInvalidArgument(
+            "referenceFills: capacity must be positive, got %lld bytes",
+            static_cast<long long>(capacity_bytes)));
     }
     // The coordinate key packs four 16-bit fields; reject nests whose
     // extents (including the input halo) would alias under that
@@ -161,9 +162,10 @@ referenceFills(const LoopNest &nest, Tensor tensor, const ConvLayer &layer,
     if (full.ho >= bound || full.wo >= bound || full.co >= bound ||
         full.ci >= bound || full.kh >= bound || full.kw >= bound ||
         rows >= bound || cols >= bound) {
-        fatal("referenceFills: nest extents exceed the 16-bit "
-              "coordinate linearisation (nest %s)",
-              nest.toString().c_str());
+        throwStatus(errInvalidArgument(
+            "referenceFills: nest extents exceed the 16-bit "
+            "coordinate linearisation (nest %s)",
+            nest.toString().c_str()));
     }
     Walker w{nest, tensor, layer, capacity_bytes, {}};
     w.visit(0, Offsets{});

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/logging.hpp"
+#include "common/status.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "common/util.hpp"
@@ -79,9 +80,10 @@ replayMapping(const ConvLayer &layer, const AcceleratorConfig &cfg,
 
     const std::string reason = checkMapping(layer, cfg, mapping);
     if (!reason.empty()) {
-        fatal("replayMapping(%s, %s): illegal mapping: %s",
-              layer.name.c_str(), mapping.toString().c_str(),
-              reason.c_str());
+        throwStatus(errInvalidArgument(
+            "replayMapping(%s, %s): illegal mapping: %s",
+            layer.name.c_str(), mapping.toString().c_str(),
+            reason.c_str()));
     }
 
     ReplayResult r;

@@ -59,7 +59,7 @@ struct ReplayResult
 
 /**
  * Replay @p mapping end to end.  The mapping must pass checkMapping();
- * fatal() otherwise (same contract as analyzeMapping()).
+ * throws StatusError otherwise (same contract as analyzeMapping()).
  */
 ReplayResult replayMapping(const ConvLayer &layer,
                            const AcceleratorConfig &cfg,

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Test helper replacing the old EXPECT_DEATH assertions.
+ *
+ * Library errors no longer abort the process; they throw StatusError
+ * (see docs/resilience.md).  expectStatusThrow checks that a callable
+ * throws a StatusError whose message contains the expected substring,
+ * mirroring what EXPECT_DEATH used to match against stderr.
+ */
+
+#ifndef NNBATON_TESTS_EXPECT_STATUS_HPP
+#define NNBATON_TESTS_EXPECT_STATUS_HPP
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace nnbaton {
+
+template <typename Fn>
+void
+expectStatusThrow(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        ADD_FAILURE() << "expected a StatusError containing '" << needle
+                      << "', but nothing was thrown";
+    } catch (const StatusError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "StatusError message '" << e.what()
+            << "' does not contain '" << needle << "'";
+    }
+}
+
+} // namespace nnbaton
+
+#endif // NNBATON_TESTS_EXPECT_STATUS_HPP

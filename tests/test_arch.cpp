@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_status.hpp"
+
 #include "arch/area.hpp"
 #include "arch/config.hpp"
 #include "common/util.hpp"
@@ -110,13 +112,15 @@ TEST(AcceleratorConfigDeath, RejectsBadShapes)
 {
     AcceleratorConfig cfg = caseStudyConfig();
     cfg.package.chiplets = 16; // beyond the 1-8 ring range
-    EXPECT_DEATH(cfg.validate(), "ring");
+    expectStatusThrow([&] { cfg.validate(); }, "ring");
+    EXPECT_EQ(cfg.check().code(), StatusCode::InvalidArgument);
     cfg = caseStudyConfig();
     cfg.core.lanes = 0;
-    EXPECT_DEATH(cfg.validate(), "positive");
+    expectStatusThrow([&] { cfg.validate(); }, "positive");
     cfg = caseStudyConfig();
     cfg.core.wl1Bytes = 0;
-    EXPECT_DEATH(cfg.validate(), "buffer");
+    expectStatusThrow([&] { cfg.validate(); }, "buffer");
+    EXPECT_TRUE(caseStudyConfig().check().ok());
 }
 
 TEST(DefaultOl2Bytes, PositiveAndScalesWithCores)

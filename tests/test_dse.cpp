@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_status.hpp"
+
 #include "common/util.hpp"
 #include "dse/explorer.hpp"
 #include "dse/space.hpp"
@@ -172,6 +174,7 @@ TEST(ExploreDeath, UnreachableMacCountIsFatal)
 {
     DseOptions opt;
     opt.totalMacs = 3000; // not a product of table II options
-    EXPECT_DEATH(explore(miniModel(), opt, defaultTech()),
-                 "compute allocation");
+    expectStatusThrow(
+        [&] { explore(miniModel(), opt, defaultTech()); },
+        "compute allocation");
 }

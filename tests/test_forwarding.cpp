@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_status.hpp"
+
 #include "baton/forwarding.hpp"
 
 using namespace nnbaton;
@@ -100,5 +102,6 @@ TEST(ForwardingDeath, MismatchedReportIsFatal)
     b.addLayer(makeConv("x", 16, 16, 64, 16, 3, 3, 1));
     b.addLayer(makeConv("y", 16, 16, 64, 64, 3, 3, 1));
     const PostDesignReport report = runPost(a);
-    EXPECT_DEATH(analyzeForwarding(b, report), "does not match");
+    expectStatusThrow([&] { analyzeForwarding(b, report); },
+                      "does not match");
 }

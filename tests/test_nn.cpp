@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_status.hpp"
+
 #include "nn/layer.hpp"
 #include "nn/model.hpp"
 
@@ -261,5 +263,5 @@ TEST(DepthwiseLayer, ValidationRejectsPartialGroups)
 {
     ConvLayer l = makeConv("g", 8, 8, 16, 16, 3, 3, 1);
     l.groups = 4; // grouped-but-not-depthwise is unsupported
-    EXPECT_DEATH(l.validate(), "depthwise");
+    expectStatusThrow([&] { l.validate(); }, "depthwise");
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "common/status.hpp"
 
 using namespace nnbaton;
 
@@ -112,6 +113,30 @@ TEST(ThreadPool, ExceptionPropagatesToCaller)
         pool.parallelFor(10, [&](int64_t) { ++ok; });
         EXPECT_EQ(ok.load(), 10);
     }
+}
+
+TEST(ThreadPool, StatusErrorCrossesTheJoinIntact)
+{
+    // The resilient sweep relies on a worker's StatusError arriving
+    // at the caller with its code and message preserved (the pool
+    // rethrows via std::exception_ptr, not a flattened copy).
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(64, [&](int64_t i) {
+            if (i == 17) {
+                throwStatus(errUnavailable("lane fault at %d",
+                                           static_cast<int>(i)));
+            }
+        });
+        ADD_FAILURE() << "expected a StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::Unavailable);
+        EXPECT_EQ(e.status().message(), "lane fault at 17");
+    }
+    // The pool survives and is reusable after the rethrow.
+    std::atomic<int64_t> ok{0};
+    pool.parallelFor(8, [&](int64_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 8);
 }
 
 TEST(ThreadPool, ExceptionAbandonsRemainingIndices)

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_status.hpp"
+
 #include <random>
 
 #include "baton/baton.hpp"
@@ -198,15 +200,17 @@ TEST(InterpreterDeathTest, RejectsNonPositiveCapacity)
     nest.atom.ci = 8;
     nest.atom.kh = 3;
     nest.atom.kw = 3;
-    EXPECT_DEATH(
-        referenceFills(nest, Tensor::Weights, layer, 0),
+    expectStatusThrow(
+        [&] { referenceFills(nest, Tensor::Weights, layer, 0); },
         "capacity must be positive");
-    EXPECT_DEATH(
-        referenceFills(nest, Tensor::Weights, layer, -4096),
+    expectStatusThrow(
+        [&] { referenceFills(nest, Tensor::Weights, layer, -4096); },
         "capacity must be positive");
-    EXPECT_DEATH(referenceFills(nest, Tensor::Weights, layer,
-                                INT64_MIN),
-                 "capacity must be positive");
+    expectStatusThrow(
+        [&] {
+            referenceFills(nest, Tensor::Weights, layer, INT64_MIN);
+        },
+        "capacity must be positive");
 }
 
 TEST(InterpreterDeathTest, RejectsExtentsBeyondLinearisationBound)
@@ -216,7 +220,7 @@ TEST(InterpreterDeathTest, RejectsExtentsBeyondLinearisationBound)
     const ConvLayer layer = makeConv("big", 70000, 1, 1, 1, 1, 1, 1);
     LoopNest nest;
     nest.atom.ho = 70000;
-    EXPECT_DEATH(
-        referenceFills(nest, Tensor::Outputs, layer, 1 << 20),
+    expectStatusThrow(
+        [&] { referenceFills(nest, Tensor::Outputs, layer, 1 << 20); },
         "linearisation");
 }

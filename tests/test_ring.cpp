@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_status.hpp"
+
 #include "sim/ring.hpp"
 
 using namespace nnbaton;
@@ -118,7 +120,7 @@ TEST(RingRotation, ToStringMentionsSteps)
 
 TEST(RingRotationDeath, RejectsBadArguments)
 {
-    EXPECT_DEATH(planRotation(0, 100, 128), "chiplet");
-    EXPECT_DEATH(planRotation(4, -1, 128), "bits");
-    EXPECT_DEATH(planRotation(4, 100, 0), "bandwidth");
+    expectStatusThrow([] { planRotation(0, 100, 128); }, "chiplet");
+    expectStatusThrow([] { planRotation(4, -1, 128); }, "bits");
+    expectStatusThrow([] { planRotation(4, 100, 0); }, "bandwidth");
 }

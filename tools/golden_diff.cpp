@@ -11,10 +11,16 @@
  * GoldenCorpus ctest entry with the JSON path of the first mismatch.
  *
  * Usage:
- *   golden_diff [--dir <path>] [--only <name>] [--update] [--list]
+ *   golden_diff [--dir <path>] [--only <name>] [--update [--force]]
+ *               [--list]
  *
- * Exit codes: 0 all snapshots match, 1 drift / missing snapshot,
- * 2 usage error.
+ * --update refuses to overwrite a snapshot that exists and differs
+ * unless --force is also given, printing the first drifting path it
+ * would pin — re-pinning a golden number should never happen by
+ * accident.
+ *
+ * Exit codes: 0 all snapshots match, 1 drift / missing snapshot /
+ * refused update, 2 usage error.
  */
 
 #include <cmath>
@@ -29,6 +35,7 @@
 #include "baton/baton.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
+#include "common/status.hpp"
 #include "dataflow/partition.hpp"
 #include "mapper/search.hpp"
 #include "nn/model.hpp"
@@ -227,9 +234,11 @@ genFig12(JsonWriter &j)
                 simbaLayerCost(*c.layer, cfg, tech);
             const auto baton = searchLayer(*c.layer, cfg, tech,
                                            SearchEffort::Fast);
-            if (!baton)
-                fatal("fig12: no legal mapping for layer %s",
-                      c.layer->name.c_str());
+            if (!baton) {
+                throwStatus(errInternal(
+                    "fig12: no legal mapping for layer %s",
+                    c.layer->name.c_str()));
+            }
             j.beginObject();
             j.field("role", c.role);
             j.field("layer", c.layer->name);
@@ -426,11 +435,13 @@ usage()
     std::fprintf(
         stderr,
         "usage: golden_diff [--dir <path>] [--only <name>] "
-        "[--update] [--list]\n"
+        "[--update [--force]] [--list]\n"
         "  --dir <path>   golden corpus directory "
         "(default tests/golden)\n"
         "  --only <name>  restrict to one dataset\n"
         "  --update       rewrite the snapshots instead of checking\n"
+        "  --force        allow --update to overwrite a snapshot "
+        "that differs\n"
         "  --list         print the dataset names and exit\n");
     return 2;
 }
@@ -439,10 +450,11 @@ usage()
 
 int
 main(int argc, char **argv)
-{
+try {
     std::string dir = "tests/golden";
     std::string only;
     bool update = false;
+    bool force = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -452,6 +464,8 @@ main(int argc, char **argv)
             only = argv[++i];
         } else if (arg == "--update") {
             update = true;
+        } else if (arg == "--force") {
+            force = true;
         } else if (arg == "--list") {
             for (const Dataset &d : kDatasets)
                 std::printf("%s\n", d.name);
@@ -481,6 +495,37 @@ main(int argc, char **argv)
         const std::string fresh = generate(d);
 
         if (update) {
+            // Re-pinning an existing, differing snapshot needs
+            // --force: print the drift that is about to be pinned so
+            // the update is a reviewed decision, not an accident.
+            std::ifstream existing(path);
+            if (existing) {
+                std::ostringstream buf;
+                buf << existing.rdbuf();
+                const JsonParseResult golden = parseJson(buf.str());
+                const JsonParseResult current = parseJson(fresh);
+                std::string where = "snapshot unparsable";
+                const bool same =
+                    golden.ok() && current.ok() &&
+                    diffValues(golden.value, current.value, d.name,
+                               &where);
+                if (same) {
+                    std::printf("unchanged %s\n", path.c_str());
+                    continue;
+                }
+                if (!force) {
+                    std::fprintf(
+                        stderr,
+                        "REFUSED %s: snapshot exists and differs "
+                        "(%s)\n"
+                        "        re-run with --update --force to pin "
+                        "the new numbers\n",
+                        d.name, where.c_str());
+                    ++failures;
+                    continue;
+                }
+                std::printf("pinning %s: %s\n", d.name, where.c_str());
+            }
             std::ofstream out(path);
             if (!out) {
                 std::fprintf(stderr, "golden_diff: cannot write %s\n",
@@ -512,9 +557,13 @@ main(int argc, char **argv)
             continue;
         }
         const JsonParseResult current = parseJson(fresh);
-        if (!current.ok())
-            fatal("golden_diff: generated invalid JSON for %s: %s",
-                  d.name, current.error.c_str());
+        if (!current.ok()) {
+            std::fprintf(stderr,
+                         "golden_diff: generated invalid JSON for "
+                         "%s: %s\n",
+                         d.name, current.error.c_str());
+            return 1;
+        }
 
         std::string where;
         if (diffValues(golden.value, current.value, d.name, &where)) {
@@ -529,4 +578,7 @@ main(int argc, char **argv)
         }
     }
     return failures == 0 ? 0 : 1;
+} catch (const StatusError &e) {
+    std::fprintf(stderr, "golden_diff: %s\n", e.what());
+    return 1;
 }

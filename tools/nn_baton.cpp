@@ -30,10 +30,13 @@
 
 #include "baton/baton.hpp"
 #include "baton/export.hpp"
+#include "common/cancel.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/parse.hpp"
 #include "common/profile.hpp"
+#include "common/status.hpp"
 #include "common/trace.hpp"
 #include "nn/parser.hpp"
 #include "verif/random_mapping.hpp"
@@ -59,45 +62,15 @@ struct Args
     bool proportional = false;
     bool edpObjective = false;
     int threads = hardwareThreads();
+    // Resilience options for long `pre` sweeps.
+    std::string checkpointPath; //!< --checkpoint: snapshot file
+    int checkpointEvery = 32;   //!< --checkpoint-every: flush period
+    std::string resumePath;     //!< --resume: restore from snapshot
+    double deadlineSeconds = 0; //!< --deadline: wall-clock budget
+    bool strict = false;        //!< --strict: fail fast on poisoned
     // Hardware overrides for `post` / `compare`.
     AcceleratorConfig config = caseStudyConfig();
 };
-
-/**
- * Strict numeric flag parsing: the whole token must be a number and
- * the value must be positive, otherwise the malformed input is a
- * fatal() user error (atoi would silently read "x" as 0).
- */
-int64_t
-parsePositiveInt64(const char *opt, const char *text)
-{
-    errno = 0;
-    char *end = nullptr;
-    const long long v = std::strtoll(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0' || v <= 0)
-        fatal("%s needs a positive integer, got '%s'", opt, text);
-    return static_cast<int64_t>(v);
-}
-
-int
-parsePositiveInt(const char *opt, const char *text)
-{
-    const int64_t v = parsePositiveInt64(opt, text);
-    if (v > INT32_MAX)
-        fatal("%s value '%s' is out of range", opt, text);
-    return static_cast<int>(v);
-}
-
-double
-parsePositiveDouble(const char *opt, const char *text)
-{
-    errno = 0;
-    char *end = nullptr;
-    const double v = std::strtod(text, &end);
-    if (errno != 0 || end == text || *end != '\0' || !(v > 0.0))
-        fatal("%s needs a positive number, got '%s'", opt, text);
-    return v;
-}
 
 void
 usage()
@@ -132,6 +105,18 @@ usage()
         "  --verify-budget <n>   post: unique mappings to replay,\n"
         "                        smallest layers first [4]\n"
         "  --json <path>         write a JSON report\n"
+        "  --checkpoint <path>   pre: snapshot evaluated design\n"
+        "                        points so an interrupted sweep can\n"
+        "                        be resumed\n"
+        "  --checkpoint-every <n>\n"
+        "                        pre: flush the checkpoint every n\n"
+        "                        completed points [32]\n"
+        "  --resume <path>       pre: restore evaluated points from a\n"
+        "                        checkpoint (same model and options)\n"
+        "  --deadline <s>        stop gracefully after s seconds and\n"
+        "                        report the partial result (exit 3)\n"
+        "  --strict              pre: fail fast on the first poisoned\n"
+        "                        design point instead of quarantining\n"
         "  --trace <path>        write a Chrome trace-event JSON file\n"
         "                        (open in Perfetto / chrome://tracing)\n"
         "  --metrics             print the metrics table and per-phase\n"
@@ -148,8 +133,10 @@ parseArgs(int argc, char **argv, Args &args)
     for (int i = 2; i < argc; ++i) {
         const std::string opt = argv[i];
         auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                fatal("option %s needs a value", opt.c_str());
+            if (i + 1 >= argc) {
+                throwStatus(errInvalidArgument(
+                    "option %s needs a value", opt.c_str()));
+            }
             return argv[++i];
         };
         const char *name = opt.c_str();
@@ -158,37 +145,49 @@ parseArgs(int argc, char **argv, Args &args)
         } else if (opt == "--model-file") {
             args.modelFile = next();
         } else if (opt == "--resolution") {
-            args.resolution = parsePositiveInt(name, next());
+            args.resolution = parsePositiveInt(name, next()).value();
         } else if (opt == "--macs") {
-            args.macs = parsePositiveInt64(name, next());
+            args.macs = parsePositiveInt64(name, next()).value();
         } else if (opt == "--area") {
-            args.areaMm2 = parsePositiveDouble(name, next());
+            args.areaMm2 = parsePositiveDouble(name, next()).value();
         } else if (opt == "--proportional") {
             args.proportional = true;
         } else if (opt == "--edp") {
             args.edpObjective = true;
         } else if (opt == "--threads") {
-            args.threads = parsePositiveInt(name, next());
+            args.threads = parsePositiveInt(name, next()).value();
         } else if (opt == "--chiplets") {
-            args.config.package.chiplets = parsePositiveInt(name, next());
+            args.config.package.chiplets = parsePositiveInt(name, next()).value();
         } else if (opt == "--cores") {
-            args.config.chiplet.cores = parsePositiveInt(name, next());
+            args.config.chiplet.cores = parsePositiveInt(name, next()).value();
         } else if (opt == "--lanes") {
-            args.config.core.lanes = parsePositiveInt(name, next());
+            args.config.core.lanes = parsePositiveInt(name, next()).value();
         } else if (opt == "--vector") {
             args.config.core.vectorSize =
-                parsePositiveInt(name, next());
+                parsePositiveInt(name, next()).value();
         } else if (opt == "--ol1") {
-            args.config.core.ol1Bytes = parsePositiveInt64(name, next());
+            args.config.core.ol1Bytes = parsePositiveInt64(name, next()).value();
         } else if (opt == "--al1") {
-            args.config.core.al1Bytes = parsePositiveInt64(name, next());
+            args.config.core.al1Bytes = parsePositiveInt64(name, next()).value();
         } else if (opt == "--wl1") {
-            args.config.core.wl1Bytes = parsePositiveInt64(name, next());
+            args.config.core.wl1Bytes = parsePositiveInt64(name, next()).value();
         } else if (opt == "--al2") {
             args.config.chiplet.al2Bytes =
-                parsePositiveInt64(name, next());
+                parsePositiveInt64(name, next()).value();
         } else if (opt == "--json") {
             args.jsonPath = next();
+        } else if (opt == "--checkpoint") {
+            args.checkpointPath = next();
+        } else if (opt == "--checkpoint-every") {
+            args.checkpointEvery =
+                parsePositiveInt(name, next()).value();
+        } else if (opt == "--resume") {
+            args.resumePath = next();
+        } else if (opt == "--deadline") {
+            args.deadlineSeconds =
+                parsePositiveDouble(name, next()).value();
+        } else if (opt == "--strict") {
+            args.strict = true;
         } else if (opt == "--trace") {
             args.tracePath = next();
         } else if (opt == "--metrics") {
@@ -196,20 +195,22 @@ parseArgs(int argc, char **argv, Args &args)
         } else if (opt == "--verify") {
             args.verify = true;
         } else if (opt == "--verify-budget") {
-            args.verifyBudget = parsePositiveInt(name, next());
+            args.verifyBudget = parsePositiveInt(name, next()).value();
         } else if (opt == "--log-level") {
             LogLevel level;
             const char *text = next();
             if (!parseLogLevel(text, level)) {
-                fatal("--log-level expects debug, info, warn or "
-                      "quiet, got '%s'",
-                      text);
+                throwStatus(errInvalidArgument(
+                    "--log-level expects debug, info, warn or "
+                    "quiet, got '%s'",
+                    text));
             }
             setLogLevel(level);
         } else if (opt == "--help" || opt == "-h") {
             return false;
         } else {
-            fatal("unknown option %s (try --help)", opt.c_str());
+            throwStatus(errInvalidArgument(
+                "unknown option %s (try --help)", opt.c_str()));
         }
     }
     return true;
@@ -218,12 +219,8 @@ parseArgs(int argc, char **argv, Args &args)
 Model
 loadModel(const Args &args)
 {
-    if (!args.modelFile.empty()) {
-        ParseResult r = parseModelFile(args.modelFile);
-        if (!r.ok())
-            fatal("%s", r.error.c_str());
-        return std::move(*r.model);
-    }
+    if (!args.modelFile.empty())
+        return loadModelFile(args.modelFile).value();
     const std::string &n = args.model;
     const int res = args.resolution;
     if (n == "vgg16")
@@ -236,7 +233,10 @@ loadModel(const Args &args)
         return makeAlexNet(res);
     if (n == "mobilenetv2")
         return makeMobileNetV2(res);
-    fatal("unknown model '%s'", n.c_str());
+    throwStatus(errInvalidArgument(
+        "unknown model '%s' (try vgg16, resnet50, darknet19, alexnet "
+        "or mobilenetv2)",
+        n.c_str()));
 }
 
 /**
@@ -327,14 +327,18 @@ runPost(const Args &args)
     std::printf("%s", report.toString().c_str());
     if (!args.jsonPath.empty()) {
         std::ofstream out(args.jsonPath);
-        if (!out)
-            fatal("cannot write %s", args.jsonPath.c_str());
+        if (!out) {
+            throwStatus(errUnavailable("cannot write %s",
+                                       args.jsonPath.c_str()));
+        }
         exportPostDesign(report, out);
         std::printf("wrote %s\n", args.jsonPath.c_str());
     }
     if (args.verify) {
-        if (!report.feasible)
-            fatal("--verify needs a feasible mapping report");
+        if (!report.feasible) {
+            throwStatus(errFailedPrecondition(
+                "--verify needs a feasible mapping report"));
+        }
         const int rc = runVerify(model, report, args);
         if (rc != 0)
             return rc;
@@ -356,16 +360,28 @@ runPre(const Args &args)
                                       : Objective::MinEnergy;
     opt.threads = args.threads;
     opt.detailedMetrics = args.metrics;
+    opt.strict = args.strict;
+    opt.checkpointPath = args.checkpointPath;
+    opt.checkpointEvery = args.checkpointEvery;
+    opt.resumePath = args.resumePath;
+    opt.cancel = &globalCancelToken();
     PreDesignFlow flow(opt);
     const PreDesignReport report = flow.run(model);
     std::printf("%s", report.toString().c_str());
     if (!args.jsonPath.empty()) {
         std::ofstream out(args.jsonPath);
-        if (!out)
-            fatal("cannot write %s", args.jsonPath.c_str());
+        if (!out) {
+            throwStatus(errUnavailable("cannot write %s",
+                                       args.jsonPath.c_str()));
+        }
         exportPreDesign(report, out);
         std::printf("wrote %s\n", args.jsonPath.c_str());
     }
+    // A cut-short sweep still reports what it finished, but exits
+    // with a distinct code so scripts can tell "partial" from both
+    // success (0) and failure (1).
+    if (!report.sweep.complete)
+        return 3;
     return report.recommended ? 0 : 1;
 }
 
@@ -411,8 +427,11 @@ reportObservability(const Args &args)
     if (!args.tracePath.empty()) {
         obs::setTracingEnabled(false);
         std::ofstream out(args.tracePath);
-        if (!out)
-            fatal("cannot write %s", args.tracePath.c_str());
+        if (!out) {
+            std::fprintf(stderr, "nn-baton: cannot write %s\n",
+                         args.tracePath.c_str());
+            return;
+        }
         obs::writeChromeTrace(out);
         std::fprintf(stderr, "wrote trace to %s (open in Perfetto or "
                              "chrome://tracing)\n",
@@ -436,25 +455,52 @@ int
 main(int argc, char **argv)
 {
     Args args;
-    if (!parseArgs(argc, argv, args)) {
-        usage();
+    try {
+        if (!parseArgs(argc, argv, args)) {
+            usage();
+            return 2;
+        }
+    } catch (const StatusError &e) {
+        std::fprintf(stderr, "nn-baton: %s\n",
+                     e.status().message().c_str());
         return 2;
     }
     if (!args.tracePath.empty())
         obs::setTracingEnabled(true);
 
+    // One SIGINT/SIGTERM (or an expired --deadline) flips the global
+    // cancel token; the flows poll it, finish in-flight work, flush
+    // checkpoints and return a partial result.  A second signal kills
+    // the process the usual way.
+    installCancelSignalHandlers();
+    if (args.deadlineSeconds > 0)
+        globalCancelToken().setDeadlineAfter(args.deadlineSeconds);
+
+    // Exit codes: 0 success, 1 error or infeasible, 2 usage,
+    // 3 partial result (cancelled or past the deadline).
     int rc = 2;
-    if (args.command == "post")
-        rc = runPost(args);
-    else if (args.command == "pre")
-        rc = runPre(args);
-    else if (args.command == "compare")
-        rc = runCompare(args);
-    else if (args.command == "models")
-        rc = runModels(args);
-    else {
-        usage();
-        return 2;
+    try {
+        if (args.command == "post")
+            rc = runPost(args);
+        else if (args.command == "pre")
+            rc = runPre(args);
+        else if (args.command == "compare")
+            rc = runCompare(args);
+        else if (args.command == "models")
+            rc = runModels(args);
+        else {
+            usage();
+            return 2;
+        }
+    } catch (const StatusError &e) {
+        // The library never exits; every error unwinds to here.
+        std::fprintf(stderr, "nn-baton: %s\n", e.what());
+        reportObservability(args); // still flush traces/metrics
+        const StatusCode code = e.status().code();
+        return (code == StatusCode::Cancelled ||
+                code == StatusCode::DeadlineExceeded)
+                   ? 3
+                   : 1;
     }
     reportObservability(args);
     return rc;
