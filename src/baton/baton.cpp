@@ -38,10 +38,11 @@ PostDesignReport::toString() const
 }
 
 PostDesignReport
-PostDesignFlow::run(const Model &model) const
+PostDesignFlow::run(const Model &model, MappingCache *cache) const
 {
     ModelMappingResult mapped =
-        mapModel(model, cfg_, tech_, effort_, objective_, search_);
+        mapModel(model, cfg_, tech_, effort_, objective_, search_,
+                 cache);
     if (!mapped.feasible) {
         warn("post-design: %s has layers with no legal mapping on %s",
              model.name().c_str(), cfg_.computeId().c_str());
@@ -51,6 +52,7 @@ PostDesignFlow::run(const Model &model) const
     report.config = cfg_;
     report.cost = std::move(mapped.cost);
     report.mappings = std::move(mapped.choices);
+    report.stats = mapped.stats;
     report.feasible = mapped.feasible;
     report.clockGhz = tech_.frequencyGhz;
     return report;

@@ -43,6 +43,7 @@ struct PostDesignReport
     AcceleratorConfig config;
     ModelCost cost;
     std::vector<MappingChoice> mappings; //!< per layer, model order
+    SearchStats stats;   //!< work counters for this run (not exported)
     bool feasible = true;
     double clockGhz = 0.5; //!< core clock used for runtime reporting,
                            //!< taken from the TechnologyModel
@@ -77,8 +78,15 @@ class PostDesignFlow
         cfg_.validate();
     }
 
-    /** Map every layer of @p model and report. */
-    PostDesignReport run(const Model &model) const;
+    /**
+     * Map every layer of @p model and report.  When @p cache is
+     * non-null the per-layer memoization uses that shared (thread-
+     * safe, tech-keyed) cache, so a long-lived caller — the serving
+     * daemon — reuses search results across runs; results are
+     * identical either way.
+     */
+    PostDesignReport run(const Model &model,
+                         MappingCache *cache = nullptr) const;
 
     /** Map a single layer. */
     std::optional<MappingChoice> runLayer(const ConvLayer &layer) const;

@@ -94,7 +94,8 @@ exportMapping(const Mapping &mapping, std::ostream &os)
 }
 
 void
-exportPostDesign(const PostDesignReport &report, std::ostream &os)
+exportPostDesign(const PostDesignReport &report, std::ostream &os,
+                 const ExportOptions &options)
 {
     JsonWriter j(os);
     j.beginObject();
@@ -119,14 +120,17 @@ exportPostDesign(const PostDesignReport &report, std::ostream &os)
         j.endObject();
     }
     j.endArray();
-    j.key("observability");
-    writeObservability(j);
+    if (options.observability) {
+        j.key("observability");
+        writeObservability(j);
+    }
     j.endObject();
     os << "\n";
 }
 
 void
-exportPreDesign(const PreDesignReport &report, std::ostream &os)
+exportPreDesign(const PreDesignReport &report, std::ostream &os,
+                const ExportOptions &options)
 {
     JsonWriter j(os);
     j.beginObject();
@@ -136,14 +140,16 @@ exportPreDesign(const PreDesignReport &report, std::ostream &os)
     j.field("complete", report.sweep.complete);
     j.field("skipped", report.sweep.skipped);
     j.field("resumed", report.sweep.resumed);
-    j.key("search").beginObject();
-    j.field("evaluated", report.sweep.search.evaluated);
-    j.field("pruned", report.sweep.search.pruned);
-    j.field("cacheHits", report.sweep.search.cacheHits);
-    j.field("cacheMisses", report.sweep.search.cacheMisses);
-    j.field("cacheEntries", report.sweep.cacheEntries);
-    j.endObject();
-    j.field("elapsedSeconds", report.sweep.elapsedSeconds);
+    if (options.runCounters) {
+        j.key("search").beginObject();
+        j.field("evaluated", report.sweep.search.evaluated);
+        j.field("pruned", report.sweep.search.pruned);
+        j.field("cacheHits", report.sweep.search.cacheHits);
+        j.field("cacheMisses", report.sweep.search.cacheMisses);
+        j.field("cacheEntries", report.sweep.cacheEntries);
+        j.endObject();
+        j.field("elapsedSeconds", report.sweep.elapsedSeconds);
+    }
 
     j.key("points").beginArray();
     for (const DesignPoint &p : report.sweep.points) {
@@ -200,8 +206,10 @@ exportPreDesign(const PreDesignReport &report, std::ostream &os)
         j.field("edp", report.recommended->edp());
         j.endObject();
     }
-    j.key("observability");
-    writeObservability(j);
+    if (options.observability) {
+        j.key("observability");
+        writeObservability(j);
+    }
     j.endObject();
     os << "\n";
 }

@@ -21,11 +21,36 @@
 
 namespace nnbaton {
 
+/**
+ * Export shaping.  The default carries the observability block
+ * (profile + metrics snapshot) and, for sweeps, wall-clock and
+ * cache-work counters.  `lean()` drops everything run-dependent so
+ * the bytes are a pure function of the inputs — the serving daemon
+ * emits lean exports, which is what makes a served response
+ * bit-identical to the equivalent one-shot CLI invocation
+ * (`--no-obs`) regardless of cache warmth or timing.
+ */
+struct ExportOptions
+{
+    bool observability = true; //!< profile + metrics snapshot block
+    bool runCounters = true;   //!< pre: elapsedSeconds + search block
+
+    static ExportOptions lean()
+    {
+        ExportOptions o;
+        o.observability = false;
+        o.runCounters = false;
+        return o;
+    }
+};
+
 /** Write a post-design report (per-layer mapping strategy) as JSON. */
-void exportPostDesign(const PostDesignReport &report, std::ostream &os);
+void exportPostDesign(const PostDesignReport &report, std::ostream &os,
+                      const ExportOptions &options = {});
 
 /** Write a pre-design sweep (all valid design points) as JSON. */
-void exportPreDesign(const PreDesignReport &report, std::ostream &os);
+void exportPreDesign(const PreDesignReport &report, std::ostream &os,
+                     const ExportOptions &options = {});
 
 /** Write one mapping as JSON (the compiler-facing record). */
 void exportMapping(const Mapping &mapping, std::ostream &os);

@@ -41,6 +41,7 @@ CancelToken::reset()
 {
     cancelled_.store(false, std::memory_order_relaxed);
     deadlineNs_.store(0, std::memory_order_relaxed);
+    parent_.store(nullptr, std::memory_order_relaxed);
 }
 
 bool
@@ -49,7 +50,11 @@ CancelToken::cancelled() const
     if (cancelled_.load(std::memory_order_relaxed))
         return true;
     int64_t deadline = deadlineNs_.load(std::memory_order_relaxed);
-    return deadline != 0 && steadyNowNs() >= deadline;
+    if (deadline != 0 && steadyNowNs() >= deadline)
+        return true;
+    const CancelToken *parent =
+        parent_.load(std::memory_order_relaxed);
+    return parent && parent->cancelled();
 }
 
 Status
@@ -60,6 +65,10 @@ CancelToken::toStatus() const
     int64_t deadline = deadlineNs_.load(std::memory_order_relaxed);
     if (deadline != 0 && steadyNowNs() >= deadline)
         return errDeadlineExceeded("wall-clock deadline expired");
+    const CancelToken *parent =
+        parent_.load(std::memory_order_relaxed);
+    if (parent)
+        return parent->toStatus();
     return Status::okStatus();
 }
 

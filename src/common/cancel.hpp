@@ -39,6 +39,18 @@ class CancelToken
     /** Drop the flag and the deadline (tests reuse tokens). */
     void reset();
 
+    /**
+     * Chain this token under @p parent (borrowed; may be null to
+     * unlink): cancelled() then also reports true once the parent
+     * fires.  The serving daemon links every per-request deadline
+     * token under its shutdown token so SIGTERM interrupts in-flight
+     * evaluations too.  The parent must outlive this token.
+     */
+    void linkParent(const CancelToken *parent)
+    {
+        parent_.store(parent, std::memory_order_relaxed);
+    }
+
     /** True once cancelled or past the deadline. */
     bool cancelled() const;
 
@@ -52,6 +64,7 @@ class CancelToken
   private:
     std::atomic<bool> cancelled_{false};
     std::atomic<int64_t> deadlineNs_{0}; //!< steady_clock ns; 0 = none
+    std::atomic<const CancelToken *> parent_{nullptr}; //!< borrowed
 };
 
 /**

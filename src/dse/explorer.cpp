@@ -311,7 +311,8 @@ explore(const Model &model, const DseOptions &options,
     // layer shapes (repeated ResNet-50 blocks) and the table II grid
     // revisits each compute geometry across memory allocations, so
     // most lookups hit.  The cache is thread-safe and compute-once.
-    MappingCache cache;
+    MappingCache localCache;
+    MappingCache &cache = options.cache ? *options.cache : localCache;
     ThreadPool pool(options.threads);
     pool.parallelFor(
         static_cast<int64_t>(tasks.size()), [&](int64_t i) {

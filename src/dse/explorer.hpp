@@ -89,6 +89,17 @@ struct DseOptions
      * sweep finishes collection and returns with complete == false.
      */
     CancelToken *cancel = nullptr;
+
+    /**
+     * Shared mapping cache (borrowed, may be null).  The sweep
+     * defaults to a private cache scoped to one explore() call; a
+     * long-lived caller (the serving daemon) passes its process-wide
+     * cache here so layer searches stay warm across sweeps.  The key
+     * includes the technology fingerprint, so sharing across tech
+     * models is safe.  Search hit/miss counters then reflect the
+     * cache's prior contents instead of starting cold.
+     */
+    MappingCache *cache = nullptr;
 };
 
 /** A design point whose evaluation threw (quarantined, not fatal). */

@@ -1,5 +1,7 @@
 #include "mapper/cache.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
@@ -9,15 +11,17 @@ namespace nnbaton {
 namespace {
 
 /**
- * Cache observability: aggregate and per-shard hit/miss counters,
- * registered once and cached so the per-lookup cost is two relaxed
- * atomic increments.  The per-shard split shows whether the key hash
- * spreads the sweep's load (a hot shard means serialized lookups).
+ * Cache observability: aggregate and per-shard hit/miss counters plus
+ * the eviction count, registered once and cached so the per-lookup
+ * cost is a few relaxed atomic increments.  The per-shard split shows
+ * whether the key hash spreads the sweep's load (a hot shard means
+ * serialized lookups).
  */
 struct CacheMetrics
 {
     obs::Counter *hits;
     obs::Counter *misses;
+    obs::Counter *evicted;
     std::array<obs::Counter *, MappingCache::kShards> shardHits;
     std::array<obs::Counter *, MappingCache::kShards> shardMisses;
 
@@ -26,6 +30,7 @@ struct CacheMetrics
         obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
         hits = &reg.counter("mapper.cache.hits");
         misses = &reg.counter("mapper.cache.misses");
+        evicted = &reg.counter("mapper.cache.evicted");
         for (size_t s = 0; s < MappingCache::kShards; ++s) {
             shardHits[s] = &reg.counter(
                 strprintf("mapper.cache.shard%02zu.hits", s));
@@ -46,7 +51,8 @@ cacheMetrics()
 
 MappingCache::Key
 MappingCache::makeKey(const ConvLayer &layer,
-                      const AcceleratorConfig &cfg, SearchEffort effort,
+                      const AcceleratorConfig &cfg,
+                      const TechnologyModel &tech, SearchEffort effort,
                       Objective objective)
 {
     Key k;
@@ -66,6 +72,7 @@ MappingCache::makeKey(const ConvLayer &layer,
     k.al1Bytes = cfg.core.al1Bytes;
     k.wl1Bytes = cfg.core.wl1Bytes;
     k.al2Bytes = cfg.chiplet.al2Bytes;
+    k.techFingerprint = tech.fingerprint();
     k.effort = static_cast<int>(effort);
     k.objective = static_cast<int>(objective);
     return k;
@@ -96,12 +103,13 @@ MappingCache::KeyHash::operator()(const Key &key) const
     mix(static_cast<uint64_t>(key.al1Bytes));
     mix(static_cast<uint64_t>(key.wl1Bytes));
     mix(static_cast<uint64_t>(key.al2Bytes));
+    mix(key.techFingerprint);
     mix(static_cast<uint64_t>(key.effort) << 32 |
         static_cast<uint32_t>(key.objective));
     return static_cast<size_t>(h);
 }
 
-const std::optional<MappingChoice> &
+std::optional<MappingChoice>
 MappingCache::lookupOrCompute(
     const Key &key,
     const std::function<std::optional<MappingChoice>()> &search,
@@ -114,8 +122,15 @@ MappingCache::lookupOrCompute(
         NNBATON_TRACE_SCOPE("mapper.cache_lookup");
         std::lock_guard<std::mutex> lock(shard.m);
         std::shared_ptr<Entry> &slot = shard.map[key];
-        if (!slot)
+        if (!slot) {
             slot = std::make_shared<Entry>();
+            shard.lru.push_front(key);
+            slot->lruIt = shard.lru.begin();
+        } else {
+            // Touch: most-recently-used entries live at the front.
+            shard.lru.splice(shard.lru.begin(), shard.lru,
+                             slot->lruIt);
+        }
         entry = slot;
     }
     bool computed = false;
@@ -123,12 +138,62 @@ MappingCache::lookupOrCompute(
         entry->value = search();
         computed = true;
     });
+    if (computed) {
+        // Publish: account the entry's bytes and shed LRU tails if
+        // the shard is now over its share of the cap.  The entry may
+        // have been evicted while the search ran (another thread
+        // pushed the shard over); it is then simply not re-accounted.
+        std::lock_guard<std::mutex> lock(shard.m);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end() && it->second == entry) {
+            entry->published = true;
+            shard.bytes += kEntryBytes;
+            evictLocked(shard);
+        }
+    }
     CacheMetrics &cm = cacheMetrics();
     (computed ? cm.misses : cm.hits)->add();
     (computed ? cm.shardMisses : cm.shardHits)[shard_idx]->add();
+    (computed ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
     if (was_hit)
         *was_hit = !computed;
     return entry->value;
+}
+
+void
+MappingCache::evictLocked(Shard &shard)
+{
+    const int64_t cap = capacityBytes_.load(std::memory_order_relaxed);
+    if (cap <= 0)
+        return;
+    const int64_t share =
+        std::max<int64_t>(cap / static_cast<int64_t>(kShards),
+                          kEntryBytes);
+    auto it = shard.lru.end();
+    while (shard.bytes > share && it != shard.lru.begin()) {
+        --it;
+        auto slot = shard.map.find(*it);
+        if (slot == shard.map.end() || !slot->second->published)
+            continue; // still being computed (or stale); skip
+        shard.map.erase(slot);
+        it = shard.lru.erase(it);
+        shard.bytes -= kEntryBytes;
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        cacheMetrics().evicted->add();
+    }
+}
+
+void
+MappingCache::setCapacity(int64_t max_bytes)
+{
+    capacityBytes_.store(max_bytes < 0 ? 0 : max_bytes,
+                         std::memory_order_relaxed);
+    if (max_bytes > 0) {
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.m);
+            evictLocked(shard);
+        }
+    }
 }
 
 size_t
@@ -138,6 +203,17 @@ MappingCache::size() const
     for (const Shard &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.m);
         n += shard.map.size();
+    }
+    return n;
+}
+
+int64_t
+MappingCache::bytes() const
+{
+    int64_t n = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.m);
+        n += shard.bytes;
     }
     return n;
 }

@@ -7,27 +7,43 @@
  * design point, and each model re-visits the same layer shapes many
  * times (ResNet-50's repeated residual blocks dominate the workload).
  * Hoisting the memoization out of mapModel() and keying it on (layer
- * shape, relevant configuration fields, effort, objective) lets one
- * cache serve the whole sweep — including the parallel sweep, where
- * many worker threads look up the same key concurrently.
+ * shape, relevant configuration fields, technology fingerprint,
+ * effort, objective) lets one cache serve the whole sweep — including
+ * the parallel sweep, where many worker threads look up the same key
+ * concurrently — and, since the key carries the TechnologyModel
+ * digest, a cache that outlives a single fixed-tech run (the
+ * `nn-baton serve` daemon) can never return a result computed under
+ * different pJ/bit anchors or clock.
  *
- * Entries are compute-once: the first thread to miss a key runs the
- * search while later arrivals block on that entry, so every unique
- * key is searched exactly once regardless of thread count.  That
- * keeps the evaluated/pruned counters deterministic and bit-identical
- * between serial and parallel runs.
+ * Entries are compute-once while resident: the first thread to miss a
+ * key runs the search while later arrivals block on that entry, so
+ * every unique key is searched at most once per residency regardless
+ * of thread count.  With the default unbounded capacity nothing is
+ * ever evicted and the evaluated/pruned counters stay deterministic
+ * and bit-identical between serial and parallel runs (the sweep
+ * engine relies on this).
+ *
+ * setCapacity() arms least-recently-used eviction under an
+ * approximate byte cap for long-lived caches (the serving daemon):
+ * each shard owns an LRU list and sheds published entries from its
+ * tail once the resident estimate exceeds its share of the cap.
+ * Evicted keys are simply recomputed on the next miss — results never
+ * change, only the amount of work saved.
  *
  * The map is sharded by key hash to keep lock hold times short; entry
- * values are immutable after publication, so readers need no lock.
+ * values are immutable after publication and handed out by value, so
+ * a result stays usable after its entry is evicted.
  */
 
 #ifndef NNBATON_MAPPER_CACHE_HPP
 #define NNBATON_MAPPER_CACHE_HPP
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -36,6 +52,7 @@
 #include "arch/config.hpp"
 #include "mapper/search.hpp"
 #include "nn/layer.hpp"
+#include "tech/technology.hpp"
 
 namespace nnbaton {
 
@@ -44,9 +61,10 @@ class MappingCache
   public:
     /**
      * Everything the per-layer search result depends on: the layer
-     * shape (including grouping) and the configuration knobs visible
-     * to candidate enumeration, the C3P accounting and the cost
-     * models, plus the search effort and objective.
+     * shape (including grouping), the configuration knobs visible to
+     * candidate enumeration, the C3P accounting and the cost models,
+     * the technology model digest, plus the search effort and
+     * objective.
      */
     struct Key
     {
@@ -56,6 +74,8 @@ class MappingCache
         // Hardware configuration.
         int chiplets = 0, cores = 0, lanes = 0, vectorSize = 0;
         int64_t ol1Bytes = 0, al1Bytes = 0, wl1Bytes = 0, al2Bytes = 0;
+        // Technology model (energy anchors, fits, clock, widths).
+        uint64_t techFingerprint = 0;
         // Search parameters.
         int effort = 0, objective = 0;
 
@@ -63,25 +83,62 @@ class MappingCache
     };
 
     static Key makeKey(const ConvLayer &layer,
-                       const AcceleratorConfig &cfg, SearchEffort effort,
+                       const AcceleratorConfig &cfg,
+                       const TechnologyModel &tech, SearchEffort effort,
                        Objective objective);
 
     /**
      * Return the cached search result for the key, computing it with
-     * @p search on a miss.  @p search runs at most once per key
-     * across all threads; concurrent arrivals for the same key block
-     * until the value is published.  Sets @p was_hit (when non-null)
-     * to false only for the caller that ran the search.
-     *
-     * The returned reference stays valid for the cache's lifetime.
+     * @p search on a miss.  While an entry is resident @p search runs
+     * at most once for its key across all threads; concurrent
+     * arrivals block until the value is published.  Sets @p was_hit
+     * (when non-null) to false only for the caller that ran the
+     * search.  Returned by value so the result survives eviction.
      */
-    const std::optional<MappingChoice> &lookupOrCompute(
+    std::optional<MappingChoice> lookupOrCompute(
         const Key &key,
         const std::function<std::optional<MappingChoice>()> &search,
         bool *was_hit = nullptr);
 
+    /**
+     * Arm LRU eviction: keep the resident-byte estimate under
+     * @p max_bytes (split evenly across shards); 0 restores the
+     * default unbounded behaviour.  Entries already resident stay
+     * until a subsequent insertion pushes their shard over its share.
+     */
+    void setCapacity(int64_t max_bytes);
+
+    /** The configured byte cap (0 = unbounded). */
+    int64_t capacityBytes() const
+    {
+        return capacityBytes_.load(std::memory_order_relaxed);
+    }
+
     /** Number of distinct keys currently cached. */
     size_t size() const;
+
+    /** Approximate resident bytes (fixed per-entry estimate). */
+    int64_t bytes() const;
+
+    /** Entries evicted so far (0 while unbounded). */
+    int64_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+
+    /** Lifetime lookup counters (process-wide metrics mirror these). */
+    int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    int64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Per-entry resident-byte estimate.  MappingChoice is a flat
+     * aggregate (no heap members), so entry weight is dominated by the
+     * key, the value and the map/list node overhead.
+     */
+    static constexpr int64_t kEntryBytes = 512;
 
     /** Shard count (public so metrics can name per-shard counters). */
     static constexpr size_t kShards = 16;
@@ -91,6 +148,9 @@ class MappingCache
     {
         std::once_flag once;
         std::optional<MappingChoice> value;
+        bool published = false;      //!< set under the shard lock after
+                                     //!< the search finished
+        std::list<Key>::iterator lruIt; //!< position in the shard LRU
     };
 
     struct KeyHash
@@ -102,9 +162,19 @@ class MappingCache
     {
         mutable std::mutex m;
         std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> map;
+        std::list<Key> lru; //!< most-recently-used first
+        int64_t bytes = 0;  //!< published entries * kEntryBytes
     };
 
+    /** Drop published tail entries until @p shard fits its share of
+     *  the cap.  Caller holds the shard lock. */
+    void evictLocked(Shard &shard);
+
     std::array<Shard, kShards> shards_;
+    std::atomic<int64_t> capacityBytes_{0};
+    std::atomic<int64_t> evictions_{0};
+    std::atomic<int64_t> hits_{0};
+    std::atomic<int64_t> misses_{0};
 };
 
 } // namespace nnbaton

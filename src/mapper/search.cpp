@@ -240,11 +240,11 @@ mapModel(const Model &model, const AcceleratorConfig &cfg,
         if (search.cancel && search.cancel->cancelled())
             throwStatus(search.cancel->toStatus());
         const MappingCache::Key key =
-            MappingCache::makeKey(layer, cfg, effort, objective);
+            MappingCache::makeKey(layer, cfg, tech, effort, objective);
         const uint64_t t0 =
             search.detailedMetrics ? obs::traceNowNs() : 0;
         bool hit = false;
-        const std::optional<MappingChoice> &choice =
+        const std::optional<MappingChoice> choice =
             shared.lookupOrCompute(
                 key,
                 [&] {

@@ -75,14 +75,22 @@ ConvLayer
 makeDepthwiseConv(std::string name, int ho, int wo, int channels, int k,
                   int stride)
 {
+    return makeDepthwiseConv(std::move(name), ho, wo, channels, k, k,
+                             stride);
+}
+
+ConvLayer
+makeDepthwiseConv(std::string name, int ho, int wo, int channels,
+                  int kh, int kw, int stride)
+{
     ConvLayer l;
     l.name = std::move(name);
     l.ho = ho;
     l.wo = wo;
     l.co = channels;
     l.ci = channels;
-    l.kh = k;
-    l.kw = k;
+    l.kh = kh;
+    l.kw = kw;
     l.stride = stride;
     l.groups = channels;
     l.validate();

@@ -125,6 +125,10 @@ ConvLayer makeConv(std::string name, int ho, int wo, int co, int ci,
 ConvLayer makeDepthwiseConv(std::string name, int ho, int wo,
                             int channels, int k, int stride);
 
+/** Depthwise convolution with a non-square (kh x kw) kernel. */
+ConvLayer makeDepthwiseConv(std::string name, int ho, int wo,
+                            int channels, int kh, int kw, int stride);
+
 /**
  * Build a fully-connected layer reorganised as a 1x1 point-wise
  * convolution over a 1x1 spatial map (paper section VI-A.2).

@@ -106,22 +106,31 @@ parseModel(std::istream &in)
             model->addLayer(makeConv(tokens[1], v[0], v[1], v[2], v[3],
                                      v[4], v[5], v[6]));
         } else if (kind == "dwconv") {
-            int v[5];
-            if (tokens.size() != 7) {
+            // Two arities: <kh> <kw> (canonical) and the legacy
+            // square-kernel <k> form, kept for old model files.
+            int v[6];
+            const size_t n = tokens.size() - 2;
+            if (n != 5 && n != 6) {
                 result.error = lineError(
                     line_no, "expected: dwconv <name> <ho> <wo> "
-                             "<channels> <k> <stride>");
+                             "<channels> <kh> <kw> <stride> (or the "
+                             "legacy square-kernel form with one <k>)");
                 return result;
             }
-            for (int i = 0; i < 5; ++i) {
+            for (size_t i = 0; i < n; ++i) {
                 if (!parsePositive(tokens[2 + i], v[i])) {
                     result.error = lineError(
                         line_no, "bad integer '" + tokens[2 + i] + "'");
                     return result;
                 }
             }
-            model->addLayer(makeDepthwiseConv(tokens[1], v[0], v[1],
-                                              v[2], v[3], v[4]));
+            if (n == 6) {
+                model->addLayer(makeDepthwiseConv(
+                    tokens[1], v[0], v[1], v[2], v[3], v[4], v[5]));
+            } else {
+                model->addLayer(makeDepthwiseConv(tokens[1], v[0], v[1],
+                                                  v[2], v[3], v[4]));
+            }
         } else if (kind == "fc") {
             int v[2];
             if (tokens.size() != 4 || !parsePositive(tokens[2], v[0]) ||
@@ -196,8 +205,11 @@ writeModelText(const Model &model)
        << "\n";
     for (const ConvLayer &l : model.layers()) {
         if (l.isDepthwise()) {
+            // Both kernel dims: non-square depthwise kernels must
+            // round-trip (the legacy one-dim form dropped kw).
             ss << "dwconv " << l.name << " " << l.ho << " " << l.wo
-               << " " << l.co << " " << l.kh << " " << l.stride << "\n";
+               << " " << l.co << " " << l.kh << " " << l.kw << " "
+               << l.stride << "\n";
         } else if (l.ho == 1 && l.wo == 1 && l.isPointWise()) {
             ss << "fc " << l.name << " " << l.co << " " << l.ci << "\n";
         } else {

@@ -10,9 +10,13 @@
  *   # comment lines and blank lines are ignored
  *   model <name> <input-resolution>
  *   conv   <name> <ho> <wo> <co> <ci> <kh> <kw> <stride>
- *   dwconv <name> <ho> <wo> <channels> <k> <stride>
+ *   dwconv <name> <ho> <wo> <channels> <kh> <kw> <stride>
  *   fc     <name> <out-features> <in-features>
  * @endcode
+ *
+ * `dwconv` also accepts the legacy square-kernel form with a single
+ * <k> column; the writer always emits both kernel dims so non-square
+ * depthwise kernels round-trip.
  *
  * The `model` line must come first; every other line appends a layer
  * in execution order.

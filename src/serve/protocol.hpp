@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Wire protocol of the persistent evaluation service (`nn-baton
+ * serve`): newline-delimited JSON over a Unix-domain socket.
+ *
+ * Each request is one JSON object on one line; each response is one
+ * line.  Success responses are the *bare result document* — exactly
+ * the bytes the equivalent one-shot CLI invocation writes with
+ * `--no-obs` — so callers can diff a served answer against the
+ * offline tool.  Error responses are enveloped:
+ *
+ * @code
+ *   {"ok":false,"error":{"code":"INVALID_ARGUMENT","message":"..."}}
+ * @endcode
+ *
+ * Result documents never carry a top-level "ok" member, so one
+ * `find("ok")` distinguishes the two shapes.
+ *
+ * Request schema (see docs/serving.md for the full reference):
+ *
+ * @code
+ *   {"op":"post" | "pre" | "stats" | "ping" | "shutdown",
+ *    "model":"resnet50",            // zoo name, or instead:
+ *    "modelText":"model m 32\n...", // inline text-format model
+ *    "resolution":224,
+ *    "config":{"chiplets":4,"cores":8,"lanes":8,"vectorSize":8,
+ *              "ol1Bytes":1536,"al1Bytes":800,"wl1Bytes":18432,
+ *              "al2Bytes":65536},   // post: hardware overrides
+ *    "tech":{"macEnergyPerOp":0.024,"frequencyGhz":0.5,...},
+ *    "objective":"energy" | "edp",
+ *    "deadlineSeconds":30,          // per-request budget
+ *    "macs":2048,"areaMm2":3.0,"proportional":false}  // pre only
+ * @endcode
+ *
+ * Unknown members are rejected (InvalidArgument) so typos fail loudly
+ * instead of silently evaluating something else.
+ */
+
+#ifndef NNBATON_SERVE_PROTOCOL_HPP
+#define NNBATON_SERVE_PROTOCOL_HPP
+
+#include <string>
+
+#include "arch/config.hpp"
+#include "common/status.hpp"
+#include "tech/technology.hpp"
+
+namespace nnbaton {
+namespace serve {
+
+/** Request kinds the service understands. */
+enum class Op
+{
+    Post,     //!< post-design mapping query on fixed hardware
+    Pre,      //!< bounded pre-design sweep
+    Stats,    //!< service + cache counters
+    Ping,     //!< liveness probe
+    Shutdown, //!< answer, then stop the daemon
+};
+
+/** A parsed request with defaults matching the one-shot CLI. */
+struct ServeRequest
+{
+    Op op = Op::Ping;
+
+    // Workload: a zoo model name or an inline text-format model.
+    std::string model = "resnet50";
+    std::string modelText;
+    int resolution = 224;
+
+    // Hardware (post) — starts from the paper's case-study config.
+    AcceleratorConfig config;
+
+    // Technology — defaultTech() plus any per-request overrides.
+    TechnologyModel tech;
+
+    // Pre-design sweep bounds.
+    int64_t macs = 2048;
+    double areaMm2 = 0.0;
+    bool proportional = false;
+
+    bool edpObjective = false;
+    double deadlineSeconds = 0.0; //!< <= 0: server default applies
+};
+
+/** Parse one request line; strict about types and member names. */
+StatusOr<ServeRequest> parseRequest(const std::string &line);
+
+/** Serialise a Status as the one-line error envelope. */
+std::string errorResponse(const Status &status);
+
+} // namespace serve
+} // namespace nnbaton
+
+#endif // NNBATON_SERVE_PROTOCOL_HPP

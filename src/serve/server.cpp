@@ -1,0 +1,211 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+
+namespace nnbaton {
+namespace serve {
+
+namespace {
+
+/** Make the service options point at the server's stop token. */
+ServiceOptions
+withStop(ServiceOptions service, const CancelToken *stop)
+{
+    service.stop = stop;
+    return service;
+}
+
+/** Write all of @p data, tolerating short writes; false on error. */
+bool
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        // MSG_NOSIGNAL: a client hanging up mid-response must error,
+        // not SIGPIPE the daemon.
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      service_(withStop(options_.service, &stopToken_))
+{
+    stopToken_.linkParent(options_.cancel);
+}
+
+Server::~Server()
+{
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(options_.socketPath.c_str());
+    }
+}
+
+Status
+Server::start()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socketPath.empty() ||
+        options_.socketPath.size() >= sizeof(addr.sun_path)) {
+        return errInvalidArgument(
+            "socket path must be 1..%zu bytes, got %zu",
+            sizeof(addr.sun_path) - 1, options_.socketPath.size());
+    }
+    std::memcpy(addr.sun_path, options_.socketPath.c_str(),
+                options_.socketPath.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) {
+        return errUnavailable("socket: %s", std::strerror(errno));
+    }
+    // Replace a stale socket file from a previous run; a live daemon
+    // on the same path loses its endpoint, so deployments give each
+    // daemon its own path.
+    ::unlink(options_.socketPath.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return errUnavailable("bind %s: %s",
+                              options_.socketPath.c_str(),
+                              std::strerror(err));
+    }
+    if (::listen(fd, 128) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(options_.socketPath.c_str());
+        return errUnavailable("listen %s: %s",
+                              options_.socketPath.c_str(),
+                              std::strerror(err));
+    }
+    listenFd_ = fd;
+    return Status::okStatus();
+}
+
+int64_t
+Server::run()
+{
+    if (listenFd_ < 0)
+        throwStatus(errFailedPrecondition("run() before start()"));
+    const int lanes = options_.threads < 1 ? 1 : options_.threads;
+    ThreadPool pool(lanes);
+    // Every lane (workers + this thread) runs an accept loop until
+    // the stop token fires; requests on different connections are
+    // thus answered concurrently on the common/parallel pool.
+    pool.parallelFor(lanes, [this](int64_t) { acceptLoop(); });
+    return service_.requestsHandled();
+}
+
+void
+Server::requestStop()
+{
+    stopToken_.requestCancel();
+}
+
+bool
+Server::stopped() const
+{
+    return stopToken_.cancelled();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopped()) {
+        pollfd p{};
+        p.fd = listenFd_;
+        p.events = POLLIN;
+        const int ready = ::poll(&p, 1, options_.pollMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll: %s", std::strerror(errno));
+            return;
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            // Another lane won the race for this connection.
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR || errno == ECONNABORTED)
+                continue;
+            warn("serve: accept: %s", std::strerror(errno));
+            return;
+        }
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    std::string buffer;
+    char chunk[4096];
+    while (!stopped()) {
+        // Poll with a timeout so an idle connection cannot pin the
+        // lane past a stop request.
+        pollfd p{};
+        p.fd = fd;
+        p.events = POLLIN;
+        const int ready = ::poll(&p, 1, options_.pollMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (ready == 0)
+            continue;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (n == 0)
+            return; // client closed
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            HandleResult result = service_.handleLine(line);
+            result.response.push_back('\n');
+            if (!writeAll(fd, result.response))
+                return;
+            if (result.shutdown) {
+                requestStop();
+                return;
+            }
+        }
+    }
+}
+
+} // namespace serve
+} // namespace nnbaton

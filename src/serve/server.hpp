@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unix-domain-socket transport for the persistent evaluation service
+ * (`nn-baton serve`).
+ *
+ * The server binds a SOCK_STREAM socket, then drives N accept/handle
+ * lanes on the existing common/parallel ThreadPool: run() issues one
+ * blocking parallelFor(lanes) whose body is an accept loop, so every
+ * pool lane (including the caller) serves connections concurrently.
+ * Inside a lane the mapping search runs serially (the pool is
+ * nested-free), which keeps thread counts flat no matter how many
+ * clients connect — throughput scales across requests, exactly the
+ * shape a heavy-traffic deployment wants.
+ *
+ * Each connection carries any number of newline-delimited requests;
+ * responses come back one line each, in order.  The listening socket
+ * is non-blocking and every lane polls it with a short timeout, so a
+ * stop request (SIGINT / SIGTERM via the wired CancelToken, or a
+ * client's {"op":"shutdown"}) is observed within one poll interval;
+ * in-flight evaluations are interrupted through the linked
+ * per-request tokens.
+ */
+
+#ifndef NNBATON_SERVE_SERVER_HPP
+#define NNBATON_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <string>
+
+#include "common/cancel.hpp"
+#include "common/status.hpp"
+#include "serve/service.hpp"
+
+namespace nnbaton {
+namespace serve {
+
+/** Transport configuration. */
+struct ServerOptions
+{
+    std::string socketPath; //!< filesystem path of the Unix socket
+
+    /** Accept/handle lanes (including the thread calling run());
+     *  also the number of requests evaluated concurrently. */
+    int threads = 2;
+
+    /** External stop (SIGINT); the server also stops on a shutdown
+     *  request.  Borrowed, may be null. */
+    CancelToken *cancel = nullptr;
+
+    /** Listen-socket poll period for stop checks. */
+    int pollMs = 50;
+
+    ServiceOptions service;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind and listen on options.socketPath (an existing socket file
+     * at that path is replaced).  Must succeed before run().
+     */
+    Status start();
+
+    /**
+     * Serve until stopped; blocks the calling thread (which works as
+     * one of the lanes).  Returns the number of requests handled.
+     */
+    int64_t run();
+
+    /** Ask the accept lanes to wind down (thread-safe). */
+    void requestStop();
+
+    /** The underlying service (tests inspect cache counters). */
+    const EvalService &service() const { return service_; }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+    bool stopped() const;
+
+    ServerOptions options_;
+    CancelToken stopToken_; //!< fired by requestStop / shutdown op;
+                            //!< chained under options.cancel
+    EvalService service_;   //!< links request tokens to stopToken_
+    int listenFd_ = -1;
+};
+
+} // namespace serve
+} // namespace nnbaton
+
+#endif // NNBATON_SERVE_SERVER_HPP

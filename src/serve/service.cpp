@@ -1,0 +1,232 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "baton/baton.hpp"
+#include "baton/export.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "nn/parser.hpp"
+
+namespace nnbaton {
+namespace serve {
+
+namespace {
+
+/** Request-path instruments, registered once. */
+struct ServeMetrics
+{
+    obs::Counter *requests;
+    obs::Counter *errors;
+    obs::Counter *cacheHit;
+    obs::Counter *cacheMiss;
+    obs::Counter *cacheEvicted;
+    obs::Histogram *latencyUs;
+
+    ServeMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+        requests = &reg.counter("serve.requests");
+        errors = &reg.counter("serve.errors");
+        cacheHit = &reg.counter("serve.cache.hit");
+        cacheMiss = &reg.counter("serve.cache.miss");
+        cacheEvicted = &reg.counter("serve.cache.evicted");
+        latencyUs = &reg.histogram("serve.request_us");
+    }
+};
+
+ServeMetrics &
+serveMetrics()
+{
+    static ServeMetrics m;
+    return m;
+}
+
+/** Resolve the request's workload (zoo name or inline text). */
+Model
+loadRequestModel(const ServeRequest &req)
+{
+    if (!req.modelText.empty()) {
+        ParseResult parsed = parseModelString(req.modelText);
+        if (!parsed.ok()) {
+            throwStatus(errInvalidArgument("modelText: %s",
+                                           parsed.error.c_str()));
+        }
+        return std::move(*parsed.model);
+    }
+    const std::string &n = req.model;
+    if (n == "vgg16")
+        return makeVgg16(req.resolution);
+    if (n == "resnet50")
+        return makeResNet50(req.resolution);
+    if (n == "darknet19")
+        return makeDarkNet19(req.resolution);
+    if (n == "alexnet")
+        return makeAlexNet(req.resolution);
+    if (n == "mobilenetv2")
+        return makeMobileNetV2(req.resolution);
+    throwStatus(errInvalidArgument(
+        "unknown model '%s' (try vgg16, resnet50, darknet19, alexnet "
+        "or mobilenetv2)",
+        n.c_str()));
+}
+
+/** Strip exportPostDesign/exportPreDesign's trailing newline so the
+ *  transport owns line framing. */
+std::string
+oneLine(std::ostringstream &ss)
+{
+    std::string s = ss.str();
+    while (!s.empty() && s.back() == '\n')
+        s.pop_back();
+    return s;
+}
+
+} // namespace
+
+EvalService::EvalService(ServiceOptions options) : options_(options)
+{
+    cache_.setCapacity(options_.cacheBytes);
+}
+
+HandleResult
+EvalService::handleLine(const std::string &line)
+{
+    NNBATON_TRACE_SCOPE("serve.request");
+    ServeMetrics &m = serveMetrics();
+    m.requests->add();
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t t0 = obs::traceNowNs();
+
+    HandleResult out;
+    try {
+        ServeRequest req = parseRequest(line).value();
+
+        // Per-request cancellation: the request deadline (capped by
+        // the service maximum) plus the service-wide stop token.
+        CancelToken cancel;
+        cancel.linkParent(options_.stop);
+        double deadline =
+            std::min(req.deadlineSeconds, options_.maxDeadlineSeconds);
+        if (req.op == Op::Pre && req.deadlineSeconds <= 0)
+            deadline = options_.maxDeadlineSeconds; // always bounded
+        if (deadline > 0)
+            cancel.setDeadlineAfter(deadline);
+
+        switch (req.op) {
+          case Op::Post:
+            out.response = runPost(req, cancel);
+            break;
+          case Op::Pre:
+            out.response = runPre(req, cancel);
+            break;
+          case Op::Stats:
+            out.response = runStats();
+            break;
+          case Op::Ping:
+            out.response = "{\"pong\":true}";
+            break;
+          case Op::Shutdown:
+            out.response = "{\"shuttingDown\":true}";
+            out.shutdown = true;
+            break;
+        }
+    } catch (const StatusError &e) {
+        m.errors->add();
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        out.response = errorResponse(e.status());
+    } catch (const std::exception &e) {
+        m.errors->add();
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        out.response =
+            errorResponse(errInternal("unexpected: %s", e.what()));
+    }
+
+    // Mirror the shared cache's eviction total into the serve counter
+    // (exchange keeps concurrent deltas from double-counting).
+    const int64_t evictions = cache_.evictions();
+    const int64_t seen = evictionsSeen_.exchange(
+        evictions, std::memory_order_relaxed);
+    if (evictions > seen)
+        m.cacheEvicted->add(evictions - seen);
+
+    m.latencyUs->record(
+        static_cast<int64_t>((obs::traceNowNs() - t0) / 1000));
+    return out;
+}
+
+std::string
+EvalService::runPost(const ServeRequest &req, CancelToken &cancel)
+{
+    NNBATON_TRACE_SCOPE("serve.post");
+    const Model model = loadRequestModel(req);
+    req.config.validate();
+
+    SearchOptions search;
+    search.threads = 1; // concurrency lives across requests
+    search.cancel = &cancel;
+    PostDesignFlow flow(req.config, req.tech, SearchEffort::Exhaustive,
+                        req.edpObjective ? Objective::MinEdp
+                                         : Objective::MinEnergy,
+                        search);
+    const PostDesignReport report = flow.run(model, &cache_);
+    serveMetrics().cacheHit->add(report.stats.cacheHits);
+    serveMetrics().cacheMiss->add(report.stats.cacheMisses);
+
+    std::ostringstream ss;
+    exportPostDesign(report, ss, ExportOptions::lean());
+    return oneLine(ss);
+}
+
+std::string
+EvalService::runPre(const ServeRequest &req, CancelToken &cancel)
+{
+    NNBATON_TRACE_SCOPE("serve.pre");
+    const Model model = loadRequestModel(req);
+
+    DseOptions opt;
+    opt.totalMacs = req.macs;
+    opt.areaLimitMm2 = req.areaMm2;
+    opt.proportionalMem = req.proportional;
+    opt.effort = req.proportional ? SearchEffort::Fast
+                                  : SearchEffort::Sketch;
+    opt.objective = req.edpObjective ? Objective::MinEdp
+                                     : Objective::MinEnergy;
+    opt.threads = 1; // concurrency lives across requests
+    opt.cancel = &cancel;
+    opt.cache = &cache_;
+    PreDesignFlow flow(opt, req.tech);
+    const PreDesignReport report = flow.run(model);
+    serveMetrics().cacheHit->add(report.sweep.search.cacheHits);
+    serveMetrics().cacheMiss->add(report.sweep.search.cacheMisses);
+
+    std::ostringstream ss;
+    exportPreDesign(report, ss, ExportOptions::lean());
+    return oneLine(ss);
+}
+
+std::string
+EvalService::runStats()
+{
+    std::ostringstream ss;
+    JsonWriter j(ss);
+    j.beginObject();
+    j.field("requests", requests_.load(std::memory_order_relaxed));
+    j.field("errors", errors_.load(std::memory_order_relaxed));
+    j.key("cache").beginObject();
+    j.field("entries", static_cast<int64_t>(cache_.size()));
+    j.field("bytes", cache_.bytes());
+    j.field("capacityBytes", cache_.capacityBytes());
+    j.field("hits", cache_.hits());
+    j.field("misses", cache_.misses());
+    j.field("evictions", cache_.evictions());
+    j.endObject();
+    j.endObject();
+    return ss.str();
+}
+
+} // namespace serve
+} // namespace nnbaton

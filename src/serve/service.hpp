@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The evaluation core of the persistent service: request in, response
+ * line out, independent of any transport so it unit-tests without
+ * sockets.
+ *
+ * One EvalService owns the process-wide MappingCache.  Every request
+ * evaluates against it, so repeated layer shapes across requests —
+ * the millions-of-users steady state is mostly repeated shapes — are
+ * served from warm search results.  The cache key carries the
+ * TechnologyModel fingerprint, so requests overriding energy anchors
+ * or clock can never alias a cached result computed under different
+ * technology assumptions; an LRU byte cap keeps a long-lived daemon's
+ * footprint bounded.
+ *
+ * Responses are bit-identical to the equivalent one-shot CLI
+ * invocation (post/pre with `--no-obs`): the evaluation path is the
+ * same PostDesignFlow / explore() code, the cache is compute-once and
+ * deterministic, and the lean export omits everything run-dependent.
+ *
+ * Each request runs under its own CancelToken: the request's
+ * `deadlineSeconds` (capped by the service maximum, which always
+ * bounds pre-design sweeps) arms the deadline, and the token is
+ * linked under the service-wide stop token so shutdown interrupts
+ * in-flight work.  Failures come back as structured Status envelopes,
+ * never as a dropped connection.
+ */
+
+#ifndef NNBATON_SERVE_SERVICE_HPP
+#define NNBATON_SERVE_SERVICE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/cancel.hpp"
+#include "mapper/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace nnbaton {
+namespace serve {
+
+/** Service policy knobs. */
+struct ServiceOptions
+{
+    /** LRU byte cap for the shared mapping cache (0 = unbounded). */
+    int64_t cacheBytes = 256ll << 20;
+
+    /** Hard per-request wall-clock cap.  Pre-design sweeps always run
+     *  under min(request deadline, this); post queries only get a
+     *  deadline when the request asks for one. */
+    double maxDeadlineSeconds = 300.0;
+
+    /** Service-wide stop token (borrowed, may be null).  Linked under
+     *  every per-request token so shutdown interrupts evaluations. */
+    const CancelToken *stop = nullptr;
+};
+
+/** One handled request: the response line plus control flow. */
+struct HandleResult
+{
+    std::string response; //!< one line, no trailing newline
+    bool shutdown = false; //!< request asked the daemon to stop
+};
+
+class EvalService
+{
+  public:
+    explicit EvalService(ServiceOptions options);
+
+    /**
+     * Handle one request line and return the response line.  Never
+     * throws: every failure becomes a structured error envelope.
+     * Thread-safe; called concurrently by the transport lanes.
+     */
+    HandleResult handleLine(const std::string &line);
+
+    /** The shared cache (tests inspect hit/eviction counters). */
+    const MappingCache &cache() const { return cache_; }
+
+    int64_t requestsHandled() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::string runPost(const ServeRequest &req, CancelToken &cancel);
+    std::string runPre(const ServeRequest &req, CancelToken &cancel);
+    std::string runStats();
+
+    ServiceOptions options_;
+    MappingCache cache_;
+    std::atomic<int64_t> requests_{0};
+    std::atomic<int64_t> errors_{0};
+    std::atomic<int64_t> evictionsSeen_{0};
+};
+
+} // namespace serve
+} // namespace nnbaton
+
+#endif // NNBATON_SERVE_SERVICE_HPP

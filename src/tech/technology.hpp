@@ -107,6 +107,18 @@ struct TechnologyModel
     /** Nanoseconds for @p cycles at the configured frequency. */
     double cyclesToNs(int64_t cycles) const;
 
+    /**
+     * A 64-bit digest of every parameter a mapping evaluation can
+     * depend on: the table I energy anchors, the SRAM/RF linear fits,
+     * frequency, bandwidths and datapath widths.  Two models that
+     * differ in any of these produce different fingerprints, so a
+     * cache keyed on the fingerprint can never serve a result
+     * computed under different technology assumptions
+     * (MappingCache::Key folds this in).  Area parameters are
+     * included too: they cost nothing and keep the digest total.
+     */
+    uint64_t fingerprint() const;
+
     /** Pretty-print table I from the model for the bench harness. */
     std::string tableOneString() const;
 };

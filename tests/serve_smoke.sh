@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for `nn-baton serve`:
+#   1. the daemon comes up and answers a post-design request with
+#      bytes identical to the one-shot CLI's --no-obs JSON export;
+#   2. a malformed request gets a structured error envelope (and the
+#      client exits non-zero), not a dropped connection;
+#   3. the shutdown op stops the daemon cleanly (exit 0).
+#
+# Usage: serve_smoke.sh <path-to-nn-baton>
+set -euo pipefail
+
+BIN=${1:?usage: serve_smoke.sh <path-to-nn-baton>}
+DIR=$(mktemp -d)
+SOCK="$DIR/nnb.sock"
+DAEMON_PID=
+
+cleanup() {
+    if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+# A workload small enough for an exhaustive per-request search (and
+# feasible on the default case-study hardware, so the CLI exits 0).
+cat > "$DIR/tiny.model" << 'EOF'
+model tiny 32
+conv c1 8 8 64 16 3 3 1
+fc head 64 128
+EOF
+
+# Reference bytes from the one-shot CLI.
+"$BIN" post --model-file "$DIR/tiny.model" --no-obs \
+    --json "$DIR/cli.json" > /dev/null
+
+# Start the daemon and wait for the socket.
+"$BIN" serve --socket "$SOCK" --threads 2 > "$DIR/serve.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null \
+        || fail "daemon died at startup: $(cat "$DIR/serve.log")"
+    sleep 0.1
+done
+[[ -S "$SOCK" ]] || fail "socket never appeared"
+
+# 1. Post request -> bit-identical to the CLI export.
+REQ='{"op":"post","modelText":"model tiny 32\nconv c1 8 8 64 16 3 3 1\nfc head 64 128\n"}'
+"$BIN" request --socket "$SOCK" --request "$REQ" > "$DIR/serve.json"
+cmp "$DIR/cli.json" "$DIR/serve.json" \
+    || fail "served response differs from the one-shot CLI export"
+
+# 2. Malformed request -> structured error, client exits non-zero.
+set +e
+"$BIN" request --socket "$SOCK" --request '][,' > "$DIR/err.json"
+RC=$?
+set -e
+[[ $RC -eq 1 ]] || fail "malformed request: client exit $RC, want 1"
+grep -q '"ok":false' "$DIR/err.json" \
+    || fail "malformed request: no error envelope: $(cat "$DIR/err.json")"
+grep -q '"code":"INVALID_ARGUMENT"' "$DIR/err.json" \
+    || fail "malformed request: wrong code: $(cat "$DIR/err.json")"
+
+# 3. Shutdown op stops the daemon with exit 0.
+"$BIN" request --socket "$SOCK" --request '{"op":"shutdown"}' \
+    > /dev/null
+wait "$DAEMON_PID"
+RC=$?
+DAEMON_PID=
+[[ $RC -eq 0 ]] || fail "daemon exit $RC after shutdown, want 0"
+
+echo "serve_smoke: PASS"

@@ -10,9 +10,11 @@
 #include <set>
 
 #include "c3p/access.hpp"
+#include "mapper/cache.hpp"
 #include "mapper/candidates.hpp"
 #include "mapper/search.hpp"
 #include "nn/model.hpp"
+#include "tech/technology.hpp"
 
 using namespace nnbaton;
 
@@ -296,4 +298,144 @@ TEST(SearchLayer, DepthwiseActivationFootprintFollowsLanes)
     EXPECT_LE(best->analysis.counts.dramReadBits(),
               (dw.inputVolume() * 16 + dw.weightVolume() * 64) * 8);
     EXPECT_EQ(best->analysis.counts.macOps, dw.macs());
+}
+
+// ---------------------------------------------------------------------
+// MappingCache: technology keying and LRU eviction.  The cache outlives
+// a single fixed-tech run in the serving daemon, so these invariants
+// guard against cross-request aliasing and unbounded growth.
+// ---------------------------------------------------------------------
+
+TEST(MappingCache, KeyFoldsInTechnologyFingerprint)
+{
+    const ConvLayer layer = makeConv("t", 28, 28, 128, 64, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    TechnologyModel cheapDram = defaultTech();
+    cheapDram.dramEnergyPerBit /= 2;
+
+    const auto a = MappingCache::makeKey(
+        layer, cfg, defaultTech(), SearchEffort::Fast,
+        Objective::MinEnergy);
+    const auto b = MappingCache::makeKey(
+        layer, cfg, cheapDram, SearchEffort::Fast,
+        Objective::MinEnergy);
+    EXPECT_FALSE(a == b);
+    EXPECT_NE(a.techFingerprint, b.techFingerprint);
+
+    // Every energy anchor and timing knob must perturb the digest.
+    for (int knob = 0; knob < 4; ++knob) {
+        TechnologyModel t = defaultTech();
+        if (knob == 0)
+            t.macEnergyPerOp *= 1.5;
+        else if (knob == 1)
+            t.frequencyGhz = 1.0;
+        else if (knob == 2)
+            t.sramEnergyPerBitKb.slope *= 1.01;
+        else
+            t.d2dBitsPerCycle *= 2;
+        EXPECT_NE(t.fingerprint(), defaultTech().fingerprint())
+            << "knob " << knob;
+    }
+}
+
+TEST(MappingCache, SharedCacheServesTwoTechModelsCorrectly)
+{
+    // Regression: two clients sharing one daemon cache but using
+    // different technology models must each get the energies a fresh
+    // single-tech run computes — never each other's.
+    const Model model = makeAlexNet(224);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    TechnologyModel hot = defaultTech();
+    hot.dramEnergyPerBit *= 3; // DRAM-dominated designs diverge hard
+
+    SearchOptions search;
+    MappingCache shared;
+    const auto viaSharedA =
+        mapModel(model, cfg, defaultTech(), SearchEffort::Fast,
+                 Objective::MinEnergy, search, &shared);
+    const auto viaSharedB =
+        mapModel(model, cfg, hot, SearchEffort::Fast,
+                 Objective::MinEnergy, search, &shared);
+    const auto freshA = mapModel(model, cfg, defaultTech(),
+                                 SearchEffort::Fast);
+    const auto freshB = mapModel(model, cfg, hot, SearchEffort::Fast);
+
+    EXPECT_DOUBLE_EQ(viaSharedA.cost.energy.total(),
+                     freshA.cost.energy.total());
+    EXPECT_DOUBLE_EQ(viaSharedB.cost.energy.total(),
+                     freshB.cost.energy.total());
+    // The perturbed model must actually produce a different total, or
+    // the aliasing this test guards against would be invisible.
+    EXPECT_NE(viaSharedA.cost.energy.total(),
+              viaSharedB.cost.energy.total());
+
+    // And re-running under the shared cache hits for every layer.
+    const auto warm =
+        mapModel(model, cfg, hot, SearchEffort::Fast,
+                 Objective::MinEnergy, search, &shared);
+    EXPECT_DOUBLE_EQ(warm.cost.energy.total(),
+                     freshB.cost.energy.total());
+    EXPECT_GT(warm.stats.cacheHits, 0);
+    EXPECT_EQ(warm.stats.cacheMisses, 0);
+}
+
+TEST(MappingCache, LruEvictionHonoursByteCapacity)
+{
+    MappingCache cache;
+    // Room for 4 entries per shard.
+    const int64_t cap =
+        4 * MappingCache::kEntryBytes * MappingCache::kShards;
+    cache.setCapacity(cap);
+
+    const ConvLayer base = makeConv("t", 28, 28, 128, 64, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    auto keyFor = [&](int ho) {
+        MappingCache::Key k = MappingCache::makeKey(
+            base, cfg, defaultTech(), SearchEffort::Fast,
+            Objective::MinEnergy);
+        k.ho = ho; // synthetic distinct shapes
+        return k;
+    };
+
+    int computed = 0;
+    auto compute = [&]() -> std::optional<MappingChoice> {
+        ++computed;
+        return std::nullopt; // value content is irrelevant here
+    };
+    const int kMany = 4 * static_cast<int>(MappingCache::kShards) * 8;
+    for (int i = 0; i < kMany; ++i)
+        (void)cache.lookupOrCompute(keyFor(i), compute);
+    EXPECT_EQ(computed, kMany);
+    EXPECT_GT(cache.evictions(), 0);
+    EXPECT_LE(cache.bytes(), cap);
+    EXPECT_LE(cache.size(),
+              static_cast<size_t>(cap / MappingCache::kEntryBytes));
+
+    // An evicted key recomputes (same result), a resident one hits.
+    bool hit = true;
+    (void)cache.lookupOrCompute(keyFor(0), compute, &hit);
+    EXPECT_FALSE(hit); // key 0 was the coldest; long evicted
+    (void)cache.lookupOrCompute(keyFor(0), compute, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_GT(cache.hits(), 0);
+    EXPECT_GT(cache.misses(), 0);
+}
+
+TEST(MappingCache, UnboundedByDefaultNeverEvicts)
+{
+    MappingCache cache;
+    const ConvLayer base = makeConv("t", 28, 28, 128, 64, 3, 3, 1);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    for (int i = 0; i < 200; ++i) {
+        MappingCache::Key k = MappingCache::makeKey(
+            base, cfg, defaultTech(), SearchEffort::Fast,
+            Objective::MinEnergy);
+        k.ho = i;
+        (void)cache.lookupOrCompute(
+            k, []() -> std::optional<MappingChoice> {
+                return std::nullopt;
+            });
+    }
+    EXPECT_EQ(cache.size(), 200u);
+    EXPECT_EQ(cache.evictions(), 0);
 }

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "nn/parser.hpp"
 
 using namespace nnbaton;
@@ -96,5 +98,119 @@ TEST(WriteModelText, RoundTripsZooModels)
             EXPECT_EQ(a.groups, b.groups);
             EXPECT_EQ(a.macs(), b.macs());
         }
+    }
+}
+
+namespace {
+
+/** Field-by-field layer equality (ConvLayer has no operator==). */
+void
+expectLayersEqual(const ConvLayer &a, const ConvLayer &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.ho, b.ho);
+    EXPECT_EQ(a.wo, b.wo);
+    EXPECT_EQ(a.co, b.co);
+    EXPECT_EQ(a.ci, b.ci);
+    EXPECT_EQ(a.kh, b.kh);
+    EXPECT_EQ(a.kw, b.kw);
+    EXPECT_EQ(a.stride, b.stride);
+    EXPECT_EQ(a.groups, b.groups);
+}
+
+/** parse(write(m)) must reproduce m exactly. */
+void
+expectRoundTrips(const Model &m)
+{
+    const ParseResult r = parseModelString(writeModelText(m));
+    ASSERT_TRUE(r.ok()) << m.name() << ": " << r.error;
+    EXPECT_EQ(r.model->name(), m.name());
+    EXPECT_EQ(r.model->inputResolution(), m.inputResolution());
+    ASSERT_EQ(r.model->layers().size(), m.layers().size());
+    for (size_t i = 0; i < m.layers().size(); ++i)
+        expectLayersEqual(m.layers()[i], r.model->layers()[i]);
+}
+
+} // namespace
+
+TEST(ParseModel, DepthwiseNonSquareKernelRoundTrips)
+{
+    // Regression: the writer used to emit a single kernel column for
+    // dwconv, silently squaring non-square kernels on the way back in.
+    Model m("t", 32);
+    m.addLayer(makeDepthwiseConv("dw_rect", 16, 16, 32, 3, 5, 1));
+    m.addLayer(makeDepthwiseConv("dw_sq", 8, 8, 64, 3, 2));
+    const std::string text = writeModelText(m);
+    EXPECT_NE(text.find("dwconv dw_rect 16 16 32 3 5 1"),
+              std::string::npos)
+        << text;
+    expectRoundTrips(m);
+}
+
+TEST(ParseModel, DepthwiseLegacySquareFormStillParses)
+{
+    const ParseResult r = parseModelString(
+        "model t 32\n"
+        "dwconv dw 16 16 32 3 1\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    const ConvLayer &l = r.model->layers()[0];
+    EXPECT_EQ(l.kh, 3);
+    EXPECT_EQ(l.kw, 3);
+    EXPECT_TRUE(l.isDepthwise());
+}
+
+TEST(ParseModel, DepthwiseRejectsWrongArity)
+{
+    EXPECT_FALSE(
+        parseModelString("model t 32\ndwconv dw 16 16 32 3\n").ok());
+    EXPECT_FALSE(
+        parseModelString("model t 32\ndwconv dw 16 16 32 3 3 1 9\n")
+            .ok());
+}
+
+TEST(WriteModelText, RoundTripPropertyOverFullZoo)
+{
+    // Every built-in model must survive write -> parse exactly; this
+    // covers dense conv, depthwise (MobileNetV2) and fc layers.
+    for (const Model &m :
+         {makeAlexNet(224), makeVgg16(224), makeResNet50(224),
+          makeDarkNet19(224), makeMobileNetV2(224)}) {
+        expectRoundTrips(m);
+    }
+}
+
+TEST(WriteModelText, RoundTripPropertyOverRandomModels)
+{
+    // Seeded property test: randomized dense / depthwise / fc mixes.
+    // Dense convs keep ho >= 2 so they cannot collide with the fc
+    // written form (fc is re-parsed with stride 1 by definition).
+    std::mt19937 rng(20260806u);
+    auto pick = [&](int lo, int hi) {
+        return lo + static_cast<int>(rng() % (hi - lo + 1));
+    };
+    for (int trial = 0; trial < 50; ++trial) {
+        Model m("rand" + std::to_string(trial), pick(16, 512));
+        const int layers = pick(1, 12);
+        for (int i = 0; i < layers; ++i) {
+            const std::string name = "l" + std::to_string(i);
+            switch (pick(0, 2)) {
+              case 0:
+                m.addLayer(makeConv(name, pick(2, 64), pick(1, 64),
+                                    pick(1, 512), pick(1, 512),
+                                    pick(1, 7), pick(1, 7),
+                                    pick(1, 3)));
+                break;
+              case 1:
+                m.addLayer(makeDepthwiseConv(
+                    name, pick(1, 64), pick(1, 64), pick(1, 512),
+                    pick(1, 7), pick(1, 7), pick(1, 3)));
+                break;
+              default:
+                m.addLayer(makeFullyConnected(name, pick(1, 4096),
+                                              pick(1, 4096)));
+                break;
+            }
+        }
+        expectRoundTrips(m);
     }
 }

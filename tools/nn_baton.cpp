@@ -10,6 +10,10 @@
  *   compare — evaluate the Simba weight-centric baseline against the
  *             NN-Baton mappings on the same hardware.
  *   models  — list the built-in model zoo (or dump one as text).
+ *   serve   — persistent evaluation daemon on a Unix-domain socket,
+ *             answering JSON requests with a warm shared mapping
+ *             cache (see docs/serving.md).
+ *   request — one-shot client for the serve daemon.
  *
  * Models come from the zoo (vgg16, resnet50, darknet19, alexnet,
  * mobilenetv2) or from a text description file via --model-file (see
@@ -39,8 +43,13 @@
 #include "common/status.hpp"
 #include "common/trace.hpp"
 #include "nn/parser.hpp"
+#include "serve/server.hpp"
 #include "verif/random_mapping.hpp"
 #include "verif/replay.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace nnbaton;
 
@@ -50,6 +59,7 @@ struct Args
 {
     std::string command;
     std::string model = "resnet50";
+    bool modelExplicit = false; //!< --model was passed (vs default)
     std::string modelFile;
     std::string jsonPath;
     std::string tracePath; //!< --trace: Chrome trace-event JSON output
@@ -68,6 +78,11 @@ struct Args
     std::string resumePath;     //!< --resume: restore from snapshot
     double deadlineSeconds = 0; //!< --deadline: wall-clock budget
     bool strict = false;        //!< --strict: fail fast on poisoned
+    bool noObs = false;         //!< --no-obs: lean JSON exports
+    // Service options for `serve` / `request`.
+    std::string socketPath;          //!< --socket: Unix socket path
+    int64_t cacheBytes = 256 << 20;  //!< --cache-bytes: LRU cap
+    std::string requestBody;         //!< request: --request JSON line
     // Hardware overrides for `post` / `compare`.
     AcceleratorConfig config = caseStudyConfig();
 };
@@ -83,6 +98,8 @@ usage()
         "  pre      explore the design space (chiplet granularity)\n"
         "  compare  Simba baseline vs NN-Baton on the same hardware\n"
         "  models   list the built-in model zoo / dump one as text\n"
+        "  serve    persistent evaluation daemon on a Unix socket\n"
+        "  request  send one JSON request to a serve daemon\n"
         "\n"
         "options:\n"
         "  --model <name>        zoo model (vgg16 resnet50 darknet19\n"
@@ -117,6 +134,13 @@ usage()
         "                        report the partial result (exit 3)\n"
         "  --strict              pre: fail fast on the first poisoned\n"
         "                        design point instead of quarantining\n"
+        "  --no-obs              omit run-dependent fields from JSON\n"
+        "                        reports (stable, comparable bytes)\n"
+        "  --socket <path>       serve/request: Unix socket path\n"
+        "  --cache-bytes <n>     serve: mapping-cache LRU capacity in\n"
+        "                        bytes [268435456]\n"
+        "  --request <json>      request: one JSON request line (reads\n"
+        "                        stdin lines when omitted)\n"
         "  --trace <path>        write a Chrome trace-event JSON file\n"
         "                        (open in Perfetto / chrome://tracing)\n"
         "  --metrics             print the metrics table and per-phase\n"
@@ -142,6 +166,7 @@ parseArgs(int argc, char **argv, Args &args)
         const char *name = opt.c_str();
         if (opt == "--model") {
             args.model = next();
+            args.modelExplicit = true;
         } else if (opt == "--model-file") {
             args.modelFile = next();
         } else if (opt == "--resolution") {
@@ -188,6 +213,14 @@ parseArgs(int argc, char **argv, Args &args)
                 parsePositiveDouble(name, next()).value();
         } else if (opt == "--strict") {
             args.strict = true;
+        } else if (opt == "--no-obs") {
+            args.noObs = true;
+        } else if (opt == "--socket") {
+            args.socketPath = next();
+        } else if (opt == "--cache-bytes") {
+            args.cacheBytes = parsePositiveInt64(name, next()).value();
+        } else if (opt == "--request") {
+            args.requestBody = next();
         } else if (opt == "--trace") {
             args.tracePath = next();
         } else if (opt == "--metrics") {
@@ -331,7 +364,9 @@ runPost(const Args &args)
             throwStatus(errUnavailable("cannot write %s",
                                        args.jsonPath.c_str()));
         }
-        exportPostDesign(report, out);
+        exportPostDesign(report, out,
+                         args.noObs ? ExportOptions::lean()
+                                    : ExportOptions{});
         std::printf("wrote %s\n", args.jsonPath.c_str());
     }
     if (args.verify) {
@@ -374,7 +409,9 @@ runPre(const Args &args)
             throwStatus(errUnavailable("cannot write %s",
                                        args.jsonPath.c_str()));
         }
-        exportPreDesign(report, out);
+        exportPreDesign(report, out,
+                        args.noObs ? ExportOptions::lean()
+                                   : ExportOptions{});
         std::printf("wrote %s\n", args.jsonPath.c_str());
     }
     // A cut-short sweep still reports what it finished, but exits
@@ -402,8 +439,10 @@ runCompare(const Args &args)
 int
 runModels(const Args &args)
 {
-    if (!args.model.empty() && args.model != "resnet50") {
-        // Dump the requested model as a text description.
+    // Dump when a model was named explicitly — `--model resnet50`
+    // must dump resnet50, not fall through to the summary table just
+    // because the name matches the default.
+    if (args.modelExplicit || !args.modelFile.empty()) {
         std::printf("%s", writeModelText(loadModel(args)).c_str());
         return 0;
     }
@@ -418,6 +457,127 @@ runModels(const Args &args)
                     static_cast<double>(m.totalWeights()) * 1e-6);
     }
     return 0;
+}
+
+/**
+ * Persistent evaluation daemon: bind the Unix socket and serve JSON
+ * requests until a shutdown op or SIGINT/SIGTERM (see docs/serving.md
+ * for the protocol).
+ */
+int
+runServe(const Args &args)
+{
+    if (args.socketPath.empty()) {
+        throwStatus(
+            errInvalidArgument("serve needs --socket <path>"));
+    }
+    serve::ServerOptions opt;
+    opt.socketPath = args.socketPath;
+    opt.threads = args.threads;
+    opt.cancel = &globalCancelToken();
+    opt.service.cacheBytes = args.cacheBytes;
+    serve::Server server(std::move(opt));
+    throwIfError(server.start());
+    // Stdout line so wrappers can wait for readiness.
+    std::printf("nn-baton serve: listening on %s (%d lanes)\n",
+                args.socketPath.c_str(), args.threads);
+    std::fflush(stdout);
+    const int64_t handled = server.run();
+    inform("serve: handled %lld requests",
+           static_cast<long long>(handled));
+    return 0;
+}
+
+/**
+ * One-shot client for the daemon: send --request (or every stdin
+ * line) and print each response line.  Exits 1 if any response is a
+ * structured error envelope.
+ */
+int
+runRequest(const Args &args)
+{
+    if (args.socketPath.empty()) {
+        throwStatus(
+            errInvalidArgument("request needs --socket <path>"));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (args.socketPath.size() >= sizeof(addr.sun_path)) {
+        throwStatus(errInvalidArgument("socket path too long"));
+    }
+    std::memcpy(addr.sun_path, args.socketPath.c_str(),
+                args.socketPath.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwStatus(errUnavailable("socket: %s", std::strerror(errno)));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throwStatus(errUnavailable("connect %s: %s",
+                                   args.socketPath.c_str(),
+                                   std::strerror(err)));
+    }
+
+    auto sendLine = [&](std::string line) {
+        line.push_back('\n');
+        size_t off = 0;
+        while (off < line.size()) {
+            const ssize_t n = ::send(fd, line.data() + off,
+                                     line.size() - off, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                throwStatus(
+                    errUnavailable("send: %s", std::strerror(errno)));
+            }
+            off += static_cast<size_t>(n);
+        }
+    };
+    auto recvLine = [&]() -> std::string {
+        static std::string buffer;
+        size_t nl;
+        while ((nl = buffer.find('\n')) == std::string::npos) {
+            char chunk[4096];
+            const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                throwStatus(
+                    errUnavailable("recv: %s", std::strerror(errno)));
+            }
+            if (n == 0) {
+                throwStatus(errUnavailable(
+                    "daemon closed the connection mid-response"));
+            }
+            buffer.append(chunk, static_cast<size_t>(n));
+        }
+        std::string line = buffer.substr(0, nl);
+        buffer.erase(0, nl + 1);
+        return line;
+    };
+
+    int rc = 0;
+    auto roundTrip = [&](const std::string &request) {
+        sendLine(request);
+        const std::string response = recvLine();
+        std::printf("%s\n", response.c_str());
+        if (response.rfind("{\"ok\":false", 0) == 0)
+            rc = 1;
+    };
+    if (!args.requestBody.empty()) {
+        roundTrip(args.requestBody);
+    } else {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (!line.empty())
+                roundTrip(line);
+        }
+    }
+    ::close(fd);
+    return rc;
 }
 
 /** End-of-run observability output (--trace / --metrics). */
@@ -488,6 +648,10 @@ main(int argc, char **argv)
             rc = runCompare(args);
         else if (args.command == "models")
             rc = runModels(args);
+        else if (args.command == "serve")
+            rc = runServe(args);
+        else if (args.command == "request")
+            rc = runRequest(args);
         else {
             usage();
             return 2;
