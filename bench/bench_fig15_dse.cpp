@@ -20,6 +20,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <string>
 
 #include "baton/baton.hpp"
 #include "common/json.hpp"
@@ -114,18 +115,15 @@ printFigure(int threads)
         "DarkNet@224) (paper section VI-B.2).\n\n");
 }
 
-/** Everything the engine promises to keep thread-count independent. */
+/** Same sweep classification and bit-identical design points.  This
+ *  is what every search mode that promises exhaustive-equivalent
+ *  winners must preserve; work counters are checked separately. */
 bool
-identicalResults(const DseResult &a, const DseResult &b)
+samePoints(const DseResult &a, const DseResult &b)
 {
     if (a.swept != b.swept || a.areaRejected != b.areaRejected ||
         a.infeasible != b.infeasible ||
         a.points.size() != b.points.size())
-        return false;
-    if (a.search.evaluated != b.search.evaluated ||
-        a.search.pruned != b.search.pruned ||
-        a.search.cacheHits != b.search.cacheHits ||
-        a.search.cacheMisses != b.search.cacheMisses)
         return false;
     for (size_t i = 0; i < a.points.size(); ++i) {
         const DesignPoint &p = a.points[i];
@@ -145,6 +143,42 @@ identicalResults(const DseResult &a, const DseResult &b)
             return false;
     }
     return true;
+}
+
+/** Everything the engine promises to keep thread-count independent. */
+bool
+identicalResults(const DseResult &a, const DseResult &b)
+{
+    return samePoints(a, b) &&
+           a.search.evaluated == b.search.evaluated &&
+           a.search.pruned == b.search.pruned &&
+           a.search.cacheHits == b.search.cacheHits &&
+           a.search.cacheMisses == b.search.cacheMisses;
+}
+
+double
+pointsPerSecond(const DseResult &r)
+{
+    return r.elapsedSeconds > 0.0
+               ? static_cast<double>(r.swept) / r.elapsedSeconds
+               : 0.0;
+}
+
+/** One search mode's entry in the BENCH_dse.json "modes" block. */
+void
+writeModeEntry(JsonWriter &j, const char *name, const DseResult &r)
+{
+    j.key(name).beginObject();
+    j.field("seconds", r.elapsedSeconds);
+    j.field("points_per_sec", pointsPerSecond(r));
+    j.field("evaluated", r.search.evaluated);
+    j.field("pruned", r.search.pruned);
+    j.field("nodes_opened", r.search.nodesOpened);
+    j.field("subtrees_pruned", r.search.subtreesPruned);
+    j.field("incumbent_updates", r.search.incumbentUpdates);
+    j.field("refined", r.search.refined);
+    j.field("refined_pruned", r.search.refinedPruned);
+    j.endObject();
 }
 
 /**
@@ -178,6 +212,25 @@ benchSweep(int threads)
                                     spansBefore, spans.size())));
     const obs::ProfileReport profile = obs::buildProfile(spans);
 
+    // Search-mode shoot-out on the same sweep, both serial so the
+    // points/sec ratio isolates the search strategy itself.  The
+    // branch-and-bound mode must reproduce the exhaustive winners
+    // bit-for-bit while doing far fewer full C3P evaluations.
+    opt.threads = 1;
+    opt.searchMode = SearchMode::Bnb;
+    const DseResult bnb = explore(model, opt, defaultTech());
+    opt.searchMode = SearchMode::Exhaustive;
+    const bool modes_identical = samePoints(serial, bnb);
+    const double eval_ratio =
+        bnb.search.evaluated > 0
+            ? static_cast<double>(serial.search.evaluated) /
+                  static_cast<double>(bnb.search.evaluated)
+            : 0.0;
+    const double pps_ratio =
+        pointsPerSecond(serial) > 0.0
+            ? pointsPerSecond(bnb) / pointsPerSecond(serial)
+            : 0.0;
+
     const bool identical = identicalResults(serial, parallel) &&
                            identicalResults(parallel, traced);
     const double speedup =
@@ -199,6 +252,21 @@ benchSweep(int threads)
                 traced.elapsedSeconds, 100.0 * trace_overhead);
     std::printf("results bit-identical: %s\n",
                 identical ? "yes" : "NO (BUG)");
+    std::printf("\n=== search modes: exhaustive vs branch-and-bound "
+                "(serial) ===\n");
+    std::printf("exhaustive: %.2f s, %.0f points/s, %lld evaluated\n",
+                serial.elapsedSeconds, pointsPerSecond(serial),
+                static_cast<long long>(serial.search.evaluated));
+    std::printf("bnb:        %.2f s, %.0f points/s, %lld evaluated "
+                "(%lld nodes, %lld subtrees pruned)\n",
+                bnb.elapsedSeconds, pointsPerSecond(bnb),
+                static_cast<long long>(bnb.search.evaluated),
+                static_cast<long long>(bnb.search.nodesOpened),
+                static_cast<long long>(bnb.search.subtreesPruned));
+    std::printf("evaluation ratio: %.1fx fewer, points/sec ratio: "
+                "%.2fx, winners identical: %s\n",
+                eval_ratio, pps_ratio,
+                modes_identical ? "yes" : "NO (BUG)");
     std::printf("%s", obs::formatProfile(profile).c_str());
 
     std::ofstream out("BENCH_dse.json");
@@ -227,6 +295,13 @@ benchSweep(int threads)
     j.field("cache_misses", serial.search.cacheMisses);
     j.field("cache_entries", serial.cacheEntries);
     j.endObject();
+    j.key("modes").beginObject();
+    writeModeEntry(j, "exhaustive", serial);
+    writeModeEntry(j, "bnb", bnb);
+    j.field("winners_identical", modes_identical);
+    j.field("eval_ratio", eval_ratio);
+    j.field("points_per_sec_ratio", pps_ratio);
+    j.endObject();
     j.key("profile");
     obs::writeProfileJson(j, profile);
     j.endObject();
@@ -253,9 +328,19 @@ BENCHMARK(BM_Fig15SingleConfig)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
+    // --sweep-only: just the timed sweeps + BENCH_dse.json (the CI
+    // mode-block check), skipping the figure tables and gbench runs.
+    bool sweep_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--sweep-only")
+            sweep_only = true;
+    }
     const int threads = std::max(4, hardwareThreads());
-    printFigure(threads);
+    if (!sweep_only)
+        printFigure(threads);
     benchSweep(threads);
+    if (sweep_only)
+        return 0;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -41,7 +41,15 @@ analyzeMapping(const ConvLayer &layer, const AcceleratorConfig &cfg,
             layer.name.c_str(), mapping.toString().c_str(),
             reason.c_str()));
     }
+    return analyzeMappingUnchecked(layer, cfg, mapping, options);
+}
 
+AccessAnalysis
+analyzeMappingUnchecked(const ConvLayer &layer,
+                        const AcceleratorConfig &cfg,
+                        const Mapping &mapping,
+                        const AnalysisOptions &options)
+{
     AccessAnalysis out;
     out.shapes = deriveShapes(layer, cfg, mapping);
     const MappingShapes &s = out.shapes;

@@ -99,6 +99,18 @@ AccessAnalysis analyzeMapping(const ConvLayer &layer,
                               const Mapping &mapping,
                               const AnalysisOptions &options = {});
 
+/**
+ * analyzeMapping() without the legality gate: the caller vouches that
+ * @p mapping passes checkMapping().  The mapping search uses this on
+ * enumerated candidates (legal by construction) where the accounting
+ * runs once per candidate and the redundant check is measurable
+ * (mapper/bound.hpp's refined bound).
+ */
+AccessAnalysis analyzeMappingUnchecked(const ConvLayer &layer,
+                                       const AcceleratorConfig &cfg,
+                                       const Mapping &mapping,
+                                       const AnalysisOptions &options = {});
+
 } // namespace nnbaton
 
 #endif // NNBATON_C3P_ACCESS_HPP

@@ -1,0 +1,506 @@
+#include "mapper/bnb.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "common/status.hpp"
+#include "common/trace.hpp"
+#include "mapper/bound.hpp"
+#include "verif/fault.hpp"
+
+namespace nnbaton {
+
+namespace {
+
+/** Same slack as the exhaustive path (mapper/search.cpp): a bound may
+ *  prune only when it clears the incumbent by more than float noise. */
+constexpr double kPruneMargin = 1.0 + 1e-9;
+
+/** Evaluation block cap.  Blocks ramp 1 -> 2 -> 4 -> 8 so the first
+ *  (best-bound) leaf becomes the incumbent after a single evaluation,
+ *  then widen for parallel throughput.  Must stay constant: block
+ *  boundaries are where the incumbent refreshes, so they are part of
+ *  the deterministic search schedule. */
+constexpr size_t kBnbBlock = 8;
+
+double
+scoreOf(const MappingChoice &c, Objective objective)
+{
+    return objective == Objective::MinEnergy ? c.energy.total()
+                                             : c.edp();
+}
+
+/**
+ * An open node of the best-bound-first queue: either one unexpanded
+ * subtree (subtree >= 0) or one concrete leaf.  Nodes are popped in
+ * ascending (bound, ordinal) order; ordinals are unique across live
+ * nodes (a subtree's firstOrdinal lies in its own leaf range and the
+ * subtree node dies when expanded), so the order is strict and the
+ * pop sequence deterministic.
+ */
+struct Node
+{
+    double bound = 0.0;
+    int64_t ordinal = 0;
+    int64_t subtree = -1; //!< >= 0: unexpanded subtree index
+    Mapping mapping;      //!< leaf payload when subtree < 0
+};
+
+struct NodeAfter
+{
+    bool operator()(const Node &a, const Node &b) const
+    {
+        if (a.bound != b.bound)
+            return a.bound > b.bound;
+        return a.ordinal > b.ordinal;
+    }
+};
+
+using OpenQueue =
+    std::priority_queue<Node, std::vector<Node>, NodeAfter>;
+
+/** The evolving best-so-far with the flat search's tie-breaking:
+ *  lexicographic minimum of (score, enumeration ordinal). */
+struct Incumbent
+{
+    std::optional<MappingChoice> choice;
+    double score = std::numeric_limits<double>::max();
+    int64_t ordinal = std::numeric_limits<int64_t>::max();
+
+    bool accept(double s, int64_t ord) const
+    {
+        return !choice || s < score || (s == score && ord < ordinal);
+    }
+};
+
+struct BnbCounters
+{
+    int64_t evaluated = 0;
+    int64_t pruned = 0;
+    int64_t nodesOpened = 0;
+    int64_t subtreesPruned = 0;
+    int64_t incumbentUpdates = 0;
+    int64_t refined = 0;
+    int64_t refinedPruned = 0;
+};
+
+/**
+ * Drain @p open best-bound-first.  Expanding a subtree splits its
+ * legal leaves by lane class: the wanted class feeds the queue, the
+ * other is stashed into @p rejected_class (phase B input).  Pruning —
+ * of leaves and of whole subtrees — only happens against an existing
+ * incumbent, so "no incumbent at the end" proves the wanted class is
+ * empty everywhere, not just unexplored.
+ */
+void
+drainQueue(const ConvLayer &layer, const AcceleratorConfig &cfg,
+           const TechnologyModel &tech, const CandidateSpace &space,
+           Objective objective, const SearchOptions &search,
+           ThreadPool *pool, OpenQueue &open, bool want_full_lane,
+           std::vector<CandidateSpace::Leaf> *rejected_class,
+           int64_t skip_ordinal, Incumbent &best, BnbCounters &c)
+{
+    const bool prune = search.boundPruning;
+    std::vector<Node> batch;
+    std::vector<MappingChoice> slots;
+    size_t block_cap = 1;
+
+    while (!open.empty()) {
+        // Cancellation and fault-injection granularity: one poll per
+        // evaluation block, mirroring the exhaustive path.
+        if (search.cancel && search.cancel->cancelled())
+            throwStatus(search.cancel->toStatus());
+        if (verif::faultPlanArmed())
+            verif::injectSearchBlockFault();
+
+        batch.clear();
+        while (!open.empty() && batch.size() < block_cap) {
+            Node node = open.top();
+            open.pop();
+            if (node.subtree >= 0) {
+                if (prune && best.choice &&
+                    node.bound >= best.score * kPruneMargin) {
+                    ++c.subtreesPruned;
+                    continue;
+                }
+                ++c.nodesOpened;
+                NNBATON_TRACE_SCOPE("mapper.bnb_expand");
+                for (CandidateSpace::Leaf &leaf : space.expand(
+                         static_cast<size_t>(node.subtree))) {
+                    if (leaf.ordinal == skip_ordinal)
+                        continue; // warm-start hint, already evaluated
+                    if (leaf.fullLane != want_full_lane) {
+                        if (rejected_class) {
+                            rejected_class->push_back(
+                                std::move(leaf));
+                        }
+                        continue;
+                    }
+                    Node ln;
+                    ln.bound = scoreLowerBound(layer, cfg, tech,
+                                               leaf.mapping,
+                                               objective);
+                    ln.ordinal = leaf.ordinal;
+                    ln.mapping = std::move(leaf.mapping);
+                    open.push(std::move(ln));
+                }
+                continue;
+            }
+            if (prune && best.choice &&
+                node.bound >= best.score * kPruneMargin) {
+                ++c.pruned;
+                continue;
+            }
+            // Tier-2: a popped leaf that the closed-form bound could
+            // not cut gets the refined (reuse-analysis) bound — about
+            // two thirds of a full evaluation, but exact on every
+            // fill count, so reload-heavy candidates whose traffic
+            // the compulsory-miss floor underestimates die here
+            // instead of being fully evaluated.
+            if (prune && best.choice) {
+                ++c.refined;
+                const double refined = refinedScoreLowerBound(
+                    layer, cfg, tech, node.mapping, objective);
+                if (refined >= best.score * kPruneMargin) {
+                    ++c.refinedPruned;
+                    continue;
+                }
+            }
+            batch.push_back(std::move(node));
+        }
+        if (batch.empty())
+            continue;
+
+        {
+            NNBATON_TRACE_SCOPE("mapper.c3p_analysis");
+            slots.resize(batch.size());
+            const auto evaluate = [&](int64_t j) {
+                slots[static_cast<size_t>(j)] = evaluateMapping(
+                    layer, cfg, tech,
+                    batch[static_cast<size_t>(j)].mapping);
+            };
+            if (pool) {
+                pool->parallelFor(static_cast<int64_t>(batch.size()),
+                                  evaluate);
+            } else {
+                for (int64_t j = 0;
+                     j < static_cast<int64_t>(batch.size()); ++j)
+                    evaluate(j);
+            }
+        }
+        c.evaluated += static_cast<int64_t>(batch.size());
+
+        for (size_t j = 0; j < batch.size(); ++j) {
+            const double score = scoreOf(slots[j], objective);
+            if (best.accept(score, batch[j].ordinal)) {
+                best.choice = std::move(slots[j]);
+                best.score = score;
+                best.ordinal = batch[j].ordinal;
+                ++c.incumbentUpdates;
+            }
+        }
+        block_cap = std::min(block_cap * 2, kBnbBlock);
+    }
+}
+
+void
+mirrorMetrics(const BnbCounters &c)
+{
+    static obs::Counter &m_evaluated =
+        obs::MetricsRegistry::instance().counter(
+            "mapper.candidates.evaluated");
+    static obs::Counter &m_pruned =
+        obs::MetricsRegistry::instance().counter(
+            "mapper.candidates.pruned");
+    static obs::Counter &m_nodes =
+        obs::MetricsRegistry::instance().counter(
+            "mapper.bnb.nodes_opened");
+    static obs::Counter &m_subtrees =
+        obs::MetricsRegistry::instance().counter(
+            "mapper.bnb.subtrees_pruned");
+    static obs::Counter &m_refined =
+        obs::MetricsRegistry::instance().counter("mapper.bnb.refined");
+    static obs::Counter &m_refined_pruned =
+        obs::MetricsRegistry::instance().counter(
+            "mapper.bnb.refined_pruned");
+    m_evaluated.add(c.evaluated);
+    m_pruned.add(c.pruned);
+    m_nodes.add(c.nodesOpened);
+    m_subtrees.add(c.subtreesPruned);
+    m_refined.add(c.refined);
+    m_refined_pruned.add(c.refinedPruned);
+}
+
+/** Deterministic per-(layer, config) fingerprint mixed into the
+ *  annealing seed so distinct layers walk distinct move sequences. */
+uint64_t
+layerConfigFingerprint(const ConvLayer &layer,
+                       const AcceleratorConfig &cfg)
+{
+    uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<uint64_t>(layer.ho) << 32 |
+        static_cast<uint32_t>(layer.wo));
+    mix(static_cast<uint64_t>(layer.co) << 32 |
+        static_cast<uint32_t>(layer.ci));
+    mix(static_cast<uint64_t>(layer.kh) << 32 |
+        static_cast<uint32_t>(layer.kw));
+    mix(static_cast<uint64_t>(layer.stride) << 32 |
+        static_cast<uint32_t>(layer.groups));
+    mix(static_cast<uint64_t>(cfg.package.chiplets) << 32 |
+        static_cast<uint32_t>(cfg.chiplet.cores));
+    mix(static_cast<uint64_t>(cfg.core.lanes) << 32 |
+        static_cast<uint32_t>(cfg.core.vectorSize));
+    mix(static_cast<uint64_t>(cfg.core.ol1Bytes));
+    mix(static_cast<uint64_t>(cfg.core.al1Bytes));
+    mix(static_cast<uint64_t>(cfg.core.wl1Bytes));
+    mix(static_cast<uint64_t>(cfg.chiplet.al2Bytes));
+    return h;
+}
+
+} // namespace
+
+std::optional<MappingChoice>
+searchBranchAndBound(const ConvLayer &layer,
+                     const AcceleratorConfig &cfg,
+                     const TechnologyModel &tech,
+                     const CandidateSpace &space, Objective objective,
+                     const SearchOptions &search, ThreadPool *pool,
+                     SearchStats *stats, const Mapping *warm_hint)
+{
+    NNBATON_TRACE_SCOPE("mapper.bnb");
+
+    Incumbent best;
+    BnbCounters c;
+    int64_t skip_ordinal = -1;
+    int64_t warm_starts = 0;
+
+    // Warm start: a cached winner from a sibling configuration is
+    // only usable if it is a leaf of *this* grid (same skeleton,
+    // plane and ladder point, legal here) — then evaluating it first
+    // is just a reordering of the schedule and cannot change the
+    // winner.  Degraded-lane hints are dropped: they only compete
+    // when no full-lane candidate exists, which is unknown up front.
+    if (warm_hint) {
+        if (auto located = space.locate(*warm_hint);
+            located && located->fullLane) {
+            MappingChoice hint_choice =
+                evaluateMapping(layer, cfg, tech, located->mapping);
+            best.choice = std::move(hint_choice);
+            best.score = scoreOf(*best.choice, objective);
+            best.ordinal = located->ordinal;
+            skip_ordinal = located->ordinal;
+            ++c.evaluated;
+            ++c.incumbentUpdates;
+            ++warm_starts;
+        }
+    }
+
+    // Phase A: the full-lane class, subtrees opened lazily in
+    // best-bound-first order.
+    OpenQueue open;
+    for (size_t i = 0; i < space.size(); ++i) {
+        Node n;
+        n.bound = subtreeScoreLowerBound(layer, cfg, tech,
+                                         space.subtree(i), objective);
+        n.ordinal = space.subtree(i).firstOrdinal;
+        n.subtree = static_cast<int64_t>(i);
+        open.push(std::move(n));
+    }
+    std::vector<CandidateSpace::Leaf> degraded;
+    drainQueue(layer, cfg, tech, space, objective, search, pool, open,
+               /*want_full_lane=*/true, &degraded, skip_ordinal, best,
+               c);
+
+    // Phase B: no full-lane incumbent means no pruning happened, so
+    // every subtree was expanded and `degraded` holds the complete
+    // fallback class — search it the same way.
+    if (!best.choice && !degraded.empty()) {
+        OpenQueue fallback;
+        for (CandidateSpace::Leaf &leaf : degraded) {
+            Node n;
+            n.bound = scoreLowerBound(layer, cfg, tech, leaf.mapping,
+                                      objective);
+            n.ordinal = leaf.ordinal;
+            n.mapping = std::move(leaf.mapping);
+            fallback.push(std::move(n));
+        }
+        drainQueue(layer, cfg, tech, space, objective, search, pool,
+                   fallback, /*want_full_lane=*/false,
+                   /*rejected_class=*/nullptr, skip_ordinal, best, c);
+    }
+
+    if (stats) {
+        stats->evaluated += c.evaluated;
+        stats->pruned += c.pruned;
+        stats->nodesOpened += c.nodesOpened;
+        stats->subtreesPruned += c.subtreesPruned;
+        stats->incumbentUpdates += c.incumbentUpdates;
+        stats->warmStarts += warm_starts;
+        stats->refined += c.refined;
+        stats->refinedPruned += c.refinedPruned;
+    }
+    mirrorMetrics(c);
+    return best.choice;
+}
+
+std::optional<MappingChoice>
+searchAnneal(const ConvLayer &layer, const AcceleratorConfig &cfg,
+             const TechnologyModel &tech, const CandidateSpace &space,
+             Objective objective, const SearchOptions &search,
+             SearchStats *stats)
+{
+    NNBATON_TRACE_SCOPE("mapper.anneal");
+    if (space.size() == 0)
+        return std::nullopt;
+
+    // Deterministic start state: the first legal leaf in enumeration
+    // order (so a zero-iteration anneal still returns something
+    // legal, and equal seeds walk from equal states).
+    struct Coord
+    {
+        size_t subtree = 0, ih = 0, iw = 0, ic = 0, order = 0;
+    };
+    Coord cur;
+    std::optional<CandidateSpace::Leaf> init;
+    for (size_t i = 0; i < space.size() && !init; ++i) {
+        const CandidateSpace::Subtree &st = space.subtree(i);
+        for (size_t ih = 0; ih < st.ladderH.size() && !init; ++ih) {
+            for (size_t iw = 0; iw < st.ladderW.size() && !init;
+                 ++iw) {
+                for (size_t ic = 0; ic < st.ladderC.size() && !init;
+                     ++ic) {
+                    for (size_t order = 0; order < 4 && !init;
+                         ++order) {
+                        init = space.makeLeaf(i, ih, iw, ic, order);
+                        if (init)
+                            cur = {i, ih, iw, ic, order};
+                    }
+                }
+            }
+        }
+    }
+    if (!init)
+        return std::nullopt;
+
+    int64_t evaluated = 0;
+    const auto evalLeaf = [&](const CandidateSpace::Leaf &leaf) {
+        ++evaluated;
+        return evaluateMapping(layer, cfg, tech, leaf.mapping);
+    };
+
+    MappingChoice cur_choice = evalLeaf(*init);
+    double cur_score = scoreOf(cur_choice, objective);
+    MappingChoice best_choice = cur_choice;
+    double best_score = cur_score;
+    int64_t best_ordinal = init->ordinal;
+    int64_t incumbent_updates = 1;
+
+    // Scores are deterministic per ordinal, so revisited states skip
+    // the full C3P evaluation (the evaluated counter stays a count of
+    // full analyses, matching the other modes' semantics).
+    std::unordered_map<int64_t, double> memo;
+    memo.emplace(init->ordinal, cur_score);
+
+    std::mt19937_64 rng(search.annealSeed ^
+                        layerConfigFingerprint(layer, cfg));
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+    // Geometric cooling from a tenth of the initial score down three
+    // decades across the iteration budget.
+    const int iters = std::max(1, search.annealIterations);
+    double temp = std::max(cur_score * 0.1, 1e-12);
+    const double alpha = std::pow(1e-3, 1.0 / iters);
+
+    const auto step = [&](size_t idx, size_t size, bool up) {
+        if (up)
+            return idx + 1 < size ? idx + 1 : idx;
+        return idx > 0 ? idx - 1 : idx;
+    };
+
+    for (int it = 0; it < iters; ++it, temp *= alpha) {
+        if ((it & 31) == 0 && search.cancel &&
+            search.cancel->cancelled())
+            throwStatus(search.cancel->toStatus());
+
+        Coord next = cur;
+        const CandidateSpace::Subtree *st =
+            &space.subtree(cur.subtree);
+        switch (rng() % 5) {
+          case 0: {
+            next.subtree = static_cast<size_t>(rng() % space.size());
+            st = &space.subtree(next.subtree);
+            next.ih = std::min(next.ih, st->ladderH.size() - 1);
+            next.iw = std::min(next.iw, st->ladderW.size() - 1);
+            next.ic = std::min(next.ic, st->ladderC.size() - 1);
+            break;
+          }
+          case 1:
+            next.ih = step(next.ih, st->ladderH.size(), rng() & 1);
+            break;
+          case 2:
+            next.iw = step(next.iw, st->ladderW.size(), rng() & 1);
+            break;
+          case 3:
+            next.ic = step(next.ic, st->ladderC.size(), rng() & 1);
+            break;
+          default:
+            next.order = static_cast<size_t>(rng() % 4);
+            break;
+        }
+
+        const std::optional<CandidateSpace::Leaf> leaf =
+            space.makeLeaf(next.subtree, next.ih, next.iw, next.ic,
+                           next.order);
+        if (!leaf)
+            continue; // illegal move; keep cooling
+
+        double score;
+        std::optional<MappingChoice> choice;
+        if (const auto seen = memo.find(leaf->ordinal);
+            seen != memo.end()) {
+            score = seen->second;
+        } else {
+            choice = evalLeaf(*leaf);
+            score = scoreOf(*choice, objective);
+            memo.emplace(leaf->ordinal, score);
+        }
+
+        if (score < best_score ||
+            (score == best_score && leaf->ordinal < best_ordinal)) {
+            best_choice = choice ? *choice : evalLeaf(*leaf);
+            best_score = score;
+            best_ordinal = leaf->ordinal;
+            ++incumbent_updates;
+        }
+
+        const double delta = score - cur_score;
+        if (delta <= 0.0 ||
+            uniform(rng) < std::exp(-delta / std::max(temp, 1e-300))) {
+            cur = next;
+            cur_score = score;
+        }
+    }
+
+    if (stats) {
+        stats->evaluated += evaluated;
+        stats->incumbentUpdates += incumbent_updates;
+    }
+    static obs::Counter &m_evaluated =
+        obs::MetricsRegistry::instance().counter(
+            "mapper.candidates.evaluated");
+    m_evaluated.add(evaluated);
+    return best_choice;
+}
+
+} // namespace nnbaton

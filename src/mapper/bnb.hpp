@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The guided strategies over the lazy candidate tree: best-bound-first
+ * branch and bound (bit-identical to exhaustive search) and seeded
+ * simulated annealing (approximate, opt-in).  See docs/search.md for
+ * the tree structure and the bound-safety argument.
+ */
+
+#ifndef NNBATON_MAPPER_BNB_HPP
+#define NNBATON_MAPPER_BNB_HPP
+
+#include <optional>
+
+#include "mapper/candidates.hpp"
+#include "mapper/search.hpp"
+
+namespace nnbaton {
+
+class ThreadPool; // common/parallel.hpp
+
+/**
+ * Best-bound-first branch and bound over @p space.
+ *
+ * Returns exactly the mapping the flat exhaustive search selects —
+ * same winner, bit-identical evaluation — while opening subtrees
+ * lazily and pruning whole branches whose subtree bound cannot beat
+ * the incumbent.  Deterministic at any thread count: nodes are popped
+ * in (bound, ordinal) order, evaluation happens in fixed-size blocks,
+ * and score ties break on the smallest enumeration ordinal (the flat
+ * search's first-wins rule).
+ *
+ * @p warm_hint, when non-null, is located in this space's own grid
+ * and evaluated first as the starting incumbent (counted in
+ * SearchStats::warmStarts); a hint that is not a grid leaf here is
+ * ignored, so the returned winner never changes.
+ */
+std::optional<MappingChoice>
+searchBranchAndBound(const ConvLayer &layer,
+                     const AcceleratorConfig &cfg,
+                     const TechnologyModel &tech,
+                     const CandidateSpace &space, Objective objective,
+                     const SearchOptions &search, ThreadPool *pool,
+                     SearchStats *stats,
+                     const Mapping *warm_hint = nullptr);
+
+/**
+ * Seeded simulated annealing over @p space: random single-coordinate
+ * moves on the candidate grid (subtree, ladder rungs, order pair)
+ * with geometric cooling.  The RNG is seeded from
+ * SearchOptions::annealSeed mixed with the layer/config fingerprint,
+ * so equal seeds reproduce equal results.  Always returns a legal
+ * mapping when one exists, but not necessarily the optimum.
+ */
+std::optional<MappingChoice>
+searchAnneal(const ConvLayer &layer, const AcceleratorConfig &cfg,
+             const TechnologyModel &tech, const CandidateSpace &space,
+             Objective objective, const SearchOptions &search,
+             SearchStats *stats);
+
+} // namespace nnbaton
+
+#endif // NNBATON_MAPPER_BNB_HPP

@@ -53,7 +53,8 @@ MappingCache::Key
 MappingCache::makeKey(const ConvLayer &layer,
                       const AcceleratorConfig &cfg,
                       const TechnologyModel &tech, SearchEffort effort,
-                      Objective objective)
+                      Objective objective, SearchMode mode,
+                      uint64_t annealSeed)
 {
     Key k;
     k.ho = layer.ho;
@@ -75,6 +76,12 @@ MappingCache::makeKey(const ConvLayer &layer,
     k.techFingerprint = tech.fingerprint();
     k.effort = static_cast<int>(effort);
     k.objective = static_cast<int>(objective);
+    // Exhaustive and Bnb share entries (bit-identical winners);
+    // Anneal keys separately, per seed.
+    if (mode == SearchMode::Anneal) {
+        k.mode = 1;
+        k.annealSeed = annealSeed;
+    }
     return k;
 }
 
@@ -106,7 +113,37 @@ MappingCache::KeyHash::operator()(const Key &key) const
     mix(key.techFingerprint);
     mix(static_cast<uint64_t>(key.effort) << 32 |
         static_cast<uint32_t>(key.objective));
+    mix(static_cast<uint64_t>(key.mode));
+    mix(key.annealSeed);
     return static_cast<size_t>(h);
+}
+
+std::optional<Mapping>
+MappingCache::findShapeMatch(const Key &key) const
+{
+    NNBATON_TRACE_SCOPE("mapper.cache_shape_match");
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.m);
+        // The LRU list front-to-back gives a deterministic scan order
+        // for a given lookup history (recently used siblings first).
+        for (const Key &k : shard.lru) {
+            if (k.ho != key.ho || k.wo != key.wo || k.co != key.co ||
+                k.ci != key.ci || k.kh != key.kh || k.kw != key.kw ||
+                k.stride != key.stride || k.groups != key.groups)
+                continue;
+            if (k.techFingerprint != key.techFingerprint ||
+                k.objective != key.objective || k.mode != 0)
+                continue;
+            if (k == key)
+                continue; // the caller's own key is a plain hit
+            const auto it = shard.map.find(k);
+            if (it == shard.map.end() || !it->second->published ||
+                !it->second->value)
+                continue;
+            return it->second->value->mapping;
+        }
+    }
+    return std::nullopt;
 }
 
 std::optional<MappingChoice>

@@ -169,22 +169,21 @@ coreTilePlanes(const ConvLayer &layer, const AcceleratorConfig &cfg,
     return out;
 }
 
-} // namespace
+/** The two loop orders in grid-index order (index 0 and 1). */
+constexpr LoopOrder kOrders[] = {LoopOrder::ChannelPriority,
+                                 LoopOrder::PlanePriority};
 
-static std::vector<Mapping>
-enumerateImpl(const ConvLayer &layer, const AcceleratorConfig &cfg,
+std::vector<CandidateSpace::Subtree>
+buildSubtrees(const ConvLayer &layer, const AcceleratorConfig &cfg,
               SearchEffort effort, bool has_pkg, PackagePartition pkg,
               bool has_chip, ChipletPartition chip)
 {
-    std::vector<Mapping> full_lane;
-    std::vector<Mapping> degraded;
-
-    const auto skeletons = enumerateSkeletons(layer, cfg, effort, has_pkg,
-                                              pkg, has_chip, chip);
+    std::vector<CandidateSpace::Subtree> out;
+    const auto skeletons = enumerateSkeletons(layer, cfg, effort,
+                                              has_pkg, pkg, has_chip,
+                                              chip);
     const auto planes = coreTilePlanes(layer, cfg, effort);
-    const LoopOrder orders[] = {LoopOrder::ChannelPriority,
-                                LoopOrder::PlanePriority};
-
+    int64_t ordinal = 0;
     for (const auto &sk : skeletons) {
         // Macro workload per chiplet under this package split.
         const int macro_ho =
@@ -200,51 +199,170 @@ enumerateImpl(const ConvLayer &layer, const AcceleratorConfig &cfg,
                 ? static_cast<int>(ceilDiv(layer.co,
                                            cfg.package.chiplets))
                 : layer.co;
-
         for (auto [hoc, woc] : planes) {
+            CandidateSpace::Subtree st;
+            st.pkg = sk.pkg;
+            st.pkgSplit = sk.pkgSplit;
+            st.chip = sk.chip;
+            st.cw = sk.cw;
+            st.chipSplit = sk.chipSplit;
+            st.hoC = hoc;
+            st.woC = woc;
+            st.macro = {macro_ho, macro_wo, macro_co};
             // Chiplet tiles grow from the core split in power-of-two
             // steps along the plane and in lane multiples along CO.
-            const int base_h = hoc * sk.chipSplit.fh;
-            const int base_w = woc * sk.chipSplit.fw;
-            const int base_c = cfg.core.lanes * sk.cw;
-            const auto mh =
-                pow2Ladder(std::max(1, macro_ho / base_h), effort);
-            const auto mw =
-                pow2Ladder(std::max(1, macro_wo / base_w), effort);
-            const auto mc =
-                pow2Ladder(std::max(1, macro_co / base_c), effort);
-            for (int fh : mh) {
-                for (int fw : mw) {
-                    for (int fc : mc) {
-                        Mapping m;
-                        m.pkgSpatial = sk.pkg;
-                        m.pkgSplit = sk.pkgSplit;
-                        m.chipSpatial = sk.chip;
-                        m.chipChannelWays = sk.cw;
-                        m.chipSplit = sk.chipSplit;
-                        m.chipletTile = {
-                            std::min(base_h * fh, macro_ho),
-                            std::min(base_w * fw, macro_wo),
-                            std::min(base_c * fc, macro_co)};
-                        m.hoC = hoc;
-                        m.woC = woc;
-                        for (LoopOrder po : orders) {
-                            for (LoopOrder co_ : orders) {
-                                m.pkgOrder = po;
-                                m.chipOrder = co_;
-                                if (!checkMapping(layer, cfg, m).empty())
-                                    continue;
-                                const auto sh =
-                                    deriveShapes(layer, cfg, m);
-                                const bool full =
-                                    sh.coreMacro.co >= cfg.core.lanes;
-                                (full ? full_lane : degraded)
-                                    .push_back(m);
-                            }
-                        }
-                    }
+            st.baseH = hoc * sk.chipSplit.fh;
+            st.baseW = woc * sk.chipSplit.fw;
+            st.baseC = cfg.core.lanes * sk.cw;
+            st.ladderH =
+                pow2Ladder(std::max(1, macro_ho / st.baseH), effort);
+            st.ladderW =
+                pow2Ladder(std::max(1, macro_wo / st.baseW), effort);
+            st.ladderC =
+                pow2Ladder(std::max(1, macro_co / st.baseC), effort);
+            st.firstOrdinal = ordinal;
+            ordinal += st.gridLeaves();
+            out.push_back(std::move(st));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+CandidateSpace::CandidateSpace(const ConvLayer &layer,
+                               const AcceleratorConfig &cfg,
+                               SearchEffort effort)
+    : layer_(layer), cfg_(cfg),
+      subtrees_(buildSubtrees(layer, cfg, effort, false,
+                              PackagePartition::Channel, false,
+                              ChipletPartition::Channel))
+{
+    if (!subtrees_.empty()) {
+        const Subtree &last = subtrees_.back();
+        gridLeaves_ = last.firstOrdinal + last.gridLeaves();
+    }
+}
+
+CandidateSpace::CandidateSpace(const ConvLayer &layer,
+                               const AcceleratorConfig &cfg,
+                               SearchEffort effort, PackagePartition pkg,
+                               ChipletPartition chip)
+    : layer_(layer), cfg_(cfg),
+      subtrees_(
+          buildSubtrees(layer, cfg, effort, true, pkg, true, chip))
+{
+    if (!subtrees_.empty()) {
+        const Subtree &last = subtrees_.back();
+        gridLeaves_ = last.firstOrdinal + last.gridLeaves();
+    }
+}
+
+std::optional<CandidateSpace::Leaf>
+CandidateSpace::makeLeaf(size_t i, size_t ih, size_t iw, size_t ic,
+                         size_t order) const
+{
+    const Subtree &st = subtrees_[i];
+    Mapping m;
+    m.pkgSpatial = st.pkg;
+    m.pkgSplit = st.pkgSplit;
+    m.chipSpatial = st.chip;
+    m.chipChannelWays = st.cw;
+    m.chipSplit = st.chipSplit;
+    m.chipletTile = {
+        std::min(st.baseH * st.ladderH[ih], st.macro.ho),
+        std::min(st.baseW * st.ladderW[iw], st.macro.wo),
+        std::min(st.baseC * st.ladderC[ic], st.macro.co)};
+    m.hoC = st.hoC;
+    m.woC = st.woC;
+    m.pkgOrder = kOrders[order / 2];
+    m.chipOrder = kOrders[order % 2];
+    if (!checkMapping(layer_, cfg_, m).empty())
+        return std::nullopt;
+    Leaf leaf;
+    leaf.mapping = m;
+    leaf.ordinal =
+        st.firstOrdinal +
+        static_cast<int64_t>(
+            ((ih * st.ladderW.size() + iw) * st.ladderC.size() + ic) *
+                4 +
+            order);
+    const MappingShapes sh = deriveShapes(layer_, cfg_, m);
+    leaf.fullLane = sh.coreMacro.co >= cfg_.core.lanes;
+    return leaf;
+}
+
+std::vector<CandidateSpace::Leaf>
+CandidateSpace::expand(size_t i) const
+{
+    const Subtree &st = subtrees_[i];
+    std::vector<Leaf> out;
+    for (size_t ih = 0; ih < st.ladderH.size(); ++ih) {
+        for (size_t iw = 0; iw < st.ladderW.size(); ++iw) {
+            for (size_t ic = 0; ic < st.ladderC.size(); ++ic) {
+                for (size_t order = 0; order < 4; ++order) {
+                    if (auto leaf = makeLeaf(i, ih, iw, ic, order))
+                        out.push_back(std::move(*leaf));
                 }
             }
+        }
+    }
+    return out;
+}
+
+std::optional<CandidateSpace::Leaf>
+CandidateSpace::locate(const Mapping &mapping) const
+{
+    const auto sameSplit = [](const PlanarSplit &a,
+                              const PlanarSplit &b) {
+        return a.fh == b.fh && a.fw == b.fw;
+    };
+    const size_t order =
+        (mapping.pkgOrder == LoopOrder::PlanePriority ? 2u : 0u) +
+        (mapping.chipOrder == LoopOrder::PlanePriority ? 1u : 0u);
+    for (size_t i = 0; i < subtrees_.size(); ++i) {
+        const Subtree &st = subtrees_[i];
+        if (st.pkg != mapping.pkgSpatial ||
+            !sameSplit(st.pkgSplit, mapping.pkgSplit) ||
+            st.chip != mapping.chipSpatial ||
+            st.cw != mapping.chipChannelWays ||
+            !sameSplit(st.chipSplit, mapping.chipSplit) ||
+            st.hoC != mapping.hoC || st.woC != mapping.woC)
+            continue;
+        // Ladder rungs can clamp to the same tile extent; the first
+        // match is the one flat enumeration emits first (smallest
+        // ordinal), which is what first-wins tie-breaking preserves.
+        for (size_t ih = 0; ih < st.ladderH.size(); ++ih) {
+            if (std::min(st.baseH * st.ladderH[ih], st.macro.ho) !=
+                mapping.chipletTile.ho)
+                continue;
+            for (size_t iw = 0; iw < st.ladderW.size(); ++iw) {
+                if (std::min(st.baseW * st.ladderW[iw],
+                             st.macro.wo) != mapping.chipletTile.wo)
+                    continue;
+                for (size_t ic = 0; ic < st.ladderC.size(); ++ic) {
+                    if (std::min(st.baseC * st.ladderC[ic],
+                                 st.macro.co) !=
+                        mapping.chipletTile.co)
+                        continue;
+                    if (auto leaf = makeLeaf(i, ih, iw, ic, order))
+                        return leaf;
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+static std::vector<Mapping>
+collectFromSpace(const CandidateSpace &space)
+{
+    std::vector<Mapping> full_lane;
+    std::vector<Mapping> degraded;
+    for (size_t i = 0; i < space.size(); ++i) {
+        for (CandidateSpace::Leaf &leaf : space.expand(i)) {
+            (leaf.fullLane ? full_lane : degraded)
+                .push_back(std::move(leaf.mapping));
         }
     }
     // Prefer candidates that fill the lanes; fall back when the layer
@@ -256,9 +374,7 @@ std::vector<Mapping>
 enumerateCandidates(const ConvLayer &layer, const AcceleratorConfig &cfg,
                     SearchEffort effort)
 {
-    return enumerateImpl(layer, cfg, effort, false,
-                         PackagePartition::Channel, false,
-                         ChipletPartition::Channel);
+    return collectFromSpace(CandidateSpace(layer, cfg, effort));
 }
 
 std::vector<Mapping>
@@ -266,7 +382,8 @@ enumerateCandidatesFor(const ConvLayer &layer,
                        const AcceleratorConfig &cfg, SearchEffort effort,
                        PackagePartition pkg, ChipletPartition chip)
 {
-    return enumerateImpl(layer, cfg, effort, true, pkg, true, chip);
+    return collectFromSpace(
+        CandidateSpace(layer, cfg, effort, pkg, chip));
 }
 
 } // namespace nnbaton

@@ -10,6 +10,8 @@
 #ifndef NNBATON_MAPPER_CANDIDATES_HPP
 #define NNBATON_MAPPER_CANDIDATES_HPP
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "arch/config.hpp"
@@ -50,6 +52,100 @@ std::vector<Mapping>
 enumerateCandidatesFor(const ConvLayer &layer,
                        const AcceleratorConfig &cfg, SearchEffort effort,
                        PackagePartition pkg, ChipletPartition chip);
+
+/**
+ * The candidate space as a lazily expanded tree (the generator/cursor
+ * behind the branch-and-bound search, docs/search.md).
+ *
+ * Level 1 fixes a *subtree*: one spatial skeleton (package and
+ * chiplet partition primitives with their planar splits and channel
+ * ways) plus one (hoC, woC) core-tile plane.  Everything the subtree
+ * shares — the per-chiplet macro workload, the tile-ladder bases and
+ * rungs — is precomputed so mapper/bound can floor the whole subtree
+ * without materialising a single leaf.  Level 2 expands a subtree
+ * into *leaves*: the chiplet-tile ladder cross the four temporal
+ * order pairs, legality-checked on demand.
+ *
+ * Every potential leaf — legal or not — owns a unique *ordinal*, its
+ * position in the flat enumeration order (subtree-major, then
+ * fh → fw → fc → pkgOrder → chipOrder).  enumerateCandidates() emits
+ * legal leaves in exactly ascending-ordinal order, so "smallest
+ * ordinal wins score ties" reproduces the flat search's first-wins
+ * tie-breaking no matter in which order a search visits the tree.
+ */
+class CandidateSpace
+{
+  public:
+    /** One (spatial skeleton, core-tile plane) subtree. */
+    struct Subtree
+    {
+        // Spatial skeleton.
+        PackagePartition pkg = PackagePartition::Channel;
+        PlanarSplit pkgSplit;
+        ChipletPartition chip = ChipletPartition::Channel;
+        int cw = 1;
+        PlanarSplit chipSplit;
+        // Core-tile plane.
+        int hoC = 1, woC = 1;
+        // Per-chiplet macro workload under the package split.
+        WorkShape macro;
+        // Chiplet-tile ladder: tile = min(base * rung, macro).
+        int baseH = 1, baseW = 1, baseC = 1;
+        std::vector<int> ladderH, ladderW, ladderC;
+        // Position of the subtree's first (grid) leaf in the flat
+        // enumeration order.
+        int64_t firstOrdinal = 0;
+
+        /** Grid size (legal and illegal leaves alike). */
+        int64_t gridLeaves() const
+        {
+            return static_cast<int64_t>(ladderH.size()) *
+                   static_cast<int64_t>(ladderW.size()) *
+                   static_cast<int64_t>(ladderC.size()) * 4;
+        }
+    };
+
+    /** One legality-checked candidate. */
+    struct Leaf
+    {
+        Mapping mapping;
+        int64_t ordinal = 0; //!< flat enumeration position (unique)
+        bool fullLane = false; //!< per-core CO span fills the lanes
+    };
+
+    CandidateSpace(const ConvLayer &layer, const AcceleratorConfig &cfg,
+                   SearchEffort effort);
+    CandidateSpace(const ConvLayer &layer, const AcceleratorConfig &cfg,
+                   SearchEffort effort, PackagePartition pkg,
+                   ChipletPartition chip);
+
+    size_t size() const { return subtrees_.size(); }
+    const Subtree &subtree(size_t i) const { return subtrees_[i]; }
+
+    /** Total grid leaves over all subtrees. */
+    int64_t gridLeaves() const { return gridLeaves_; }
+
+    /** Expand subtree @p i into its legal leaves, ascending ordinal.
+     *  Both lane classes are returned; callers filter. */
+    std::vector<Leaf> expand(size_t i) const;
+
+    /** Materialise one grid coordinate of subtree @p i (indices into
+     *  the ladders, @p order in [0,4) as pkgOrder*2 + chipOrder).
+     *  std::nullopt when the mapping is illegal. */
+    std::optional<Leaf> makeLeaf(size_t i, size_t ih, size_t iw,
+                                 size_t ic, size_t order) const;
+
+    /** Find @p mapping in the grid (warm-start membership test):
+     *  the leaf with identical mapping fields, or std::nullopt when
+     *  this space never enumerates it. */
+    std::optional<Leaf> locate(const Mapping &mapping) const;
+
+  private:
+    const ConvLayer layer_;
+    const AcceleratorConfig cfg_;
+    std::vector<Subtree> subtrees_;
+    int64_t gridLeaves_ = 0;
+};
 
 } // namespace nnbaton
 

@@ -9,11 +9,26 @@
 #include "common/parallel.hpp"
 #include "common/status.hpp"
 #include "common/trace.hpp"
+#include "mapper/bnb.hpp"
 #include "mapper/bound.hpp"
 #include "mapper/cache.hpp"
 #include "verif/fault.hpp"
 
 namespace nnbaton {
+
+const char *
+toString(SearchMode mode)
+{
+    switch (mode) {
+      case SearchMode::Exhaustive:
+        return "exhaustive";
+      case SearchMode::Bnb:
+        return "bnb";
+      case SearchMode::Anneal:
+        return "anneal";
+    }
+    panic("bad SearchMode");
+}
 
 MappingChoice
 evaluateMapping(const ConvLayer &layer, const AcceleratorConfig &cfg,
@@ -160,6 +175,41 @@ pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
     return best;
 }
 
+/**
+ * Strategy dispatch for one layer search.  @p warm_hint (Bnb only) is
+ * a cached winner from a sibling configuration, or null.
+ */
+std::optional<MappingChoice>
+runLayerSearch(const ConvLayer &layer, const AcceleratorConfig &cfg,
+               const TechnologyModel &tech, SearchEffort effort,
+               Objective objective, const SearchOptions &search,
+               ThreadPool *pool, SearchStats *stats,
+               const Mapping *warm_hint)
+{
+    switch (search.mode) {
+      case SearchMode::Exhaustive: {
+        std::vector<Mapping> candidates;
+        {
+            NNBATON_TRACE_SCOPE("mapper.candidates");
+            candidates = enumerateCandidates(layer, cfg, effort);
+        }
+        return pickBest(layer, cfg, tech, candidates, objective,
+                        search, pool, stats);
+      }
+      case SearchMode::Bnb: {
+        const CandidateSpace space(layer, cfg, effort);
+        return searchBranchAndBound(layer, cfg, tech, space, objective,
+                                    search, pool, stats, warm_hint);
+      }
+      case SearchMode::Anneal: {
+        const CandidateSpace space(layer, cfg, effort);
+        return searchAnneal(layer, cfg, tech, space, objective, search,
+                            stats);
+      }
+    }
+    panic("bad SearchMode");
+}
+
 } // namespace
 
 std::optional<MappingChoice>
@@ -180,13 +230,8 @@ searchLayer(const ConvLayer &layer, const AcceleratorConfig &cfg,
     std::unique_ptr<ThreadPool> pool;
     if (search.threads > 1 && !ThreadPool::inParallelRegion())
         pool = std::make_unique<ThreadPool>(search.threads);
-    std::vector<Mapping> candidates;
-    {
-        NNBATON_TRACE_SCOPE("mapper.candidates");
-        candidates = enumerateCandidates(layer, cfg, effort);
-    }
-    return pickBest(layer, cfg, tech, candidates, objective, search,
-                    pool.get(), stats);
+    return runLayerSearch(layer, cfg, tech, effort, objective, search,
+                          pool.get(), stats, /*warm_hint=*/nullptr);
 }
 
 std::optional<MappingChoice>
@@ -240,7 +285,8 @@ mapModel(const Model &model, const AcceleratorConfig &cfg,
         if (search.cancel && search.cancel->cancelled())
             throwStatus(search.cancel->toStatus());
         const MappingCache::Key key =
-            MappingCache::makeKey(layer, cfg, tech, effort, objective);
+            MappingCache::makeKey(layer, cfg, tech, effort, objective,
+                                  search.mode, search.annealSeed);
         const uint64_t t0 =
             search.detailedMetrics ? obs::traceNowNs() : 0;
         bool hit = false;
@@ -248,15 +294,17 @@ mapModel(const Model &model, const AcceleratorConfig &cfg,
             shared.lookupOrCompute(
                 key,
                 [&] {
-                    std::vector<Mapping> candidates;
-                    {
-                        NNBATON_TRACE_SCOPE("mapper.candidates");
-                        candidates =
-                            enumerateCandidates(layer, cfg, effort);
-                    }
-                    return pickBest(layer, cfg, tech, candidates,
-                                    objective, search, pool.get(),
-                                    &result.stats);
+                    // Warm start (opt-in): seed the B&B incumbent from
+                    // a published sibling-config winner for this layer
+                    // shape.  Hint only — the winner never changes.
+                    std::optional<Mapping> hint;
+                    if (search.warmStart &&
+                        search.mode == SearchMode::Bnb)
+                        hint = shared.findShapeMatch(key);
+                    return runLayerSearch(layer, cfg, tech, effort,
+                                          objective, search, pool.get(),
+                                          &result.stats,
+                                          hint ? &*hint : nullptr);
                 },
                 &hit);
         ++(hit ? result.stats.cacheHits : result.stats.cacheMisses);

@@ -8,6 +8,7 @@
 #ifndef NNBATON_MAPPER_SEARCH_HPP
 #define NNBATON_MAPPER_SEARCH_HPP
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,11 +36,31 @@ enum class Objective
 };
 
 /**
- * Work counters for the mapping search.  All four are deterministic:
- * pruning decisions are made at fixed block boundaries independent of
- * the thread count, and the cross-design-point cache computes every
- * unique key exactly once, so serial and parallel runs report
- * identical totals.
+ * Search strategy over the candidate tree (docs/search.md).
+ *
+ * Exhaustive and Bnb return bit-identical winners: the branch-and-
+ * bound search only skips candidates its lower bound proves cannot
+ * win, and ties break on the candidate's position in enumeration
+ * order in both modes.  Anneal is an opt-in stochastic mode whose
+ * result depends on SearchOptions::annealSeed.
+ */
+enum class SearchMode
+{
+    Exhaustive, //!< flat enumerate-then-evaluate with per-candidate
+                //!< bound pruning (the historical default)
+    Bnb,        //!< best-bound-first branch and bound over the lazy
+                //!< candidate tree; same winner, far fewer evaluations
+    Anneal,     //!< seeded simulated annealing; approximate
+};
+
+const char *toString(SearchMode mode);
+
+/**
+ * Work counters for the mapping search.  All counters are
+ * deterministic: pruning decisions are made at fixed block boundaries
+ * independent of the thread count, and the cross-design-point cache
+ * computes every unique key exactly once, so serial and parallel runs
+ * report identical totals.
  */
 struct SearchStats
 {
@@ -48,12 +69,26 @@ struct SearchStats
     int64_t cacheHits = 0;   //!< layer searches served from the cache
     int64_t cacheMisses = 0; //!< layer searches actually run
 
+    // Branch-and-bound tree counters (zero in the other modes).
+    int64_t nodesOpened = 0;      //!< subtrees expanded into leaves
+    int64_t subtreesPruned = 0;   //!< subtrees discarded unexpanded
+    int64_t incumbentUpdates = 0; //!< times the best-so-far improved
+    int64_t warmStarts = 0;       //!< searches seeded from a cache hit
+    int64_t refined = 0;          //!< tier-2 refined bounds computed
+    int64_t refinedPruned = 0;    //!< candidates cut by the tier-2 bound
+
     SearchStats &operator+=(const SearchStats &other)
     {
         evaluated += other.evaluated;
         pruned += other.pruned;
         cacheHits += other.cacheHits;
         cacheMisses += other.cacheMisses;
+        nodesOpened += other.nodesOpened;
+        subtreesPruned += other.subtreesPruned;
+        incumbentUpdates += other.incumbentUpdates;
+        warmStarts += other.warmStarts;
+        refined += other.refined;
+        refinedPruned += other.refinedPruned;
         return *this;
     }
 };
@@ -69,6 +104,30 @@ struct SearchOptions
      *  bound.hpp) cannot beat the incumbent.  Sound: never changes
      *  the selected mapping. */
     bool boundPruning = true;
+
+    /** Search strategy (docs/search.md).  Bnb matches Exhaustive's
+     *  winner bit for bit; Anneal is approximate and seeded. */
+    SearchMode mode = SearchMode::Exhaustive;
+
+    /**
+     * Seed the branch-and-bound incumbent from a cache entry for the
+     * same layer shape under a different configuration when one is
+     * resident (the hinted mapping is located in this search's own
+     * candidate grid and evaluated first, so the returned winner
+     * never changes).  Off by default: a tighter early incumbent
+     * shifts the evaluated/pruned split by whatever happens to be
+     * cached, so deterministic-counter contexts (the parallel sweep)
+     * must leave this off.  The serving daemon turns it on.
+     */
+    bool warmStart = false;
+
+    /** RNG seed for SearchMode::Anneal; the per-layer RNG mixes this
+     *  with the layer/config fingerprint so equal seeds reproduce
+     *  equal results. */
+    uint64_t annealSeed = 1;
+
+    /** Annealing move budget per layer search. */
+    int annealIterations = 400;
 
     /** Record latency histograms (per-layer search time) into the
      *  obs metrics registry (the --metrics CLI flag).  Observation

@@ -231,6 +231,33 @@ parseRequest(const std::string &line)
                     "'objective' must be \"energy\" or \"edp\"");
             }
             req.edpObjective = value.string == "edp";
+        } else if (key == "search") {
+            if (!value.isString()) {
+                return errInvalidArgument(
+                    "'search' must be a string");
+            }
+            if (value.string == "exhaustive") {
+                req.searchMode = SearchMode::Exhaustive;
+            } else if (value.string == "bnb") {
+                req.searchMode = SearchMode::Bnb;
+            } else if (value.string == "anneal") {
+                req.searchMode = SearchMode::Anneal;
+            } else {
+                return errInvalidArgument(
+                    "'search' must be \"exhaustive\", \"bnb\" or "
+                    "\"anneal\", got '%s'",
+                    value.string.c_str());
+            }
+        } else if (key == "annealSeed") {
+            StatusOr<int64_t> n = positiveInt(key, value);
+            if (!n.ok())
+                return n.status();
+            req.annealSeed = static_cast<uint64_t>(n.value());
+        } else if (key == "annealIterations") {
+            StatusOr<int> n = positiveInt32(key, value);
+            if (!n.ok())
+                return n.status();
+            req.annealIterations = n.value();
         } else if (key == "deadlineSeconds") {
             StatusOr<double> d = positiveDouble(key, value);
             if (!d.ok())

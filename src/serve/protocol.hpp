@@ -28,6 +28,8 @@
  *              "al2Bytes":65536},   // post: hardware overrides
  *    "tech":{"macEnergyPerOp":0.024,"frequencyGhz":0.5,...},
  *    "objective":"energy" | "edp",
+ *    "search":"exhaustive" | "bnb" | "anneal",  // docs/search.md
+ *    "annealSeed":1,"annealIterations":400,     // anneal only
  *    "deadlineSeconds":30,          // per-request budget
  *    "macs":2048,"areaMm2":3.0,"proportional":false}  // pre only
  * @endcode
@@ -43,6 +45,7 @@
 
 #include "arch/config.hpp"
 #include "common/status.hpp"
+#include "mapper/search.hpp"
 #include "tech/technology.hpp"
 
 namespace nnbaton {
@@ -80,6 +83,13 @@ struct ServeRequest
     bool proportional = false;
 
     bool edpObjective = false;
+
+    // Mapping-search strategy ("search" / "annealSeed" /
+    // "annealIterations" members; docs/search.md).
+    SearchMode searchMode = SearchMode::Exhaustive;
+    uint64_t annealSeed = 1;
+    int annealIterations = 400;
+
     double deadlineSeconds = 0.0; //!< <= 0: server default applies
 };
 

@@ -25,6 +25,16 @@ struct ServeMetrics
     obs::Counter *cacheMiss;
     obs::Counter *cacheEvicted;
     obs::Histogram *latencyUs;
+    // Mapping-search work done on behalf of requests (SearchStats
+    // mirrored per request; see mapper/search.hpp).
+    obs::Counter *searchEvaluated;
+    obs::Counter *searchPruned;
+    obs::Counter *searchNodesOpened;
+    obs::Counter *searchSubtreesPruned;
+    obs::Counter *searchIncumbentUpdates;
+    obs::Counter *searchWarmStarts;
+    obs::Counter *searchRefined;
+    obs::Counter *searchRefinedPruned;
 
     ServeMetrics()
     {
@@ -35,6 +45,29 @@ struct ServeMetrics
         cacheMiss = &reg.counter("serve.cache.miss");
         cacheEvicted = &reg.counter("serve.cache.evicted");
         latencyUs = &reg.histogram("serve.request_us");
+        searchEvaluated = &reg.counter("serve.search.evaluated");
+        searchPruned = &reg.counter("serve.search.pruned");
+        searchNodesOpened = &reg.counter("serve.search.nodes_opened");
+        searchSubtreesPruned =
+            &reg.counter("serve.search.subtrees_pruned");
+        searchIncumbentUpdates =
+            &reg.counter("serve.search.incumbent_updates");
+        searchWarmStarts = &reg.counter("serve.search.warm_starts");
+        searchRefined = &reg.counter("serve.search.refined");
+        searchRefinedPruned =
+            &reg.counter("serve.search.refined_pruned");
+    }
+
+    void recordSearch(const SearchStats &s) const
+    {
+        searchEvaluated->add(s.evaluated);
+        searchPruned->add(s.pruned);
+        searchNodesOpened->add(s.nodesOpened);
+        searchSubtreesPruned->add(s.subtreesPruned);
+        searchIncumbentUpdates->add(s.incumbentUpdates);
+        searchWarmStarts->add(s.warmStarts);
+        searchRefined->add(s.refined);
+        searchRefinedPruned->add(s.refinedPruned);
     }
 };
 
@@ -168,6 +201,13 @@ EvalService::runPost(const ServeRequest &req, CancelToken &cancel)
     SearchOptions search;
     search.threads = 1; // concurrency lives across requests
     search.cancel = &cancel;
+    search.mode = req.searchMode;
+    search.annealSeed = req.annealSeed;
+    search.annealIterations = req.annealIterations;
+    // The daemon has no deterministic-counter contract across its
+    // request history, so it takes the warm-start speedup: seed each
+    // branch-and-bound from any resident same-shape winner.
+    search.warmStart = req.searchMode == SearchMode::Bnb;
     PostDesignFlow flow(req.config, req.tech, SearchEffort::Exhaustive,
                         req.edpObjective ? Objective::MinEdp
                                          : Objective::MinEnergy,
@@ -175,6 +215,7 @@ EvalService::runPost(const ServeRequest &req, CancelToken &cancel)
     const PostDesignReport report = flow.run(model, &cache_);
     serveMetrics().cacheHit->add(report.stats.cacheHits);
     serveMetrics().cacheMiss->add(report.stats.cacheMisses);
+    serveMetrics().recordSearch(report.stats);
 
     std::ostringstream ss;
     exportPostDesign(report, ss, ExportOptions::lean());
@@ -195,6 +236,10 @@ EvalService::runPre(const ServeRequest &req, CancelToken &cancel)
                                   : SearchEffort::Sketch;
     opt.objective = req.edpObjective ? Objective::MinEdp
                                      : Objective::MinEnergy;
+    opt.searchMode = req.searchMode;
+    opt.annealSeed = req.annealSeed;
+    opt.annealIterations = req.annealIterations;
+    opt.warmStart = req.searchMode == SearchMode::Bnb; // see runPost
     opt.threads = 1; // concurrency lives across requests
     opt.cancel = &cancel;
     opt.cache = &cache_;
@@ -202,6 +247,7 @@ EvalService::runPre(const ServeRequest &req, CancelToken &cancel)
     const PreDesignReport report = flow.run(model);
     serveMetrics().cacheHit->add(report.sweep.search.cacheHits);
     serveMetrics().cacheMiss->add(report.sweep.search.cacheMisses);
+    serveMetrics().recordSearch(report.sweep.search);
 
     std::ostringstream ss;
     exportPreDesign(report, ss, ExportOptions::lean());

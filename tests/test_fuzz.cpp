@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <random>
 
 #include "c3p/access.hpp"
@@ -298,6 +300,21 @@ TEST_P(PruningFuzz, BoundNeverExceedsExactScore)
                     << "seed " << GetParam() << " iter " << iter
                     << " obj " << static_cast<int>(obj) << " layer "
                     << layer.toString() << " mapping " << m.toString();
+                // The tier-2 refined bound must also stay a floor,
+                // and never below the closed-form tier-1 bound it
+                // sharpens (otherwise computing it was pointless).
+                const double refined =
+                    refinedScoreLowerBound(layer, cfg, tech, m, obj);
+                EXPECT_LE(refined, exact * (1.0 + 1e-9))
+                    << "refined bound exceeds exact: seed "
+                    << GetParam() << " iter " << iter << " obj "
+                    << static_cast<int>(obj) << " layer "
+                    << layer.toString() << " mapping " << m.toString();
+                EXPECT_GE(refined, bound * (1.0 - 1e-9))
+                    << "refined bound looser than tier-1: seed "
+                    << GetParam() << " iter " << iter << " obj "
+                    << static_cast<int>(obj) << " layer "
+                    << layer.toString() << " mapping " << m.toString();
             }
         }
     }
@@ -305,6 +322,43 @@ TEST_P(PruningFuzz, BoundNeverExceedsExactScore)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PruningFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST_P(PruningFuzz, SubtreeBoundNeverExceedsAnyLeafScore)
+{
+    // The branch-and-bound analogue of the per-candidate check: a
+    // subtree's bound must floor *every* leaf it covers, i.e. stay
+    // below the minimum exact score over the subtree.
+    auto &g = rng(GetParam() * 15485863u);
+    const TechnologyModel &tech = defaultTech();
+    for (int iter = 0; iter < 3; ++iter) {
+        const AcceleratorConfig cfg = randomConfig(g);
+        const ConvLayer layer = randomLayer(g);
+        const CandidateSpace space(layer, cfg, SearchEffort::Fast);
+        for (size_t s = 0; s < space.size(); ++s) {
+            const auto leaves = space.expand(s);
+            if (leaves.empty())
+                continue;
+            for (Objective obj :
+                 {Objective::MinEnergy, Objective::MinEdp}) {
+                const double bound = subtreeScoreLowerBound(
+                    layer, cfg, tech, space.subtree(s), obj);
+                double min_exact =
+                    std::numeric_limits<double>::max();
+                for (const CandidateSpace::Leaf &leaf : leaves) {
+                    const MappingChoice c = evaluateMapping(
+                        layer, cfg, tech, leaf.mapping);
+                    min_exact =
+                        std::min(min_exact, exactScore(c, obj));
+                }
+                EXPECT_LE(bound, min_exact * (1.0 + 1e-9))
+                    << "seed " << GetParam() << " iter " << iter
+                    << " subtree " << s << " obj "
+                    << static_cast<int>(obj) << " layer "
+                    << layer.toString();
+            }
+        }
+    }
+}
 
 class PruningSearchFuzz : public ::testing::TestWithParam<uint32_t>
 {

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * The search-strategy contract (docs/search.md):
+ *
+ *  - `--search bnb` returns bit-identical winners to the exhaustive
+ *    search — same mapping, same score — over the full model zoo,
+ *    both objectives, at every thread count, with deterministic tree
+ *    counters;
+ *  - ≥50 seeded random (layer, config) pairs agree the same way;
+ *  - the warm-started branch and bound never changes the returned
+ *    winner, only the work split;
+ *  - annealing always returns a legal mapping when one exists, never
+ *    beats the true optimum (it searches the same grid), and equal
+ *    seeds reproduce equal results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dataflow/mapping.hpp"
+#include "mapper/cache.hpp"
+#include "mapper/search.hpp"
+#include "nn/model.hpp"
+#include "tech/technology.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+double
+scoreOf(const MappingChoice &c, Objective obj)
+{
+    return obj == Objective::MinEnergy ? c.energy.total() : c.edp();
+}
+
+void
+expectSameWinners(const ModelMappingResult &a,
+                  const ModelMappingResult &b)
+{
+    EXPECT_EQ(a.feasible, b.feasible);
+    ASSERT_EQ(a.choices.size(), b.choices.size());
+    for (size_t i = 0; i < a.choices.size(); ++i) {
+        EXPECT_EQ(a.choices[i].mapping.toString(),
+                  b.choices[i].mapping.toString())
+            << i;
+        // Bit-identical: EXPECT_EQ on doubles, no tolerance.
+        EXPECT_EQ(a.choices[i].energy.total(),
+                  b.choices[i].energy.total())
+            << i;
+        EXPECT_EQ(a.choices[i].runtime.cycles, b.choices[i].runtime.cycles)
+            << i;
+    }
+    EXPECT_EQ(a.cost.energy.total(), b.cost.energy.total());
+    EXPECT_EQ(a.cost.cycles, b.cost.cycles);
+}
+
+std::mt19937 &
+rng(uint32_t seed)
+{
+    static std::mt19937 gen;
+    gen.seed(seed);
+    return gen;
+}
+
+int
+pick(std::mt19937 &g, std::initializer_list<int> values)
+{
+    std::uniform_int_distribution<size_t> d(0, values.size() - 1);
+    return *(values.begin() + d(g));
+}
+
+AcceleratorConfig
+randomConfig(std::mt19937 &g)
+{
+    AcceleratorConfig cfg;
+    cfg.package.chiplets = pick(g, {1, 2, 4, 8});
+    cfg.chiplet.cores = pick(g, {1, 2, 4, 8});
+    cfg.core.lanes = pick(g, {4, 8, 16});
+    cfg.core.vectorSize = pick(g, {4, 8, 16});
+    cfg.core.ol1Bytes = pick(g, {768, 1536, 3072});
+    cfg.core.al1Bytes = pick(g, {800, 2048, 8192});
+    cfg.core.wl1Bytes = pick(g, {8192, 18432, 65536});
+    cfg.chiplet.al2Bytes = pick(g, {32768, 65536, 262144});
+    cfg.validate();
+    return cfg;
+}
+
+ConvLayer
+randomLayer(std::mt19937 &g)
+{
+    if (pick(g, {0, 1, 2}) == 0) {
+        return makeDepthwiseConv("fuzz-dw", pick(g, {7, 14, 28}),
+                                 pick(g, {7, 14, 28}),
+                                 pick(g, {32, 64, 128}), 3,
+                                 pick(g, {1, 2}));
+    }
+    return makeConv("fuzz", pick(g, {7, 14, 28, 56}),
+                    pick(g, {7, 14, 28, 56}), pick(g, {32, 64, 256}),
+                    pick(g, {16, 64, 256}), pick(g, {1, 3}),
+                    pick(g, {1, 3}), pick(g, {1, 2}));
+}
+
+} // namespace
+
+/**
+ * The headline contract over the whole zoo: for every network, both
+ * objectives and thread counts {1, 2, 4}, branch and bound selects
+ * exactly the mappings the flat exhaustive search selects, and its
+ * tree counters are identical at every thread count.
+ */
+TEST(SearchModes, BnbMatchesExhaustiveOnZoo)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &tech = defaultTech();
+    const Model models[] = {makeAlexNet(64), makeVgg16(64),
+                            makeResNet50(64), makeDarkNet19(64),
+                            makeMobileNetV2(64)};
+    for (const Model &model : models) {
+        for (Objective obj :
+             {Objective::MinEnergy, Objective::MinEdp}) {
+            SCOPED_TRACE(model.name() + " obj " +
+                         std::to_string(static_cast<int>(obj)));
+            SearchOptions ex;
+            const ModelMappingResult exhaustive = mapModel(
+                model, cfg, tech, SearchEffort::Fast, obj, ex);
+
+            SearchOptions serial_bnb;
+            serial_bnb.mode = SearchMode::Bnb;
+            const ModelMappingResult serial = mapModel(
+                model, cfg, tech, SearchEffort::Fast, obj, serial_bnb);
+            expectSameWinners(exhaustive, serial);
+
+            for (int threads : {2, 4}) {
+                SCOPED_TRACE(threads);
+                SearchOptions par_bnb;
+                par_bnb.mode = SearchMode::Bnb;
+                par_bnb.threads = threads;
+                const ModelMappingResult parallel = mapModel(
+                    model, cfg, tech, SearchEffort::Fast, obj, par_bnb);
+                expectSameWinners(exhaustive, parallel);
+                // Deterministic tree counters at any thread count.
+                EXPECT_EQ(parallel.stats.evaluated,
+                          serial.stats.evaluated);
+                EXPECT_EQ(parallel.stats.pruned, serial.stats.pruned);
+                EXPECT_EQ(parallel.stats.nodesOpened,
+                          serial.stats.nodesOpened);
+                EXPECT_EQ(parallel.stats.subtreesPruned,
+                          serial.stats.subtreesPruned);
+                EXPECT_EQ(parallel.stats.incumbentUpdates,
+                          serial.stats.incumbentUpdates);
+            }
+        }
+    }
+}
+
+class SearchModesDiffFuzz : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+/**
+ * 5 seeds x 11 iterations x 2 objectives = 110 random differential
+ * cases (>= the 50 the PR promises): bnb and exhaustive agree on the
+ * winner bit for bit, and bnb never does more full evaluations.
+ */
+TEST_P(SearchModesDiffFuzz, BnbMatchesExhaustiveOnRandomCases)
+{
+    auto &g = rng(GetParam() * 2654435761u);
+    const TechnologyModel &tech = defaultTech();
+    for (int iter = 0; iter < 11; ++iter) {
+        const AcceleratorConfig cfg = randomConfig(g);
+        const ConvLayer layer = randomLayer(g);
+        for (Objective obj :
+             {Objective::MinEnergy, Objective::MinEdp}) {
+            SearchOptions ex;
+            SearchStats ex_stats;
+            const auto exhaustive =
+                searchLayer(layer, cfg, tech, SearchEffort::Fast, obj,
+                            ex, &ex_stats);
+
+            SearchOptions bnb;
+            bnb.mode = SearchMode::Bnb;
+            SearchStats bnb_stats;
+            const auto guided =
+                searchLayer(layer, cfg, tech, SearchEffort::Fast, obj,
+                            bnb, &bnb_stats);
+
+            ASSERT_EQ(exhaustive.has_value(), guided.has_value())
+                << "seed " << GetParam() << " iter " << iter << " "
+                << layer.toString();
+            if (!exhaustive)
+                continue;
+            EXPECT_EQ(exhaustive->mapping.toString(),
+                      guided->mapping.toString())
+                << "seed " << GetParam() << " iter " << iter << " obj "
+                << static_cast<int>(obj) << " " << layer.toString();
+            EXPECT_EQ(scoreOf(*exhaustive, obj), scoreOf(*guided, obj));
+            EXPECT_LE(bnb_stats.evaluated, ex_stats.evaluated)
+                << "seed " << GetParam() << " iter " << iter;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchModesDiffFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+/**
+ * Warm starts re-order work, never results: a shared cache holding a
+ * sibling configuration's winners must leave every returned mapping
+ * unchanged, and at least one search must actually consume a hint
+ * (the sibling differs only in a buffer size, so its winner is a
+ * legal leaf of the same grid).
+ */
+TEST(SearchModes, WarmStartNeverChangesWinner)
+{
+    const Model model = makeDarkNet19(64);
+    const TechnologyModel &tech = defaultTech();
+    AcceleratorConfig sibling = caseStudyConfig();
+    AcceleratorConfig cfg = caseStudyConfig();
+    sibling.core.wl1Bytes = cfg.core.wl1Bytes * 2;
+    sibling.validate();
+
+    SearchOptions bnb;
+    bnb.mode = SearchMode::Bnb;
+
+    // Cold reference: no cache, no hints.
+    const ModelMappingResult cold =
+        mapModel(model, cfg, tech, SearchEffort::Fast,
+                 Objective::MinEnergy, bnb);
+
+    // Warm run: the cache already holds the sibling config's winners
+    // for every layer shape.
+    MappingCache cache;
+    (void)mapModel(model, sibling, tech, SearchEffort::Fast,
+                   Objective::MinEnergy, bnb, &cache);
+    SearchOptions warm = bnb;
+    warm.warmStart = true;
+    const ModelMappingResult warmed =
+        mapModel(model, cfg, tech, SearchEffort::Fast,
+                 Objective::MinEnergy, warm, &cache);
+
+    expectSameWinners(cold, warmed);
+    EXPECT_GT(warmed.stats.warmStarts, 0);
+    // A hint can only come from a search that actually ran.
+    EXPECT_LE(warmed.stats.warmStarts, warmed.stats.cacheMisses);
+
+    // Cold runs never consume hints, warm-off runs never either.
+    EXPECT_EQ(cold.stats.warmStarts, 0);
+}
+
+/** Anneal must key the cache per seed: two seeds, two entries. */
+TEST(SearchModes, AnnealCacheKeysIncludeSeed)
+{
+    const Model model = Model("one", 8);
+    Model m("one", 8);
+    m.addLayer(makeConv("a", 14, 14, 64, 32, 3, 3, 1));
+    MappingCache cache;
+    SearchOptions a;
+    a.mode = SearchMode::Anneal;
+    a.annealSeed = 1;
+    (void)mapModel(m, caseStudyConfig(), defaultTech(),
+                   SearchEffort::Fast, Objective::MinEnergy, a, &cache);
+    EXPECT_EQ(cache.size(), 1u);
+    a.annealSeed = 2;
+    (void)mapModel(m, caseStudyConfig(), defaultTech(),
+                   SearchEffort::Fast, Objective::MinEnergy, a, &cache);
+    EXPECT_EQ(cache.size(), 2u);
+    // Exhaustive and bnb share one deterministic entry.
+    SearchOptions ex;
+    (void)mapModel(m, caseStudyConfig(), defaultTech(),
+                   SearchEffort::Fast, Objective::MinEnergy, ex,
+                   &cache);
+    EXPECT_EQ(cache.size(), 3u);
+    SearchOptions bnb;
+    bnb.mode = SearchMode::Bnb;
+    ModelMappingResult shared =
+        mapModel(m, caseStudyConfig(), defaultTech(),
+                 SearchEffort::Fast, Objective::MinEnergy, bnb, &cache);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(shared.stats.cacheHits, 1);
+}
+
+class AnnealFuzz : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+/**
+ * Annealing legality and reproducibility on random cases: whenever
+ * the exhaustive search finds a winner, anneal finds a legal mapping
+ * whose score is no better than the optimum (same grid), and the same
+ * seed reproduces the same mapping while runs stay independent of
+ * each other.
+ */
+TEST_P(AnnealFuzz, LegalReproducibleNeverBeatsOptimum)
+{
+    auto &g = rng(GetParam() * 805306457u);
+    const TechnologyModel &tech = defaultTech();
+    for (int iter = 0; iter < 6; ++iter) {
+        const AcceleratorConfig cfg = randomConfig(g);
+        const ConvLayer layer = randomLayer(g);
+        for (Objective obj :
+             {Objective::MinEnergy, Objective::MinEdp}) {
+            const auto best = searchLayer(
+                layer, cfg, tech, SearchEffort::Fast, obj,
+                SearchOptions{});
+
+            SearchOptions an;
+            an.mode = SearchMode::Anneal;
+            an.annealSeed = 7u + GetParam();
+            an.annealIterations = 120;
+            SearchStats stats;
+            const auto first = searchLayer(
+                layer, cfg, tech, SearchEffort::Fast, obj, an, &stats);
+
+            ASSERT_EQ(best.has_value(), first.has_value())
+                << "seed " << GetParam() << " iter " << iter << " "
+                << layer.toString();
+            if (!best)
+                continue;
+            // Legal, and never better than the true optimum.
+            EXPECT_EQ(checkMapping(layer, cfg, first->mapping), "")
+                << first->mapping.toString();
+            EXPECT_GE(scoreOf(*first, obj), scoreOf(*best, obj));
+            // Work was bounded by the move budget plus the init scan.
+            EXPECT_GT(stats.evaluated, 0);
+
+            // Same seed, same result — bit for bit.
+            const auto again = searchLayer(
+                layer, cfg, tech, SearchEffort::Fast, obj, an);
+            ASSERT_TRUE(again.has_value());
+            EXPECT_EQ(first->mapping.toString(),
+                      again->mapping.toString());
+            EXPECT_EQ(scoreOf(*first, obj), scoreOf(*again, obj));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealFuzz,
+                         ::testing::Values(1u, 2u, 3u));

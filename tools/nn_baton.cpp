@@ -71,6 +71,9 @@ struct Args
     double areaMm2 = 0.0;
     bool proportional = false;
     bool edpObjective = false;
+    SearchMode searchMode = SearchMode::Exhaustive;
+    uint64_t annealSeed = 1;    //!< --anneal-seed
+    int annealIterations = 400; //!< --anneal-iters
     int threads = hardwareThreads();
     // Resilience options for long `pre` sweeps.
     std::string checkpointPath; //!< --checkpoint: snapshot file
@@ -110,6 +113,13 @@ usage()
         "  --area <mm2>          pre: chiplet area budget [none]\n"
         "  --proportional        pre: memory proportional to compute\n"
         "  --edp                 optimise EDP instead of energy\n"
+        "  --search <mode>       mapping search strategy: exhaustive,\n"
+        "                        bnb (branch and bound; same winners,\n"
+        "                        far fewer evaluations) or anneal\n"
+        "                        (seeded simulated annealing,\n"
+        "                        approximate) [exhaustive]\n"
+        "  --anneal-seed <n>     anneal: RNG seed [1]\n"
+        "  --anneal-iters <n>    anneal: moves per layer search [400]\n"
         "  --threads <n>         worker threads (1 = serial; results\n"
         "                        are identical) [hardware concurrency]\n"
         "  --chiplets/--cores/--lanes/--vector <n>\n"
@@ -179,6 +189,26 @@ parseArgs(int argc, char **argv, Args &args)
             args.proportional = true;
         } else if (opt == "--edp") {
             args.edpObjective = true;
+        } else if (opt == "--search") {
+            const std::string mode = next();
+            if (mode == "exhaustive") {
+                args.searchMode = SearchMode::Exhaustive;
+            } else if (mode == "bnb") {
+                args.searchMode = SearchMode::Bnb;
+            } else if (mode == "anneal") {
+                args.searchMode = SearchMode::Anneal;
+            } else {
+                throwStatus(errInvalidArgument(
+                    "--search expects exhaustive, bnb or anneal, "
+                    "got '%s'",
+                    mode.c_str()));
+            }
+        } else if (opt == "--anneal-seed") {
+            args.annealSeed = static_cast<uint64_t>(
+                parsePositiveInt64(name, next()).value());
+        } else if (opt == "--anneal-iters") {
+            args.annealIterations =
+                parsePositiveInt(name, next()).value();
         } else if (opt == "--threads") {
             args.threads = parsePositiveInt(name, next()).value();
         } else if (opt == "--chiplets") {
@@ -350,6 +380,9 @@ runPost(const Args &args)
     args.config.validate();
     SearchOptions search;
     search.threads = args.threads;
+    search.mode = args.searchMode;
+    search.annealSeed = args.annealSeed;
+    search.annealIterations = args.annealIterations;
     search.detailedMetrics = args.metrics;
     PostDesignFlow flow(args.config, defaultTech(),
                         SearchEffort::Exhaustive,
@@ -393,6 +426,9 @@ runPre(const Args &args)
                                    : SearchEffort::Sketch;
     opt.objective = args.edpObjective ? Objective::MinEdp
                                       : Objective::MinEnergy;
+    opt.searchMode = args.searchMode;
+    opt.annealSeed = args.annealSeed;
+    opt.annealIterations = args.annealIterations;
     opt.threads = args.threads;
     opt.detailedMetrics = args.metrics;
     opt.strict = args.strict;
