@@ -1,16 +1,38 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/trace.hpp"
 
 namespace nnbaton {
 
 namespace {
 
 std::atomic<int> currentLevel{static_cast<int>(LogLevel::Info)};
+
+/**
+ * "<timestamp> [t<thread> r<request>] " — the wall clock, the small
+ * trace thread tag and (when inside a request) the request id, so log
+ * lines from parallel workers and daemon lanes can be correlated with
+ * spans, flight-recorder events and access-log records.
+ */
+std::string
+linePrefix()
+{
+    const uint64_t rid = obs::currentRequestId();
+    if (rid) {
+        return strprintf("%s [t%u r%llu] ", wallClockIso8601().c_str(),
+                         obs::currentThreadTag(),
+                         static_cast<unsigned long long>(rid));
+    }
+    return strprintf("%s [t%u] ", wallClockIso8601().c_str(),
+                     obs::currentThreadTag());
+}
 
 /**
  * Format prefix + message + newline into one buffer and emit it with
@@ -20,7 +42,8 @@ std::atomic<int> currentLevel{static_cast<int>(LogLevel::Info)};
 void
 vreport(const char *prefix, const char *fmt, va_list ap)
 {
-    std::string line = prefix + vstrprintf(fmt, ap) + "\n";
+    std::string line = linePrefix() + prefix + vstrprintf(fmt, ap) +
+                       "\n";
     std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
@@ -109,7 +132,8 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string message = vstrprintf(fmt, ap);
     va_end(ap);
-    const std::string line = "panic: " + message + "\n";
+    const std::string line =
+        linePrefix() + "panic: " + message + "\n";
     std::fwrite(line.data(), 1, line.size(), stderr);
     throwStatus(Status(StatusCode::Internal, std::move(message)));
 }
@@ -122,6 +146,22 @@ strprintf(const char *fmt, ...)
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
     return s;
+}
+
+std::string
+wallClockIso8601()
+{
+    using namespace std::chrono;
+    const system_clock::time_point now = system_clock::now();
+    const std::time_t secs = system_clock::to_time_t(now);
+    const int millis = static_cast<int>(
+        duration_cast<milliseconds>(now.time_since_epoch()).count() %
+        1000);
+    std::tm tmv{};
+    gmtime_r(&secs, &tmv);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tmv);
+    return strprintf("%s.%03dZ", buf, millis);
 }
 
 std::string

@@ -11,8 +11,11 @@
  *
  * All reporting functions are thread-safe: each message is formatted
  * into a single buffer and written with one stdio call, so output
- * from parallel sweep workers never interleaves mid-line.  Verbosity
- * is controlled by an atomic log level (setLogLevel / --log-level).
+ * from parallel sweep workers never interleaves mid-line.  Every line
+ * is prefixed with a UTC wall-clock timestamp, the writer's trace
+ * thread tag and — inside a serve request — the request id
+ * ("2026-08-08T17:00:00.123Z [t3 r42] info: ...").  Verbosity is
+ * controlled by an atomic log level (setLogLevel / --log-level).
  */
 
 #ifndef NNBATON_COMMON_LOGGING_HPP
@@ -75,6 +78,13 @@ std::string strprintf(const char *fmt, ...)
 
 /** va_list variant of strprintf (shared by the Status builders). */
 std::string vstrprintf(const char *fmt, va_list ap);
+
+/**
+ * The current wall-clock time as "2026-08-08T17:00:00.123Z" (UTC,
+ * millisecond precision).  Used by the log-line prefix and the serve
+ * access log.
+ */
+std::string wallClockIso8601();
 
 } // namespace nnbaton
 

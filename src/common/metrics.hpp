@@ -34,9 +34,12 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
+
 namespace nnbaton {
 
-class JsonWriter; // common/json.hpp
+class JsonWriter;  // common/json.hpp
+struct JsonValue;  // common/json.hpp
 
 namespace obs {
 
@@ -119,6 +122,18 @@ class Histogram
         buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
         count_.fetch_add(1, std::memory_order_relaxed);
         sum_.fetch_add(v, std::memory_order_relaxed);
+        // CAS loops because there is no fetch_min/fetch_max; contention
+        // is rare (only values extending the observed range loop).
+        int64_t cur = min_.load(std::memory_order_relaxed);
+        while (v < cur &&
+               !min_.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed)) {
+        }
+        cur = max_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !max_.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed)) {
+        }
     }
 
     int64_t
@@ -133,6 +148,20 @@ class Histogram
         return sum_.load(std::memory_order_relaxed);
     }
 
+    /** Smallest recorded value (0 when the histogram is empty). */
+    int64_t
+    minValue() const
+    {
+        return count() ? min_.load(std::memory_order_relaxed) : 0;
+    }
+
+    /** Largest recorded value (0 when the histogram is empty). */
+    int64_t
+    maxValue() const
+    {
+        return count() ? max_.load(std::memory_order_relaxed) : 0;
+    }
+
     int64_t
     bucketCount(int b) const
     {
@@ -142,9 +171,14 @@ class Histogram
     void reset();
 
   private:
+    static constexpr int64_t kInt64Max = INT64_MAX;
+    static constexpr int64_t kInt64Min = INT64_MIN;
+
     std::array<std::atomic<int64_t>, kBuckets> buckets_{};
     std::atomic<int64_t> count_{0};
     std::atomic<int64_t> sum_{0};
+    std::atomic<int64_t> min_{kInt64Max};
+    std::atomic<int64_t> max_{kInt64Min};
 };
 
 /** A point-in-time copy of one histogram. */
@@ -153,6 +187,8 @@ struct HistogramSnapshot
     std::string name;
     int64_t count = 0;
     int64_t sum = 0;
+    int64_t minValue = 0; //!< smallest recorded value (0 when empty)
+    int64_t maxValue = 0; //!< largest recorded value (0 when empty)
     std::array<int64_t, Histogram::kBuckets> buckets{};
 
     double
@@ -160,6 +196,17 @@ struct HistogramSnapshot
     {
         return count ? static_cast<double>(sum) / count : 0.0;
     }
+
+    /**
+     * Estimate the @p q quantile (q in [0,1]) from the log2 buckets by
+     * linear interpolation inside the containing bucket, with the
+     * bucket bounds clamped to [minValue, maxValue] so the estimate is
+     * exact whenever the containing bucket holds a single distinct
+     * value (and q=0 / q=1 return the true min / max).  Returns 0 for
+     * an empty histogram.  The error is bounded by the width of the
+     * containing bucket.
+     */
+    double quantile(double q) const;
 };
 
 /** A point-in-time copy of every registered instrument. */
@@ -200,6 +247,22 @@ std::string formatMetrics(const MetricsSnapshot &snapshot);
 
 /** Write a snapshot as one JSON object value (key set by caller). */
 void writeMetricsJson(JsonWriter &j, const MetricsSnapshot &snapshot);
+
+/**
+ * Write a snapshot in the Prometheus text exposition format: one
+ * `# TYPE` line per metric, names prefixed "nnbaton_" with dots
+ * mapped to underscores, counters suffixed "_total", and histograms
+ * expanded into cumulative `_bucket{le="..."}` series (ending in
+ * le="+Inf") plus `_sum` / `_count` and p50/p90/p99 gauges.
+ */
+void writePrometheus(std::ostream &os, const MetricsSnapshot &snapshot);
+
+/**
+ * Rebuild a snapshot from the writeMetricsJson() document (the bare
+ * object, as returned by the serve `metrics` op).  Strict about
+ * structure so a scraping client fails loudly on drift.
+ */
+StatusOr<MetricsSnapshot> metricsSnapshotFromJson(const JsonValue &root);
 
 } // namespace obs
 } // namespace nnbaton

@@ -1,10 +1,18 @@
 #include "common/trace.hpp"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <mutex>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/json.hpp"
 
@@ -14,7 +22,26 @@ namespace obs {
 namespace {
 
 std::atomic<bool> tracingOn{false};
+std::atomic<bool> flightOn{true};
 std::atomic<int64_t> droppedEvents{0};
+
+std::atomic<uint64_t> ridCounter{0};
+thread_local uint64_t currentRid = 0;
+
+/**
+ * One flight-ring slot.  Every field is its own relaxed atomic so the
+ * ring stays data-race-free under TSan while the writer overwrites
+ * wrapped slots: a concurrent reader may see a slot mixing two events
+ * (documented in the header), but never a torn field — names are
+ * pointers to string literals, so the pointer load is always valid.
+ */
+struct FlightSlot
+{
+    std::atomic<const char *> name{nullptr};
+    std::atomic<uint64_t> startNs{0};
+    std::atomic<uint64_t> durNs{0};
+    std::atomic<uint64_t> rid{0};
+};
 
 /**
  * A chunked append-only event buffer owned by one writer thread.
@@ -31,6 +58,8 @@ struct ThreadBuffer
     static constexpr size_t kChunkEvents = 4096;
     /** Per-thread cap; beyond it spans are counted as dropped. */
     static constexpr size_t kMaxEvents = size_t(1) << 20;
+    /** Flight-ring capacity (power of two; newest events win). */
+    static constexpr size_t kFlightEvents = 512;
 
     const uint32_t tid;
 
@@ -44,10 +73,22 @@ struct ThreadBuffer
     TraceEvent *current = nullptr;
     size_t currentUsed = kChunkEvents;
 
+    // The flight ring: always-on, fixed-size, oldest slots
+    // overwritten.  Readable from a signal handler (atomic fields, no
+    // locks) and from the JSON exporter.
+    std::array<FlightSlot, kFlightEvents> flight;
+    std::atomic<uint64_t> flightCount{0};
+
+    /** Intrusive lock-free list link for the signal-safe walker;
+     *  buffers are registry-owned and never freed, so raw pointers
+     *  stay valid for the life of the process. */
+    ThreadBuffer *flightNextBuffer = nullptr;
+
     explicit ThreadBuffer(uint32_t id) : tid(id) {}
 
     void
-    append(const char *name, uint64_t startNs, uint64_t durNs)
+    append(const char *name, uint64_t startNs, uint64_t durNs,
+           uint64_t rid)
     {
         const uint64_t n = count.load(std::memory_order_relaxed);
         if (n >= kMaxEvents) {
@@ -66,9 +107,28 @@ struct ThreadBuffer
         e.tid = tid;
         e.startNs = startNs;
         e.durNs = durNs;
+        e.rid = rid;
         count.store(n + 1, std::memory_order_release);
     }
+
+    void
+    appendFlight(const char *name, uint64_t startNs, uint64_t durNs,
+                 uint64_t rid)
+    {
+        const uint64_t n = flightCount.load(std::memory_order_relaxed);
+        FlightSlot &s = flight[n % kFlightEvents];
+        s.name.store(name, std::memory_order_relaxed);
+        s.startNs.store(startNs, std::memory_order_relaxed);
+        s.durNs.store(durNs, std::memory_order_relaxed);
+        s.rid.store(rid, std::memory_order_relaxed);
+        // Release-publish so a (non-signal) reader that acquires the
+        // count sees every field of the slots before it.
+        flightCount.store(n + 1, std::memory_order_release);
+    }
 };
+
+/** Head of the lock-free buffer list the signal handler walks. */
+std::atomic<ThreadBuffer *> flightListHead{nullptr};
 
 /** All thread buffers ever created; buffers outlive their threads. */
 struct TraceRegistry
@@ -90,6 +150,15 @@ struct TraceRegistry
         std::lock_guard<std::mutex> lock(m);
         auto buf = std::make_shared<ThreadBuffer>(nextTid++);
         buffers.push_back(buf);
+        // Publish onto the signal handler's lock-free list (push-only;
+        // entries live as long as the registry).
+        ThreadBuffer *raw = buf.get();
+        raw->flightNextBuffer =
+            flightListHead.load(std::memory_order_relaxed);
+        while (!flightListHead.compare_exchange_weak(
+            raw->flightNextBuffer, raw, std::memory_order_release,
+            std::memory_order_relaxed)) {
+        }
         return buf;
     }
 
@@ -146,8 +215,13 @@ traceNowNs()
 void
 recordSpan(const char *name, uint64_t startNs, uint64_t endNs)
 {
-    threadBuffer().append(name, startNs,
-                          endNs >= startNs ? endNs - startNs : 0);
+    const uint64_t durNs = endNs >= startNs ? endNs - startNs : 0;
+    const uint64_t rid = currentRid;
+    ThreadBuffer &buf = threadBuffer();
+    if (tracingEnabled())
+        buf.append(name, startNs, durNs, rid);
+    if (flightRecorderEnabled())
+        buf.appendFlight(name, startNs, durNs, rid);
 }
 
 std::vector<TraceEvent>
@@ -170,6 +244,302 @@ int64_t
 droppedTraceEvents()
 {
     return droppedEvents.load(std::memory_order_relaxed);
+}
+
+uint64_t
+nextRequestId()
+{
+    return ridCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void
+setCurrentRequestId(uint64_t rid)
+{
+    currentRid = rid;
+}
+
+uint64_t
+currentRequestId()
+{
+    return currentRid;
+}
+
+uint32_t
+currentThreadTag()
+{
+    return threadBuffer().tid;
+}
+
+void
+setFlightRecorderEnabled(bool enabled)
+{
+    flightOn.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+flightRecorderEnabled()
+{
+    return flightOn.load(std::memory_order_relaxed);
+}
+
+size_t
+flightRingCapacity()
+{
+    return ThreadBuffer::kFlightEvents;
+}
+
+void
+flightMark(const char *name)
+{
+    if (!flightRecorderEnabled())
+        return;
+    threadBuffer().appendFlight(name, traceNowNs(), 0, currentRid);
+}
+
+void
+writeFlightRecorderJson(JsonWriter &j, size_t maxEventsPerThread)
+{
+    bool truncated = false;
+    j.beginObject();
+    j.field("capacity",
+            static_cast<int64_t>(ThreadBuffer::kFlightEvents));
+    j.key("threads").beginArray();
+    for (const auto &buf :
+         TraceRegistry::instance().snapshotBuffers()) {
+        const uint64_t n =
+            buf->flightCount.load(std::memory_order_acquire);
+        if (!n)
+            continue;
+        // Oldest retained event first.  Slots older than capacity have
+        // been overwritten; an explicit per-thread cap keeps only the
+        // newest maxEventsPerThread.
+        uint64_t keep = std::min<uint64_t>(
+            n, ThreadBuffer::kFlightEvents);
+        if (n > ThreadBuffer::kFlightEvents)
+            truncated = true;
+        if (maxEventsPerThread && keep > maxEventsPerThread) {
+            keep = maxEventsPerThread;
+            truncated = true;
+        }
+        j.beginObject();
+        j.field("tid", static_cast<int64_t>(buf->tid));
+        j.key("events").beginArray();
+        for (uint64_t i = n - keep; i < n; ++i) {
+            const FlightSlot &s =
+                buf->flight[i % ThreadBuffer::kFlightEvents];
+            const char *name =
+                s.name.load(std::memory_order_relaxed);
+            if (!name)
+                continue;
+            j.beginObject();
+            j.field("name", name);
+            j.field("rid", static_cast<int64_t>(
+                               s.rid.load(std::memory_order_relaxed)));
+            j.field("startNs",
+                    static_cast<int64_t>(s.startNs.load(
+                        std::memory_order_relaxed)));
+            j.field("durNs",
+                    static_cast<int64_t>(
+                        s.durNs.load(std::memory_order_relaxed)));
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+    }
+    j.endArray();
+    j.field("truncated", truncated);
+    j.endObject();
+}
+
+void
+writeFlightRecorder(std::ostream &os, size_t maxEventsPerThread)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("flightRecorder");
+    writeFlightRecorderJson(j, maxEventsPerThread);
+    j.endObject();
+    os << "\n";
+}
+
+namespace {
+
+/**
+ * A tiny async-signal-safe writer: fixed stack buffer, write(2) on
+ * flush, hand-rolled integer formatting.  No locks, no allocation, no
+ * stdio — everything a signal handler is allowed to do.
+ */
+struct FdWriter
+{
+    int fd;
+    char buf[512];
+    size_t len = 0;
+
+    explicit FdWriter(int f) : fd(f) {}
+
+    void
+    flush()
+    {
+        size_t off = 0;
+        while (off < len) {
+            const ssize_t n = ::write(fd, buf + off, len - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                break; // nothing safe to do; drop the rest
+            }
+            off += static_cast<size_t>(n);
+        }
+        len = 0;
+    }
+
+    void
+    put(char c)
+    {
+        if (len == sizeof(buf))
+            flush();
+        buf[len++] = c;
+    }
+
+    void
+    str(const char *s)
+    {
+        for (; *s; ++s)
+            put(*s);
+    }
+
+    /** A JSON string from a span-name literal; control characters,
+     *  quotes and backslashes become '_' (names never contain them). */
+    void
+    jsonStr(const char *s)
+    {
+        put('"');
+        for (; *s; ++s) {
+            const unsigned char c = static_cast<unsigned char>(*s);
+            put(c < 0x20 || c == '"' || c == '\\' ? '_'
+                                                  : static_cast<char>(c));
+        }
+        put('"');
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        char digits[20];
+        int n = 0;
+        do {
+            digits[n++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v);
+        while (n)
+            put(digits[--n]);
+    }
+};
+
+} // namespace
+
+void
+writeFlightRecorderToFd(int fd)
+{
+    FdWriter w(fd);
+    w.str("{\"flightRecorder\":{\"capacity\":");
+    w.u64(ThreadBuffer::kFlightEvents);
+    w.str(",\"signalSafe\":true,\"threads\":[");
+    bool firstThread = true;
+    for (ThreadBuffer *buf =
+             flightListHead.load(std::memory_order_acquire);
+         buf; buf = buf->flightNextBuffer) {
+        const uint64_t n =
+            buf->flightCount.load(std::memory_order_acquire);
+        if (!n)
+            continue;
+        if (!firstThread)
+            w.put(',');
+        firstThread = false;
+        w.str("{\"tid\":");
+        w.u64(buf->tid);
+        w.str(",\"events\":[");
+        const uint64_t keep =
+            std::min<uint64_t>(n, ThreadBuffer::kFlightEvents);
+        bool firstEvent = true;
+        for (uint64_t i = n - keep; i < n; ++i) {
+            const FlightSlot &s =
+                buf->flight[i % ThreadBuffer::kFlightEvents];
+            const char *name = s.name.load(std::memory_order_relaxed);
+            if (!name)
+                continue;
+            if (!firstEvent)
+                w.put(',');
+            firstEvent = false;
+            w.str("{\"name\":");
+            w.jsonStr(name);
+            w.str(",\"rid\":");
+            w.u64(s.rid.load(std::memory_order_relaxed));
+            w.str(",\"startNs\":");
+            w.u64(s.startNs.load(std::memory_order_relaxed));
+            w.str(",\"durNs\":");
+            w.u64(s.durNs.load(std::memory_order_relaxed));
+            w.put('}');
+        }
+        w.str("]}");
+    }
+    w.str("]}}\n");
+    w.flush();
+}
+
+namespace {
+
+char flightDumpPath[512] = {0};
+std::atomic<bool> flightHandlerInstalled{false};
+
+extern "C" void
+flightFatalHandler(int sig)
+{
+    // Everything below is async-signal-safe: open/write/close and the
+    // lock-free FdWriter walk.
+    int fd = 2;
+    if (flightDumpPath[0]) {
+        const int f = ::open(flightDumpPath,
+                             O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (f >= 0)
+            fd = f;
+    }
+    {
+        FdWriter note(2);
+        note.str("nn-baton: fatal signal ");
+        note.u64(static_cast<uint64_t>(sig));
+        note.str(", dumping flight recorder\n");
+        note.flush();
+    }
+    writeFlightRecorderToFd(fd);
+    if (fd != 2)
+        ::close(fd);
+    // SA_RESETHAND restored the default disposition on entry, so
+    // re-raising terminates the process with the original signal.
+    ::raise(sig);
+}
+
+} // namespace
+
+void
+installFlightSignalHandler(const char *path)
+{
+    if (path && *path) {
+        std::strncpy(flightDumpPath, path,
+                     sizeof(flightDumpPath) - 1);
+        flightDumpPath[sizeof(flightDumpPath) - 1] = '\0';
+    } else {
+        flightDumpPath[0] = '\0';
+    }
+    if (flightHandlerInstalled.exchange(true))
+        return; // path updated above; handlers already in place
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = flightFatalHandler;
+    sa.sa_flags = SA_RESETHAND;
+    sigemptyset(&sa.sa_mask);
+    for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT})
+        ::sigaction(sig, &sa, nullptr);
 }
 
 void
@@ -202,6 +572,11 @@ writeChromeTrace(std::ostream &os)
         // Chrome timestamps are microseconds.
         j.field("ts", static_cast<double>(e.startNs) * 1e-3);
         j.field("dur", static_cast<double>(e.durNs) * 1e-3);
+        if (e.rid) {
+            j.key("args").beginObject();
+            j.field("rid", static_cast<int64_t>(e.rid));
+            j.endObject();
+        }
         j.endObject();
     }
     j.endArray();

@@ -25,12 +25,16 @@
 #ifndef NNBATON_COMMON_TRACE_HPP
 #define NNBATON_COMMON_TRACE_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace nnbaton {
+
+class JsonWriter; // common/json.hpp
+
 namespace obs {
 
 /** One completed span, times in nanoseconds since the trace origin. */
@@ -40,6 +44,7 @@ struct TraceEvent
     uint32_t tid = 0;           //!< small per-thread id (not the OS tid)
     uint64_t startNs = 0;
     uint64_t durNs = 0;
+    uint64_t rid = 0; //!< request id the span ran under (0 = none)
 };
 
 /** Turn span collection on or off (off by default). */
@@ -71,13 +76,100 @@ int64_t droppedTraceEvents();
  */
 void writeChromeTrace(std::ostream &os);
 
+// ---------------------------------------------------------------------
+// Request-scoped context: a per-thread request id threaded through
+// spans, flight-recorder events and log lines so everything one
+// request touched can be correlated postmortem.
+
+/** Allocate a fresh nonzero request id (process-wide counter). */
+uint64_t nextRequestId();
+
+/** Set the calling thread's current request id (0 clears it). */
+void setCurrentRequestId(uint64_t rid);
+
+/** The calling thread's current request id (0 when outside one). */
+uint64_t currentRequestId();
+
+/** The calling thread's small trace id (allocates it on first use). */
+uint32_t currentThreadTag();
+
+/** RAII: set the thread's request id for a scope, restore the old. */
+class RequestIdScope
+{
+  public:
+    explicit RequestIdScope(uint64_t rid) : prev_(currentRequestId())
+    {
+        setCurrentRequestId(rid);
+    }
+
+    ~RequestIdScope() { setCurrentRequestId(prev_); }
+
+    RequestIdScope(const RequestIdScope &) = delete;
+    RequestIdScope &operator=(const RequestIdScope &) = delete;
+
+  private:
+    const uint64_t prev_;
+};
+
+// ---------------------------------------------------------------------
+// Flight recorder: an always-on, fixed-size per-thread ring of the
+// most recent spans and marks (riding the same thread buffers as the
+// tracer).  Unlike tracing it is bounded and enabled by default, so a
+// crash, deadline blowup or failed request can always dump the last
+// few hundred events per thread as a postmortem.
+
+/** Turn the flight recorder on or off (ON by default). */
+void setFlightRecorderEnabled(bool enabled);
+
+/** True when spans/marks are being captured into the flight rings. */
+bool flightRecorderEnabled();
+
+/** Per-thread flight ring capacity in events (a power of two). */
+size_t flightRingCapacity();
+
+/** Record an instant event (durNs 0) into the calling thread's ring. */
+void flightMark(const char *name);
+
+/**
+ * Write the flight recorder as a JSON *value* at the writer's current
+ * position: {"capacity":N,"truncated":b,"threads":[{"tid":t,
+ * "events":[{"name":...,"rid":...,"startNs":...,"durNs":...}]}]}.
+ * @p maxEventsPerThread 0 dumps each full ring; a smaller cap keeps
+ * only the newest events and sets "truncated".
+ */
+void writeFlightRecorderJson(JsonWriter &j,
+                             size_t maxEventsPerThread = 0);
+
+/** writeFlightRecorderJson wrapped as {"flightRecorder":...}. */
+void writeFlightRecorder(std::ostream &os,
+                         size_t maxEventsPerThread = 0);
+
+/**
+ * Async-signal-safe flight dump: walks a lock-free buffer list and
+ * hand-formats the same JSON document straight to @p fd (no locks, no
+ * allocation, write(2) only).  Events may be torn mid-overwrite under
+ * concurrent writers — fields are individually consistent (each slot
+ * field is an atomic) but a slot can mix two events; acceptable for a
+ * best-effort postmortem.
+ */
+void writeFlightRecorderToFd(int fd);
+
+/**
+ * Install a fatal-signal handler (SIGSEGV/SIGBUS/SIGFPE/SIGILL/
+ * SIGABRT) that dumps the flight recorder to @p path (stderr when
+ * null/empty), then re-raises with the default disposition so the
+ * process still dies with the original signal.  Idempotent; the path
+ * is copied into static storage.
+ */
+void installFlightSignalHandler(const char *path);
+
 /** RAII span; prefer the NNBATON_TRACE_SCOPE macro. */
 class TraceScope
 {
   public:
     explicit TraceScope(const char *name)
     {
-        if (tracingEnabled()) {
+        if (tracingEnabled() || flightRecorderEnabled()) {
             name_ = name;
             start_ = traceNowNs();
         }

@@ -1,8 +1,11 @@
 #include "dse/explorer.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <limits>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "common/logging.hpp"
@@ -311,6 +314,96 @@ explore(const Model &model, const DseOptions &options,
                options.resumePath.c_str());
     }
 
+    // Progress heartbeat (--progress): workers bump relaxed atomics,
+    // a sweep-side thread turns them into a log line and
+    // dse.progress.* gauges every period.  Observation only — the
+    // counters feed nothing back into the sweep.
+    std::atomic<int64_t> progressDone{result.resumed};
+    std::atomic<int64_t> progressHits{0};
+    std::atomic<int64_t> progressMisses{0};
+    std::atomic<int64_t> progressEvaluated{0};
+    std::atomic<int64_t> progressPruned{0};
+    const int64_t resumedPoints = result.resumed;
+    const auto emitProgress = [&] {
+        const int64_t done =
+            progressDone.load(std::memory_order_relaxed);
+        const int64_t total = static_cast<int64_t>(tasks.size());
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   start)
+                                   .count();
+        const int64_t fresh = done - resumedPoints;
+        const double rate = elapsed > 0 ? fresh / elapsed : 0.0;
+        const double etaSeconds =
+            rate > 0 ? (total - done) / rate : 0.0;
+        const int64_t hits =
+            progressHits.load(std::memory_order_relaxed);
+        const int64_t misses =
+            progressMisses.load(std::memory_order_relaxed);
+        const int64_t evaluated =
+            progressEvaluated.load(std::memory_order_relaxed);
+        const int64_t pruned =
+            progressPruned.load(std::memory_order_relaxed);
+        const double hitRate =
+            hits + misses
+                ? static_cast<double>(hits) / (hits + misses)
+                : 0.0;
+        const double pruneRate =
+            evaluated + pruned
+                ? static_cast<double>(pruned) / (evaluated + pruned)
+                : 0.0;
+        inform("progress: %lld/%lld points, %.1f/s, eta %.0fs, "
+               "cache hit %.1f%%, pruned %.1f%%",
+               static_cast<long long>(done),
+               static_cast<long long>(total), rate, etaSeconds,
+               100.0 * hitRate, 100.0 * pruneRate);
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+        reg.gauge("dse.progress.done")
+            .set(static_cast<double>(done));
+        reg.gauge("dse.progress.total")
+            .set(static_cast<double>(total));
+        reg.gauge("dse.progress.points_per_sec").set(rate);
+        reg.gauge("dse.progress.eta_seconds").set(etaSeconds);
+        reg.gauge("dse.progress.cache_hit_rate").set(hitRate);
+        reg.gauge("dse.progress.prune_rate").set(pruneRate);
+    };
+    // RAII so a --strict rethrow from the pool cannot leak a thread
+    // still referencing this frame.
+    struct Heartbeat
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool stopRequested = false;
+        std::thread thread;
+
+        void
+        stop()
+        {
+            if (!thread.joinable())
+                return;
+            {
+                std::lock_guard<std::mutex> lock(m);
+                stopRequested = true;
+            }
+            cv.notify_all();
+            thread.join();
+        }
+
+        ~Heartbeat() { stop(); }
+    } heartbeat;
+    if (options.progressSeconds > 0) {
+        heartbeat.thread = std::thread([&] {
+            std::unique_lock<std::mutex> lock(heartbeat.m);
+            const auto period = std::chrono::duration<double>(
+                options.progressSeconds);
+            while (!heartbeat.cv.wait_for(
+                lock, period,
+                [&] { return heartbeat.stopRequested; })) {
+                emitProgress();
+            }
+        });
+    }
+
     // One mapping cache serves every design point: swept points share
     // layer shapes (repeated ResNet-50 blocks) and the table II grid
     // revisits each compute geometry across memory allocations, so
@@ -325,6 +418,7 @@ explore(const Model &model, const DseOptions &options,
                 return;
             if (options.cancel && options.cancel->cancelled()) {
                 out.kind = PointOutcome::Skipped;
+                progressDone.fetch_add(1, std::memory_order_relaxed);
                 return;
             }
             try {
@@ -355,8 +449,22 @@ explore(const Model &model, const DseOptions &options,
             sink.record(designPointKey(tasks[i].compute,
                                        tasks[i].memory),
                         out);
+            progressDone.fetch_add(1, std::memory_order_relaxed);
+            progressHits.fetch_add(out.stats.cacheHits,
+                                   std::memory_order_relaxed);
+            progressMisses.fetch_add(out.stats.cacheMisses,
+                                     std::memory_order_relaxed);
+            progressEvaluated.fetch_add(out.stats.evaluated,
+                                        std::memory_order_relaxed);
+            progressPruned.fetch_add(out.stats.pruned,
+                                     std::memory_order_relaxed);
             verif::notifyPointCompleted(options.cancel);
         });
+
+    if (options.progressSeconds > 0) {
+        heartbeat.stop();
+        emitProgress(); // final 100% line and gauge values
+    }
 
     // Deterministic collection in sweep order.
     {

@@ -80,6 +80,16 @@ struct DseOptions
     bool detailedMetrics = false;
 
     /**
+     * Progress heartbeat period in seconds (--progress[=secs]; <= 0
+     * disables).  A sweep-side thread logs points done/total,
+     * points/sec, ETA and cache-hit / prune rates every period and
+     * mirrors them as dse.progress.* gauges, so a long sweep (or a
+     * fleet worker's daemon) is monitorable mid-flight.  Observation
+     * only: never changes results.
+     */
+    double progressSeconds = 0.0;
+
+    /**
      * Fail-fast mode (--strict): the first design point whose
      * evaluation throws aborts the whole sweep by rethrowing.  The
      * default quarantines such points into DseResult::poisoned and

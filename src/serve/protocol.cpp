@@ -186,13 +186,18 @@ parseRequest(const std::string &line)
         req.op = Op::Pre;
     else if (op->string == "stats")
         req.op = Op::Stats;
+    else if (op->string == "metrics")
+        req.op = Op::Metrics;
+    else if (op->string == "flight")
+        req.op = Op::Flight;
     else if (op->string == "ping")
         req.op = Op::Ping;
     else if (op->string == "shutdown")
         req.op = Op::Shutdown;
     else {
         return errInvalidArgument(
-            "unknown op '%s' (post, pre, stats, ping, shutdown)",
+            "unknown op '%s' (post, pre, stats, metrics, flight, "
+            "ping, shutdown)",
             op->string.c_str());
     }
 
@@ -263,6 +268,11 @@ parseRequest(const std::string &line)
             if (!d.ok())
                 return d.status();
             req.deadlineSeconds = d.value();
+        } else if (key == "progressSeconds") {
+            StatusOr<double> d = positiveDouble(key, value);
+            if (!d.ok())
+                return d.status();
+            req.progressSeconds = d.value();
         } else if (key == "macs") {
             StatusOr<int64_t> n = positiveInt(key, value);
             if (!n.ok())
@@ -291,15 +301,39 @@ parseRequest(const std::string &line)
     return req;
 }
 
+const char *
+toString(Op op)
+{
+    switch (op) {
+      case Op::Post:
+        return "post";
+      case Op::Pre:
+        return "pre";
+      case Op::Stats:
+        return "stats";
+      case Op::Metrics:
+        return "metrics";
+      case Op::Flight:
+        return "flight";
+      case Op::Ping:
+        return "ping";
+      case Op::Shutdown:
+        return "shutdown";
+    }
+    return "?";
+}
+
 std::string
-errorResponse(const Status &status)
+errorResponse(const Status &status, uint64_t rid)
 {
     std::ostringstream ss;
     JsonWriter j(ss);
     j.beginObject();
     j.field("ok", false);
+    if (rid)
+        j.field("rid", static_cast<int64_t>(rid));
     j.key("error").beginObject();
-    j.field("code", toString(status.code()));
+    j.field("code", nnbaton::toString(status.code()));
     j.field("message", status.message());
     j.endObject();
     j.endObject();

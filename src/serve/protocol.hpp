@@ -7,10 +7,13 @@
  * line.  Success responses are the *bare result document* — exactly
  * the bytes the equivalent one-shot CLI invocation writes with
  * `--no-obs` — so callers can diff a served answer against the
- * offline tool.  Error responses are enveloped:
+ * offline tool.  Error responses are enveloped (with the failing
+ * request's id so it can be matched against access-log lines and
+ * flight-recorder dumps):
  *
  * @code
- *   {"ok":false,"error":{"code":"INVALID_ARGUMENT","message":"..."}}
+ *   {"ok":false,"rid":42,
+ *    "error":{"code":"INVALID_ARGUMENT","message":"..."}}
  * @endcode
  *
  * Result documents never carry a top-level "ok" member, so one
@@ -19,7 +22,8 @@
  * Request schema (see docs/serving.md for the full reference):
  *
  * @code
- *   {"op":"post" | "pre" | "stats" | "ping" | "shutdown",
+ *   {"op":"post" | "pre" | "stats" | "metrics" | "flight" | "ping"
+ *         | "shutdown",
  *    "model":"resnet50",            // zoo name, or instead:
  *    "modelText":"model m 32\n...", // inline text-format model
  *    "resolution":224,
@@ -31,8 +35,14 @@
  *    "search":"exhaustive" | "bnb" | "anneal",  // docs/search.md
  *    "annealSeed":1,"annealIterations":400,     // anneal only
  *    "deadlineSeconds":30,          // per-request budget
- *    "macs":2048,"areaMm2":3.0,"proportional":false}  // pre only
+ *    "macs":2048,"areaMm2":3.0,"proportional":false,  // pre only
+ *    "progressSeconds":5}           // pre: heartbeat to daemon stderr
  * @endcode
+ *
+ * "metrics" answers with the bare writeMetricsJson document (the
+ * whole obs registry: counters, gauges, histograms with quantiles) —
+ * what `nn-baton stats` renders; "flight" answers with the flight
+ * recorder dump ({"flightRecorder":...}, docs/observability.md).
  *
  * Unknown members are rejected (InvalidArgument) so typos fail loudly
  * instead of silently evaluating something else.
@@ -57,9 +67,14 @@ enum class Op
     Post,     //!< post-design mapping query on fixed hardware
     Pre,      //!< bounded pre-design sweep
     Stats,    //!< service + cache counters
+    Metrics,  //!< full obs metrics registry (the `stats` CLI scrape)
+    Flight,   //!< flight-recorder dump (recent spans per thread)
     Ping,     //!< liveness probe
     Shutdown, //!< answer, then stop the daemon
 };
+
+/** The wire name of @p op ("post", "metrics", ...). */
+const char *toString(Op op);
 
 /** A parsed request with defaults matching the one-shot CLI. */
 struct ServeRequest
@@ -91,13 +106,19 @@ struct ServeRequest
     int annealIterations = 400;
 
     double deadlineSeconds = 0.0; //!< <= 0: server default applies
+
+    /** Pre-sweep heartbeat period (DseOptions::progressSeconds);
+     *  <= 0 disables.  Lines go to the daemon's stderr and the
+     *  dse.progress.* gauges, scrapeable via the metrics op. */
+    double progressSeconds = 0.0;
 };
 
 /** Parse one request line; strict about types and member names. */
 StatusOr<ServeRequest> parseRequest(const std::string &line);
 
-/** Serialise a Status as the one-line error envelope. */
-std::string errorResponse(const Status &status);
+/** Serialise a Status as the one-line error envelope; a nonzero
+ *  @p rid identifies the failing request for postmortem correlation. */
+std::string errorResponse(const Status &status, uint64_t rid = 0);
 
 } // namespace serve
 } // namespace nnbaton

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "baton/baton.hpp"
@@ -24,6 +25,7 @@ struct ServeMetrics
     obs::Counter *cacheHit;
     obs::Counter *cacheMiss;
     obs::Counter *cacheEvicted;
+    obs::Counter *sloViolations;
     obs::Histogram *latencyUs;
     // Mapping-search work done on behalf of requests (SearchStats
     // mirrored per request; see mapper/search.hpp).
@@ -44,6 +46,7 @@ struct ServeMetrics
         cacheHit = &reg.counter("serve.cache.hit");
         cacheMiss = &reg.counter("serve.cache.miss");
         cacheEvicted = &reg.counter("serve.cache.evicted");
+        sloViolations = &reg.counter("serve.slo.violations");
         latencyUs = &reg.histogram("serve.request_us");
         searchEvaluated = &reg.counter("serve.search.evaluated");
         searchPruned = &reg.counter("serve.search.pruned");
@@ -123,20 +126,47 @@ oneLine(std::ostringstream &ss)
 EvalService::EvalService(ServiceOptions options) : options_(options)
 {
     cache_.setCapacity(options_.cacheBytes);
+    if (options_.sloUs > 0) {
+        obs::MetricsRegistry::instance()
+            .gauge("serve.slo.threshold_us")
+            .set(static_cast<double>(options_.sloUs));
+    }
+    if (!options_.accessLogPath.empty()) {
+        accessLog_ = std::fopen(options_.accessLogPath.c_str(), "a");
+        if (!accessLog_) {
+            warn("cannot open access log '%s'; access logging off",
+                 options_.accessLogPath.c_str());
+        }
+    }
+}
+
+EvalService::~EvalService()
+{
+    if (accessLog_)
+        std::fclose(accessLog_);
 }
 
 HandleResult
 EvalService::handleLine(const std::string &line)
 {
+    // The rid scope opens before the trace scope so the request span
+    // (recorded at scope exit) carries the id too.
+    const uint64_t rid = obs::nextRequestId();
+    obs::RequestIdScope ridScope(rid);
     NNBATON_TRACE_SCOPE("serve.request");
     ServeMetrics &m = serveMetrics();
     m.requests->add();
     requests_.fetch_add(1, std::memory_order_relaxed);
     const uint64_t t0 = obs::traceNowNs();
 
+    RequestAudit audit;
+    audit.rid = rid;
+    audit.bytesIn = line.size();
+
     HandleResult out;
     try {
         ServeRequest req = parseRequest(line).value();
+        audit.op = toString(req.op);
 
         // Per-request cancellation: the request deadline (capped by
         // the service maximum) plus the service-wide stop token.
@@ -151,13 +181,19 @@ EvalService::handleLine(const std::string &line)
 
         switch (req.op) {
           case Op::Post:
-            out.response = runPost(req, cancel);
+            out.response = runPost(req, cancel, audit);
             break;
           case Op::Pre:
-            out.response = runPre(req, cancel);
+            out.response = runPre(req, cancel, audit);
             break;
           case Op::Stats:
             out.response = runStats();
+            break;
+          case Op::Metrics:
+            out.response = runMetrics();
+            break;
+          case Op::Flight:
+            out.response = runFlight();
             break;
           case Op::Ping:
             out.response = "{\"pong\":true}";
@@ -170,12 +206,16 @@ EvalService::handleLine(const std::string &line)
     } catch (const StatusError &e) {
         m.errors->add();
         errors_.fetch_add(1, std::memory_order_relaxed);
-        out.response = errorResponse(e.status());
+        audit.outcome = nnbaton::toString(e.status().code());
+        out.response = errorResponse(e.status(), rid);
+        dumpFlightOnError(rid, e.status());
     } catch (const std::exception &e) {
         m.errors->add();
         errors_.fetch_add(1, std::memory_order_relaxed);
-        out.response =
-            errorResponse(errInternal("unexpected: %s", e.what()));
+        const Status status = errInternal("unexpected: %s", e.what());
+        audit.outcome = nnbaton::toString(status.code());
+        out.response = errorResponse(status, rid);
+        dumpFlightOnError(rid, status);
     }
 
     // Mirror the shared cache's eviction total into the serve counter
@@ -186,13 +226,21 @@ EvalService::handleLine(const std::string &line)
     if (evictions > seen)
         m.cacheEvicted->add(evictions - seen);
 
-    m.latencyUs->record(
-        static_cast<int64_t>((obs::traceNowNs() - t0) / 1000));
+    const int64_t us =
+        static_cast<int64_t>((obs::traceNowNs() - t0) / 1000);
+    m.latencyUs->record(us);
+    if (options_.sloUs > 0 && us > options_.sloUs)
+        m.sloViolations->add();
+
+    audit.durationUs = us;
+    audit.bytesOut = out.response.size();
+    writeAccessLog(audit);
     return out;
 }
 
 std::string
-EvalService::runPost(const ServeRequest &req, CancelToken &cancel)
+EvalService::runPost(const ServeRequest &req, CancelToken &cancel,
+                     RequestAudit &audit)
 {
     NNBATON_TRACE_SCOPE("serve.post");
     const Model model = loadRequestModel(req);
@@ -216,6 +264,9 @@ EvalService::runPost(const ServeRequest &req, CancelToken &cancel)
     serveMetrics().cacheHit->add(report.stats.cacheHits);
     serveMetrics().cacheMiss->add(report.stats.cacheMisses);
     serveMetrics().recordSearch(report.stats);
+    audit.search = nnbaton::toString(req.searchMode);
+    audit.cacheHits = report.stats.cacheHits;
+    audit.cacheMisses = report.stats.cacheMisses;
 
     std::ostringstream ss;
     exportPostDesign(report, ss, ExportOptions::lean());
@@ -223,7 +274,8 @@ EvalService::runPost(const ServeRequest &req, CancelToken &cancel)
 }
 
 std::string
-EvalService::runPre(const ServeRequest &req, CancelToken &cancel)
+EvalService::runPre(const ServeRequest &req, CancelToken &cancel,
+                    RequestAudit &audit)
 {
     NNBATON_TRACE_SCOPE("serve.pre");
     const Model model = loadRequestModel(req);
@@ -243,11 +295,15 @@ EvalService::runPre(const ServeRequest &req, CancelToken &cancel)
     opt.threads = 1; // concurrency lives across requests
     opt.cancel = &cancel;
     opt.cache = &cache_;
+    opt.progressSeconds = req.progressSeconds;
     PreDesignFlow flow(opt, req.tech);
     const PreDesignReport report = flow.run(model);
     serveMetrics().cacheHit->add(report.sweep.search.cacheHits);
     serveMetrics().cacheMiss->add(report.sweep.search.cacheMisses);
     serveMetrics().recordSearch(report.sweep.search);
+    audit.search = nnbaton::toString(req.searchMode);
+    audit.cacheHits = report.sweep.search.cacheHits;
+    audit.cacheMisses = report.sweep.search.cacheMisses;
 
     std::ostringstream ss;
     exportPreDesign(report, ss, ExportOptions::lean());
@@ -272,6 +328,70 @@ EvalService::runStats()
     j.endObject();
     j.endObject();
     return ss.str();
+}
+
+std::string
+EvalService::runMetrics()
+{
+    std::ostringstream ss;
+    JsonWriter j(ss);
+    writeMetricsJson(j, obs::MetricsRegistry::instance().snapshot());
+    return ss.str();
+}
+
+std::string
+EvalService::runFlight()
+{
+    std::ostringstream ss;
+    obs::writeFlightRecorder(ss);
+    return oneLine(ss);
+}
+
+void
+EvalService::writeAccessLog(const RequestAudit &audit)
+{
+    if (!accessLog_)
+        return;
+    std::ostringstream ss;
+    JsonWriter j(ss);
+    j.beginObject();
+    j.field("ts", wallClockIso8601());
+    j.field("rid", static_cast<int64_t>(audit.rid));
+    j.field("op", audit.op);
+    j.field("outcome", audit.outcome);
+    j.field("durationUs", audit.durationUs);
+    j.field("bytesIn", static_cast<int64_t>(audit.bytesIn));
+    j.field("bytesOut", static_cast<int64_t>(audit.bytesOut));
+    j.field("cacheHits", audit.cacheHits);
+    j.field("cacheMisses", audit.cacheMisses);
+    j.field("search", audit.search);
+    j.endObject();
+    // One fwrite per line so concurrent lanes never interleave bytes.
+    const std::string lineOut = ss.str() + "\n";
+    std::fwrite(lineOut.data(), 1, lineOut.size(), accessLog_);
+    std::fflush(accessLog_);
+}
+
+void
+EvalService::dumpFlightOnError(uint64_t rid, const Status &status)
+{
+    obs::flightMark("serve.request.error");
+    if (options_.flightDumpPath.empty())
+        return;
+    std::ofstream out(options_.flightDumpPath, std::ios::trunc);
+    if (!out) {
+        warn("cannot write flight dump '%s'",
+             options_.flightDumpPath.c_str());
+        return;
+    }
+    JsonWriter j(out);
+    j.beginObject();
+    j.field("failedRequestId", static_cast<int64_t>(rid));
+    j.field("error", status.toString());
+    j.key("flightRecorder");
+    obs::writeFlightRecorderJson(j);
+    j.endObject();
+    out << "\n";
 }
 
 } // namespace serve

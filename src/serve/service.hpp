@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "common/cancel.hpp"
@@ -51,6 +52,19 @@ struct ServiceOptions
      *  deadline when the request asks for one. */
     double maxDeadlineSeconds = 300.0;
 
+    /** Request-latency SLO in microseconds (--slo-us; 0 disables).
+     *  Requests slower than this bump serve.slo.violations, so a
+     *  scrape of the metrics op reads SLO compliance directly. */
+    int64_t sloUs = 0;
+
+    /** Access-log file (--access-log; empty disables): one structured
+     *  JSON line per request, appended with a single fwrite. */
+    std::string accessLogPath;
+
+    /** Where a request error dumps the flight recorder
+     *  (--flight-dump; empty disables the on-error dump). */
+    std::string flightDumpPath;
+
     /** Service-wide stop token (borrowed, may be null).  Linked under
      *  every per-request token so shutdown interrupts evaluations. */
     const CancelToken *stop = nullptr;
@@ -67,6 +81,10 @@ class EvalService
 {
   public:
     explicit EvalService(ServiceOptions options);
+    ~EvalService();
+
+    EvalService(const EvalService &) = delete;
+    EvalService &operator=(const EvalService &) = delete;
 
     /**
      * Handle one request line and return the response line.  Never
@@ -84,12 +102,38 @@ class EvalService
     }
 
   private:
-    std::string runPost(const ServeRequest &req, CancelToken &cancel);
-    std::string runPre(const ServeRequest &req, CancelToken &cancel);
+    /** Per-request facts the access log records (docs/serving.md). */
+    struct RequestAudit
+    {
+        uint64_t rid = 0;
+        const char *op = "invalid"; //!< wire op, or "invalid"
+        const char *search = "";    //!< post/pre: the search mode
+        int64_t cacheHits = 0;      //!< post/pre: this request's hits
+        int64_t cacheMisses = 0;
+        std::string outcome = "OK"; //!< "OK" or the StatusCode name
+        size_t bytesIn = 0;
+        size_t bytesOut = 0;
+        int64_t durationUs = 0;
+    };
+
+    std::string runPost(const ServeRequest &req, CancelToken &cancel,
+                        RequestAudit &audit);
+    std::string runPre(const ServeRequest &req, CancelToken &cancel,
+                       RequestAudit &audit);
     std::string runStats();
+    std::string runMetrics();
+    std::string runFlight();
+
+    /** Append one JSON line; single fwrite so lanes never interleave. */
+    void writeAccessLog(const RequestAudit &audit);
+
+    /** Dump the flight recorder after a failed request (when
+     *  flightDumpPath is set), tagged with the failing rid. */
+    void dumpFlightOnError(uint64_t rid, const Status &status);
 
     ServiceOptions options_;
     MappingCache cache_;
+    std::FILE *accessLog_ = nullptr; //!< owned; null when disabled
     std::atomic<int64_t> requests_{0};
     std::atomic<int64_t> errors_{0};
     std::atomic<int64_t> evictionsSeen_{0};

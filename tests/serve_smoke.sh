@@ -2,9 +2,13 @@
 # End-to-end smoke test for `nn-baton serve`:
 #   1. the daemon comes up and answers a post-design request with
 #      bytes identical to the one-shot CLI's --no-obs JSON export;
-#   2. a malformed request gets a structured error envelope (and the
+#   2. `nn-baton stats` scrapes request-latency quantiles and cache
+#      counters from the live daemon in all three formats;
+#   3. the access log holds one parseable JSON line per request and
+#      the 1us SLO counted the post request as a violation;
+#   4. a malformed request gets a structured error envelope (and the
 #      client exits non-zero), not a dropped connection;
-#   3. the shutdown op stops the daemon cleanly (exit 0).
+#   5. the shutdown op stops the daemon cleanly (exit 0).
 #
 # Usage: serve_smoke.sh <path-to-nn-baton>
 set -euo pipefail
@@ -40,16 +44,32 @@ EOF
 "$BIN" post --model-file "$DIR/tiny.model" --no-obs \
     --json "$DIR/cli.json" > /dev/null
 
-# Start the daemon and wait for the socket.
-"$BIN" serve --socket "$SOCK" --threads 2 > "$DIR/serve.log" 2>&1 &
+# Start the daemon (with the observability stack on: a 1us SLO every
+# request violates, and a per-request access log) and wait for the
+# socket under a wall-clock deadline rather than a fixed poll count —
+# on timeout the daemon's own output is the error message.
+"$BIN" serve --socket "$SOCK" --threads 2 \
+    --slo-us 1 --access-log "$DIR/access.log" \
+    > "$DIR/serve.log" 2>&1 &
 DAEMON_PID=$!
-for _ in $(seq 1 100); do
-    [[ -S "$SOCK" ]] && break
-    kill -0 "$DAEMON_PID" 2>/dev/null \
-        || fail "daemon died at startup: $(cat "$DIR/serve.log")"
+WAIT_DEADLINE_S=60
+SECONDS=0
+until [[ -S "$SOCK" ]]; do
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "--- daemon output ---" >&2
+        cat "$DIR/serve.log" >&2
+        fail "daemon died at startup"
+    }
+    if (( SECONDS >= WAIT_DEADLINE_S )); then
+        echo "--- daemon output ---" >&2
+        cat "$DIR/serve.log" >&2
+        fail "socket did not appear within ${WAIT_DEADLINE_S}s"
+    fi
     sleep 0.1
 done
-[[ -S "$SOCK" ]] || fail "socket never appeared"
+# The socket exists; a ping proves the accept loop is live too.
+"$BIN" request --socket "$SOCK" --request '{"op":"ping"}' \
+    | grep -q '"pong":true' || fail "daemon did not answer a ping"
 
 # 1. Post request -> bit-identical to the CLI export.
 REQ='{"op":"post","modelText":"model tiny 32\nconv c1 8 8 64 16 3 3 1\nfc head 64 128\n"}'
@@ -57,7 +77,49 @@ REQ='{"op":"post","modelText":"model tiny 32\nconv c1 8 8 64 16 3 3 1\nfc head 6
 cmp "$DIR/cli.json" "$DIR/serve.json" \
     || fail "served response differs from the one-shot CLI export"
 
-# 2. Malformed request -> structured error, client exits non-zero.
+# 2. `nn-baton stats` scrapes the live daemon in all three formats.
+"$BIN" stats --socket "$SOCK" --format table > "$DIR/stats.table"
+grep -q 'serve.request_us' "$DIR/stats.table" \
+    || fail "stats table misses serve.request_us: $(cat "$DIR/stats.table")"
+grep -q 'p50' "$DIR/stats.table" \
+    || fail "stats table misses quantiles"
+grep -q 'serve.cache.miss' "$DIR/stats.table" \
+    || fail "stats table misses cache counters"
+
+"$BIN" stats --socket "$SOCK" --format json > "$DIR/stats.json"
+grep -q '"histograms"' "$DIR/stats.json" \
+    || fail "stats json misses histograms"
+grep -q '"serve.request_us"' "$DIR/stats.json" \
+    || fail "stats json misses serve.request_us"
+grep -q '"p99"' "$DIR/stats.json" || fail "stats json misses p99"
+
+"$BIN" stats --socket "$SOCK" --format prom > "$DIR/stats.prom"
+grep -q '^# TYPE nnbaton_serve_request_us histogram' "$DIR/stats.prom" \
+    || fail "prom exposition misses the latency histogram TYPE line"
+grep -q '^nnbaton_serve_request_us_bucket{le="+Inf"} ' "$DIR/stats.prom" \
+    || fail "prom exposition misses the +Inf bucket"
+grep -q '^nnbaton_serve_request_us_p50 ' "$DIR/stats.prom" \
+    || fail "prom exposition misses p50"
+grep -q '^nnbaton_serve_requests_total ' "$DIR/stats.prom" \
+    || fail "prom exposition misses the requests counter"
+# Minimal lint: no sample line may have anything but name/labels/value.
+if grep -vE '^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9+.eEinf-]+)$' \
+    "$DIR/stats.prom" > "$DIR/stats.lint"; then
+    fail "prom exposition lint: $(cat "$DIR/stats.lint")"
+fi
+
+# 3. The access log audited every request so far, one JSON line each,
+# and the 1us SLO flagged the slow post request.
+grep -q '"op":"post"' "$DIR/access.log" \
+    || fail "access log misses the post request: $(cat "$DIR/access.log")"
+grep -q '"op":"ping"' "$DIR/access.log" \
+    || fail "access log misses the ping"
+grep -q '"outcome":"OK"' "$DIR/access.log" \
+    || fail "access log misses outcomes"
+grep -q 'nnbaton_serve_slo_violations_total [1-9]' "$DIR/stats.prom" \
+    || fail "SLO violation not counted: $(grep slo "$DIR/stats.prom")"
+
+# 4. Malformed request -> structured error, client exits non-zero.
 set +e
 "$BIN" request --socket "$SOCK" --request '][,' > "$DIR/err.json"
 RC=$?
@@ -68,7 +130,7 @@ grep -q '"ok":false' "$DIR/err.json" \
 grep -q '"code":"INVALID_ARGUMENT"' "$DIR/err.json" \
     || fail "malformed request: wrong code: $(cat "$DIR/err.json")"
 
-# 3. Shutdown op stops the daemon with exit 0.
+# 5. Shutdown op stops the daemon with exit 0.
 "$BIN" request --socket "$SOCK" --request '{"op":"shutdown"}' \
     > /dev/null
 wait "$DAEMON_PID"

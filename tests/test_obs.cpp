@@ -44,7 +44,7 @@ miniModel()
 }
 
 DseResult
-miniSweep(int threads)
+miniSweep(int threads, double progressSeconds = 0.0)
 {
     DseOptions opt;
     opt.totalMacs = 2048;
@@ -52,6 +52,7 @@ miniSweep(int threads)
     opt.effort = SearchEffort::Fast;
     opt.threads = threads;
     opt.detailedMetrics = true;
+    opt.progressSeconds = progressSeconds;
     return explore(miniModel(), opt, defaultTech());
 }
 
@@ -276,6 +277,37 @@ TEST(Determinism, TracingDoesNotChangeResults)
           "mapper.bound_prune", "mapper.c3p_analysis"}) {
         EXPECT_TRUE(phases.count(expected)) << expected;
     }
+}
+
+TEST(Determinism, FullObservabilityStackDoesNotChangeResults)
+{
+    // Everything at once — tracing, the always-on flight recorder, a
+    // very chatty progress heartbeat and detailed metrics — must be
+    // observation-only: the parallel sweep returns the same results
+    // and deterministic counters as a bare serial one.
+    const DseResult plain = miniSweep(1);
+    DseResult observed;
+    {
+        TracingOn on;
+        obs::setFlightRecorderEnabled(true);
+        observed = miniSweep(4, /*progressSeconds=*/0.01);
+    }
+    EXPECT_EQ(plain.swept, observed.swept);
+    EXPECT_EQ(plain.infeasible, observed.infeasible);
+    EXPECT_EQ(plain.areaRejected, observed.areaRejected);
+    EXPECT_EQ(plain.search.evaluated, observed.search.evaluated);
+    EXPECT_EQ(plain.search.pruned, observed.search.pruned);
+    ASSERT_EQ(plain.points.size(), observed.points.size());
+    for (size_t i = 0; i < plain.points.size(); ++i) {
+        EXPECT_EQ(plain.points[i].cost.energy.total(),
+                  observed.points[i].cost.energy.total());
+        EXPECT_EQ(plain.points[i].edp(), observed.points[i].edp());
+    }
+    // The heartbeat left its gauges behind (done == total at exit).
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    EXPECT_DOUBLE_EQ(reg.gauge("dse.progress.done").value(),
+                     reg.gauge("dse.progress.total").value());
+    EXPECT_GT(reg.gauge("dse.progress.total").value(), 0.0);
 }
 
 TEST(Profile, AggregatesPerPhase)

@@ -25,10 +25,15 @@
 
 #include "baton/baton.hpp"
 #include "baton/export.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "nn/parser.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "verif/fault.hpp"
+
+#include <fstream>
 
 using namespace nnbaton;
 using namespace nnbaton::serve;
@@ -297,6 +302,207 @@ TEST(EvalService, PreSweepAnswersAndReusesCache)
     const std::string second = service.handleLine(request).response;
     EXPECT_EQ(first, second);
     EXPECT_EQ(service.cache().misses(), misses);
+}
+
+// ---------------------------------------------------------------------
+// Access log, SLO accounting, metrics/flight ops, and the on-error
+// flight-recorder dump.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+uniqueTempFile(const char *tag)
+{
+    return "/tmp/nnb-test-" + std::string(tag) + "-" +
+           std::to_string(::getpid()) + ".tmp";
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+} // namespace
+
+TEST(AccessLog, LinesRoundTripThroughJsonParser)
+{
+    const std::string logPath = uniqueTempFile("accesslog");
+    std::remove(logPath.c_str());
+    {
+        ServiceOptions opt;
+        opt.accessLogPath = logPath;
+        EvalService service{opt};
+        service.handleLine("{\"op\":\"ping\"}");
+        service.handleLine(
+            std::string("{\"op\":\"post\",\"modelText\":\"") +
+            kTinyModel + "\"}");
+        service.handleLine("not json at all");
+    }
+    const std::vector<std::string> lines = readLines(logPath);
+    std::remove(logPath.c_str());
+    ASSERT_EQ(lines.size(), 3u);
+
+    double previousRid = 0;
+    for (const std::string &line : lines) {
+        const JsonParseResult parsed = parseJson(line);
+        ASSERT_TRUE(parsed.ok()) << parsed.error << " in: " << line;
+        const JsonValue &v = parsed.value;
+        // Every line carries the full audit schema.
+        for (const char *key :
+             {"ts", "rid", "op", "outcome", "durationUs", "bytesIn",
+              "bytesOut", "cacheHits", "cacheMisses", "search"}) {
+            EXPECT_NE(v.find(key), nullptr)
+                << key << " missing in: " << line;
+        }
+        EXPECT_TRUE(v.find("ts")->isString());
+        const JsonValue *rid = v.find("rid");
+        ASSERT_TRUE(rid->isNumber());
+        EXPECT_GT(rid->number, previousRid); // ids are fresh, ordered
+        previousRid = rid->number;
+        EXPECT_GE(v.find("durationUs")->number, 0.0);
+        EXPECT_GT(v.find("bytesIn")->number, 0.0);
+        EXPECT_GT(v.find("bytesOut")->number, 0.0);
+    }
+
+    EXPECT_EQ(parseJson(lines[0]).value.find("op")->string, "ping");
+    const JsonValue post = parseJson(lines[1]).value;
+    EXPECT_EQ(post.find("op")->string, "post");
+    EXPECT_EQ(post.find("outcome")->string, "OK");
+    EXPECT_EQ(post.find("search")->string, "exhaustive");
+    EXPECT_GT(post.find("cacheMisses")->number, 0.0);
+    const JsonValue bad = parseJson(lines[2]).value;
+    EXPECT_EQ(bad.find("op")->string, "invalid");
+    EXPECT_EQ(bad.find("outcome")->string, "INVALID_ARGUMENT");
+}
+
+TEST(AccessLog, SloViolationsAreCounted)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    reg.counter("serve.slo.violations").reset();
+
+    ServiceOptions opt;
+    opt.sloUs = 1; // any real evaluation takes longer than 1us
+    EvalService service{opt};
+    EXPECT_DOUBLE_EQ(reg.gauge("serve.slo.threshold_us").value(), 1.0);
+    service.handleLine(
+        std::string("{\"op\":\"post\",\"modelText\":\"") + kTinyModel +
+        "\"}");
+    EXPECT_GT(reg.counter("serve.slo.violations").value(), 0);
+}
+
+TEST(AccessLog, MetricsOpReturnsQuantilesAndCounters)
+{
+    EvalService service{ServiceOptions{}};
+    service.handleLine(
+        std::string("{\"op\":\"post\",\"modelText\":\"") + kTinyModel +
+        "\"}");
+    const std::string response =
+        service.handleLine("{\"op\":\"metrics\"}").response;
+    const JsonParseResult parsed = parseJson(response);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+    // The scrape client (`nn-baton stats`) must be able to rebuild a
+    // snapshot from these bytes...
+    const StatusOr<obs::MetricsSnapshot> snap =
+        obs::metricsSnapshotFromJson(parsed.value);
+    ASSERT_TRUE(snap.ok()) << snap.status().toString();
+
+    // ...and the request-latency histogram answers p50/p90/p99.
+    const JsonValue *hists = parsed.value.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const JsonValue *latency = hists->find("serve.request_us");
+    ASSERT_NE(latency, nullptr);
+    for (const char *key : {"count", "min", "max", "p50", "p90", "p99"})
+        EXPECT_NE(latency->find(key), nullptr) << key;
+    EXPECT_GE(latency->find("count")->number, 1.0);
+    const JsonValue *counters = parsed.value.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_NE(counters->find("serve.requests"), nullptr);
+    EXPECT_NE(counters->find("serve.cache.miss"), nullptr);
+}
+
+TEST(AccessLog, FlightOpAnswersWithRecentSpans)
+{
+    EvalService service{ServiceOptions{}};
+    service.handleLine("{\"op\":\"ping\"}");
+    const std::string response =
+        service.handleLine("{\"op\":\"flight\"}").response;
+    const JsonParseResult parsed = parseJson(response);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const JsonValue *rec = parsed.value.find("flightRecorder");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_NE(rec->find("threads"), nullptr);
+}
+
+TEST(AccessLog, FailedRequestDumpsFlightRecorderWithItsRid)
+{
+    const std::string dumpPath = uniqueTempFile("flightdump");
+    std::remove(dumpPath.c_str());
+    ServiceOptions opt;
+    opt.flightDumpPath = dumpPath;
+    EvalService service{opt};
+
+    // Inject a fault inside the mapping search: the very first
+    // prune-block poll of this request's evaluation throws.
+    verif::FaultPlan plan;
+    plan.failAtSearchBlock = 1;
+    verif::armFaultPlan(plan);
+    const std::string response =
+        service
+            .handleLine(
+                std::string("{\"op\":\"post\",\"modelText\":\"") +
+                kTinyModel + "\"}")
+            .response;
+    verif::disarmFaultPlan();
+
+    // The client sees a structured envelope carrying the request id.
+    EXPECT_TRUE(isErrorEnvelope(response, "INTERNAL")) << response;
+    const JsonParseResult envelope = parseJson(response);
+    ASSERT_TRUE(envelope.ok()) << envelope.error;
+    const JsonValue *rid = envelope.value.find("rid");
+    ASSERT_NE(rid, nullptr);
+    ASSERT_TRUE(rid->isNumber());
+    EXPECT_GT(rid->number, 0.0);
+
+    // The daemon left a loadable postmortem tagged with that rid...
+    const std::vector<std::string> dumpLines = readLines(dumpPath);
+    std::remove(dumpPath.c_str());
+    ASSERT_FALSE(dumpLines.empty());
+    std::string dumpText;
+    for (const std::string &l : dumpLines)
+        dumpText += l + "\n";
+    const JsonParseResult dump = parseJson(dumpText);
+    ASSERT_TRUE(dump.ok())
+        << dump.error << " at offset " << dump.errorOffset;
+    const JsonValue *failedRid = dump.value.find("failedRequestId");
+    ASSERT_NE(failedRid, nullptr);
+    EXPECT_EQ(failedRid->number, rid->number);
+    EXPECT_NE(dump.value.find("error"), nullptr);
+
+    // ...whose ring still holds spans recorded under that request.
+    const JsonValue *rec = dump.value.find("flightRecorder");
+    ASSERT_NE(rec, nullptr);
+    const JsonValue *threads = rec->find("threads");
+    ASSERT_NE(threads, nullptr);
+    bool sawFailingRequest = false;
+    for (const JsonValue &t : threads->array) {
+        const JsonValue *events = t.find("events");
+        if (!events)
+            continue;
+        for (const JsonValue &e : events->array) {
+            const JsonValue *eventRid = e.find("rid");
+            if (eventRid && eventRid->number == rid->number)
+                sawFailingRequest = true;
+        }
+    }
+    EXPECT_TRUE(sawFailingRequest);
 }
 
 // ---------------------------------------------------------------------

@@ -14,6 +14,8 @@
  *             answering JSON requests with a warm shared mapping
  *             cache (see docs/serving.md).
  *   request — one-shot client for the serve daemon.
+ *   stats   — scrape a live daemon's metrics registry and render it
+ *             as a table, JSON, or Prometheus text exposition.
  *
  * Models come from the zoo (vgg16, resnet50, darknet19, alexnet,
  * mobilenetv2) or from a text description file via --model-file (see
@@ -35,6 +37,7 @@
 #include "baton/baton.hpp"
 #include "baton/export.hpp"
 #include "common/cancel.hpp"
+#include "common/json.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
@@ -64,6 +67,7 @@ struct Args
     std::string jsonPath;
     std::string tracePath; //!< --trace: Chrome trace-event JSON output
     bool metrics = false;  //!< --metrics: stderr table + histograms
+    double progressSeconds = 0; //!< --progress[=secs]: pre heartbeat
     bool verify = false;   //!< post: replay winners differentially
     int verifyBudget = 4;  //!< --verify-budget: mappings to replay
     int resolution = 224;
@@ -82,10 +86,14 @@ struct Args
     double deadlineSeconds = 0; //!< --deadline: wall-clock budget
     bool strict = false;        //!< --strict: fail fast on poisoned
     bool noObs = false;         //!< --no-obs: lean JSON exports
-    // Service options for `serve` / `request`.
+    // Service options for `serve` / `request` / `stats`.
     std::string socketPath;          //!< --socket: Unix socket path
     int64_t cacheBytes = 256 << 20;  //!< --cache-bytes: LRU cap
     std::string requestBody;         //!< request: --request JSON line
+    int64_t sloUs = 0;               //!< serve: --slo-us threshold
+    std::string accessLogPath;       //!< serve: --access-log file
+    std::string flightDumpPath;      //!< --flight-dump: crash/error dump
+    std::string statsFormat = "table"; //!< stats: --format
     // Hardware overrides for `post` / `compare`.
     AcceleratorConfig config = caseStudyConfig();
 };
@@ -103,6 +111,7 @@ usage()
         "  models   list the built-in model zoo / dump one as text\n"
         "  serve    persistent evaluation daemon on a Unix socket\n"
         "  request  send one JSON request to a serve daemon\n"
+        "  stats    scrape a serve daemon's metrics registry\n"
         "\n"
         "options:\n"
         "  --model <name>        zoo model (vgg16 resnet50 darknet19\n"
@@ -146,11 +155,22 @@ usage()
         "                        design point instead of quarantining\n"
         "  --no-obs              omit run-dependent fields from JSON\n"
         "                        reports (stable, comparable bytes)\n"
-        "  --socket <path>       serve/request: Unix socket path\n"
+        "  --socket <path>       serve/request/stats: Unix socket path\n"
         "  --cache-bytes <n>     serve: mapping-cache LRU capacity in\n"
         "                        bytes [268435456]\n"
         "  --request <json>      request: one JSON request line (reads\n"
         "                        stdin lines when omitted)\n"
+        "  --slo-us <n>          serve: request-latency SLO; slower\n"
+        "                        requests bump serve.slo.violations\n"
+        "  --access-log <path>   serve: append one JSON line per\n"
+        "                        request (docs/serving.md schema)\n"
+        "  --flight-dump <path>  where a failed request or fatal\n"
+        "                        signal dumps the flight recorder\n"
+        "                        [serve: <socket>.flight.json]\n"
+        "  --format <f>          stats: table, json or prom [table]\n"
+        "  --progress[=secs]     pre: log points done/total, rate, ETA\n"
+        "                        and cache/prune rates every period\n"
+        "                        (and as dse.progress.* gauges) [5]\n"
         "  --trace <path>        write a Chrome trace-event JSON file\n"
         "                        (open in Perfetto / chrome://tracing)\n"
         "  --metrics             print the metrics table and per-phase\n"
@@ -251,6 +271,28 @@ parseArgs(int argc, char **argv, Args &args)
             args.cacheBytes = parsePositiveInt64(name, next()).value();
         } else if (opt == "--request") {
             args.requestBody = next();
+        } else if (opt == "--slo-us") {
+            args.sloUs = parsePositiveInt64(name, next()).value();
+        } else if (opt == "--access-log") {
+            args.accessLogPath = next();
+        } else if (opt == "--flight-dump") {
+            args.flightDumpPath = next();
+        } else if (opt == "--format") {
+            args.statsFormat = next();
+            if (args.statsFormat != "table" &&
+                args.statsFormat != "json" &&
+                args.statsFormat != "prom") {
+                throwStatus(errInvalidArgument(
+                    "--format expects table, json or prom, got '%s'",
+                    args.statsFormat.c_str()));
+            }
+        } else if (opt == "--progress") {
+            args.progressSeconds = 5.0;
+        } else if (opt.rfind("--progress=", 0) == 0) {
+            args.progressSeconds =
+                parsePositiveDouble("--progress",
+                                    opt.c_str() + 11)
+                    .value();
         } else if (opt == "--trace") {
             args.tracePath = next();
         } else if (opt == "--metrics") {
@@ -431,6 +473,7 @@ runPre(const Args &args)
     opt.annealIterations = args.annealIterations;
     opt.threads = args.threads;
     opt.detailedMetrics = args.metrics;
+    opt.progressSeconds = args.progressSeconds;
     opt.strict = args.strict;
     opt.checkpointPath = args.checkpointPath;
     opt.checkpointEvery = args.checkpointEvery;
@@ -512,6 +555,13 @@ runServe(const Args &args)
     opt.threads = args.threads;
     opt.cancel = &globalCancelToken();
     opt.service.cacheBytes = args.cacheBytes;
+    opt.service.sloUs = args.sloUs;
+    opt.service.accessLogPath = args.accessLogPath;
+    // A daemon always has an on-error flight dump target so a failed
+    // request leaves a postmortem behind without any extra flag.
+    opt.service.flightDumpPath = args.flightDumpPath.empty()
+                                     ? args.socketPath + ".flight.json"
+                                     : args.flightDumpPath;
     serve::Server server(std::move(opt));
     throwIfError(server.start());
     // Stdout line so wrappers can wait for readiness.
@@ -523,6 +573,88 @@ runServe(const Args &args)
            static_cast<long long>(handled));
     return 0;
 }
+
+/** Minimal blocking line-oriented client for the daemon's socket. */
+class SocketClient
+{
+  public:
+    explicit SocketClient(const std::string &path)
+    {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.size() >= sizeof(addr.sun_path))
+            throwStatus(errInvalidArgument("socket path too long"));
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0) {
+            throwStatus(
+                errUnavailable("socket: %s", std::strerror(errno)));
+        }
+        if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            const int err = errno;
+            ::close(fd_);
+            fd_ = -1;
+            throwStatus(errUnavailable("connect %s: %s", path.c_str(),
+                                       std::strerror(err)));
+        }
+    }
+
+    ~SocketClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    SocketClient(const SocketClient &) = delete;
+    SocketClient &operator=(const SocketClient &) = delete;
+
+    void
+    sendLine(std::string line)
+    {
+        line.push_back('\n');
+        size_t off = 0;
+        while (off < line.size()) {
+            const ssize_t n = ::send(fd_, line.data() + off,
+                                     line.size() - off, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                throwStatus(
+                    errUnavailable("send: %s", std::strerror(errno)));
+            }
+            off += static_cast<size_t>(n);
+        }
+    }
+
+    std::string
+    recvLine()
+    {
+        size_t nl;
+        while ((nl = buffer_.find('\n')) == std::string::npos) {
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                throwStatus(
+                    errUnavailable("recv: %s", std::strerror(errno)));
+            }
+            if (n == 0) {
+                throwStatus(errUnavailable(
+                    "daemon closed the connection mid-response"));
+            }
+            buffer_.append(chunk, static_cast<size_t>(n));
+        }
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
 
 /**
  * One-shot client for the daemon: send --request (or every stdin
@@ -536,67 +668,12 @@ runRequest(const Args &args)
         throwStatus(
             errInvalidArgument("request needs --socket <path>"));
     }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (args.socketPath.size() >= sizeof(addr.sun_path)) {
-        throwStatus(errInvalidArgument("socket path too long"));
-    }
-    std::memcpy(addr.sun_path, args.socketPath.c_str(),
-                args.socketPath.size() + 1);
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0)
-        throwStatus(errUnavailable("socket: %s", std::strerror(errno)));
-    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        const int err = errno;
-        ::close(fd);
-        throwStatus(errUnavailable("connect %s: %s",
-                                   args.socketPath.c_str(),
-                                   std::strerror(err)));
-    }
-
-    auto sendLine = [&](std::string line) {
-        line.push_back('\n');
-        size_t off = 0;
-        while (off < line.size()) {
-            const ssize_t n = ::send(fd, line.data() + off,
-                                     line.size() - off, MSG_NOSIGNAL);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                throwStatus(
-                    errUnavailable("send: %s", std::strerror(errno)));
-            }
-            off += static_cast<size_t>(n);
-        }
-    };
-    auto recvLine = [&]() -> std::string {
-        static std::string buffer;
-        size_t nl;
-        while ((nl = buffer.find('\n')) == std::string::npos) {
-            char chunk[4096];
-            const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                throwStatus(
-                    errUnavailable("recv: %s", std::strerror(errno)));
-            }
-            if (n == 0) {
-                throwStatus(errUnavailable(
-                    "daemon closed the connection mid-response"));
-            }
-            buffer.append(chunk, static_cast<size_t>(n));
-        }
-        std::string line = buffer.substr(0, nl);
-        buffer.erase(0, nl + 1);
-        return line;
-    };
+    SocketClient client(args.socketPath);
 
     int rc = 0;
     auto roundTrip = [&](const std::string &request) {
-        sendLine(request);
-        const std::string response = recvLine();
+        client.sendLine(request);
+        const std::string response = client.recvLine();
         std::printf("%s\n", response.c_str());
         if (response.rfind("{\"ok\":false", 0) == 0)
             rc = 1;
@@ -612,8 +689,42 @@ runRequest(const Args &args)
                 roundTrip(line);
         }
     }
-    ::close(fd);
     return rc;
+}
+
+/**
+ * Scrape a live daemon's metrics registry (the `metrics` op) and
+ * render it as the metrics table, the raw JSON document, or the
+ * Prometheus text exposition for a scrape endpoint to relay.
+ */
+int
+runStats(const Args &args)
+{
+    if (args.socketPath.empty())
+        throwStatus(errInvalidArgument("stats needs --socket <path>"));
+    SocketClient client(args.socketPath);
+    client.sendLine("{\"op\":\"metrics\"}");
+    const std::string response = client.recvLine();
+    if (response.rfind("{\"ok\":false", 0) == 0) {
+        std::fprintf(stderr, "nn-baton: %s\n", response.c_str());
+        return 1;
+    }
+    if (args.statsFormat == "json") {
+        std::printf("%s\n", response.c_str());
+        return 0;
+    }
+    const JsonParseResult parsed = parseJson(response);
+    if (!parsed.ok()) {
+        throwStatus(errInternal("daemon sent malformed metrics: %s",
+                                parsed.error.c_str()));
+    }
+    const obs::MetricsSnapshot snap =
+        obs::metricsSnapshotFromJson(parsed.value).value();
+    if (args.statsFormat == "prom")
+        obs::writePrometheus(std::cout, snap);
+    else
+        std::fputs(obs::formatMetrics(snap).c_str(), stdout);
+    return 0;
 }
 
 /** End-of-run observability output (--trace / --metrics). */
@@ -664,6 +775,12 @@ main(int argc, char **argv)
     if (!args.tracePath.empty())
         obs::setTracingEnabled(true);
 
+    // A fatal signal dumps the always-on flight recorder (recent
+    // spans per thread) so even a crash leaves a postmortem.
+    obs::installFlightSignalHandler(
+        args.flightDumpPath.empty() ? "nn-baton.flight.json"
+                                    : args.flightDumpPath.c_str());
+
     // One SIGINT/SIGTERM (or an expired --deadline) flips the global
     // cancel token; the flows poll it, finish in-flight work, flush
     // checkpoints and return a partial result.  A second signal kills
@@ -688,6 +805,8 @@ main(int argc, char **argv)
             rc = runServe(args);
         else if (args.command == "request")
             rc = runRequest(args);
+        else if (args.command == "stats")
+            rc = runStats(args);
         else {
             usage();
             return 2;
