@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Transformer workload benchmark: BERT-base (sequence 128) and
+ * ViT-B/16 (224x224) mapped end to end on the paper's case-study
+ * hardware.  Prints the per-model table (energy with its vector-ALU
+ * share, runtime, search counters), cross-checks the exhaustive and
+ * branch-and-bound winners on every distinct encoder shape, and
+ * writes BENCH_transformer.json for machine consumption (the CI
+ * assert step mirrors the BENCH_dse.json pattern).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "mapper/search.hpp"
+#include "nn/model.hpp"
+#include "tech/technology.hpp"
+
+using namespace nnbaton;
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point from)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - from)
+        .count();
+}
+
+struct ModelRun
+{
+    std::string name;
+    int batch = 1;
+    ModelMappingResult result;
+    double elapsed = 0.0;
+};
+
+ModelRun
+runModel(const Model &model, int batch)
+{
+    Model scaled = model;
+    if (batch > 1)
+        scaled.scaleBatch(batch);
+    const auto start = std::chrono::steady_clock::now();
+    ModelRun run;
+    run.result = mapModel(scaled, caseStudyConfig(), defaultTech(),
+                          SearchEffort::Fast);
+    run.elapsed = seconds(start);
+    run.name = model.name();
+    run.batch = batch;
+    return run;
+}
+
+/**
+ * Exhaustive-vs-bnb shoot-out over the distinct shapes of one BERT
+ * encoder: the bound must stay sound on batched GEMMs with a
+ * mapping-independent vector-energy term, so the winners have to
+ * match bit for bit.
+ */
+bool
+checkSearchModes(int64_t *exhaustive_evaluated, int64_t *bnb_evaluated)
+{
+    const Model bert = makeBertBase(128);
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &tech = defaultTech();
+    bool identical = true;
+    *exhaustive_evaluated = 0;
+    *bnb_evaluated = 0;
+    for (const char *suffix : {"_attn_qkv", "_attn_scores", "_attn_ctx",
+                               "_attn_proj", "_ffn1", "_ffn2"}) {
+        const ConvLayer &layer =
+            bert.layer("enc1" + std::string(suffix));
+        SearchOptions ex_opt;
+        SearchStats ex_stats;
+        const auto ex =
+            searchLayer(layer, cfg, tech, SearchEffort::Fast,
+                        Objective::MinEnergy, ex_opt, &ex_stats);
+        SearchOptions bnb_opt;
+        bnb_opt.mode = SearchMode::Bnb;
+        SearchStats bnb_stats;
+        const auto bnb =
+            searchLayer(layer, cfg, tech, SearchEffort::Fast,
+                        Objective::MinEnergy, bnb_opt, &bnb_stats);
+        *exhaustive_evaluated += ex_stats.evaluated;
+        *bnb_evaluated += bnb_stats.evaluated;
+        identical = identical && ex.has_value() && bnb.has_value() &&
+                    ex->mapping.toString() == bnb->mapping.toString() &&
+                    ex->energy.total() == bnb->energy.total();
+    }
+    return identical;
+}
+
+void
+writeModelEntry(JsonWriter &j, const ModelRun &run)
+{
+    const ModelMappingResult &r = run.result;
+    j.beginObject();
+    j.field("batch", run.batch);
+    j.field("feasible", r.feasible);
+    j.field("layers", static_cast<int64_t>(r.choices.size()));
+    j.field("seconds", run.elapsed);
+    j.field("energy_mj", r.cost.energy.total() * 1e-9);
+    j.field("vector_energy_mj", r.cost.energy.vector * 1e-9);
+    j.field("cycles", r.cost.cycles);
+    j.field("evaluated", r.stats.evaluated);
+    j.field("pruned", r.stats.pruned);
+    j.field("cache_hits", r.stats.cacheHits);
+    j.field("cache_misses", r.stats.cacheMisses);
+    j.endObject();
+}
+
+void
+benchTransformers()
+{
+    std::printf("=== Transformer workloads on the case-study package "
+                "===\n\n");
+    TextTable t({"model", "batch", "layers", "energy mJ", "vector mJ",
+                 "cycles", "map s", "cache hits"});
+    std::vector<ModelRun> runs;
+    for (int batch : {1, 4}) {
+        runs.push_back(runModel(makeBertBase(128), batch));
+        runs.push_back(runModel(makeVitB16(224), batch));
+    }
+    for (const ModelRun &run : runs) {
+        const ModelMappingResult &r = run.result;
+        t.newRow()
+            .add(run.name)
+            .add(static_cast<int64_t>(run.batch))
+            .add(static_cast<int64_t>(r.choices.size()))
+            .add(r.cost.energy.total() * 1e-9, 3)
+            .add(r.cost.energy.vector * 1e-9, 4)
+            .add(r.cost.cycles)
+            .add(run.elapsed, 3)
+            .add(r.stats.cacheHits);
+    }
+    t.print(std::cout);
+    std::printf("\nexpected shape: the vector term is a small, "
+                "nonzero slice (softmax only), weight-bound FFN "
+                "GEMMs dominate energy, and the 12 identical "
+                "encoders turn into cache hits.\n");
+
+    int64_t ex_evals = 0;
+    int64_t bnb_evals = 0;
+    const bool identical = checkSearchModes(&ex_evals, &bnb_evals);
+    std::printf("\nencoder search modes: exhaustive %lld vs bnb %lld "
+                "evaluations, winners identical: %s\n\n",
+                static_cast<long long>(ex_evals),
+                static_cast<long long>(bnb_evals),
+                identical ? "yes" : "NO (BUG)");
+
+    std::ofstream out("BENCH_transformer.json");
+    JsonWriter j(out);
+    j.beginObject();
+    j.key("models").beginObject();
+    for (const ModelRun &run : runs) {
+        j.key(run.name + (run.batch > 1
+                              ? "@b" + std::to_string(run.batch)
+                              : std::string()));
+        writeModelEntry(j, run);
+    }
+    j.endObject();
+    j.key("search_modes").beginObject();
+    j.field("exhaustive_evaluated", ex_evals);
+    j.field("bnb_evaluated", bnb_evals);
+    j.field("winners_identical", identical);
+    j.endObject();
+    j.endObject();
+    out << "\n";
+    std::printf("wrote BENCH_transformer.json\n\n");
+}
+
+void
+BM_MapBertBase128(benchmark::State &state)
+{
+    const Model model = makeBertBase(128);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapModel(model, caseStudyConfig(),
+                                          defaultTech(),
+                                          SearchEffort::Fast));
+    }
+}
+BENCHMARK(BM_MapBertBase128)->Unit(benchmark::kMillisecond);
+
+void
+BM_MapVitB16(benchmark::State &state)
+{
+    const Model model = makeVitB16(224);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapModel(model, caseStudyConfig(),
+                                          defaultTech(),
+                                          SearchEffort::Fast));
+    }
+}
+BENCHMARK(BM_MapVitB16)->Unit(benchmark::kMillisecond);
+
+void
+BM_SearchAttentionScores(benchmark::State &state)
+{
+    // The head-folded softmax GEMM: batch 12, postops 3.
+    const Model bert = makeBertBase(128);
+    const ConvLayer layer = bert.layer("enc1_attn_scores");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(searchLayer(layer, caseStudyConfig(),
+                                             defaultTech(),
+                                             SearchEffort::Fast));
+    }
+}
+BENCHMARK(BM_SearchAttentionScores)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --models-only: the table + BENCH_transformer.json without the
+    // google-benchmark timing loops (the CI assert step).
+    bool models_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--models-only")
+            models_only = true;
+    }
+    benchTransformers();
+    if (models_only)
+        return 0;
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -14,7 +14,7 @@ AccessCounts::toString() const
 {
     return strprintf(
         "dramR %lld dramW %lld d2d %lld | al2 %lld/%lld al1 %lld/%lld "
-        "wl1 %lld/%lld ol1 %lld ol2 %lld/%lld | macs %lld",
+        "wl1 %lld/%lld ol1 %lld ol2 %lld/%lld | macs %lld vec %lld",
         static_cast<long long>(dramReadBits()),
         static_cast<long long>(dramWriteBits),
         static_cast<long long>(d2dBits),
@@ -27,7 +27,8 @@ AccessCounts::toString() const
         static_cast<long long>(ol1RmwBits),
         static_cast<long long>(ol2ReadBits),
         static_cast<long long>(ol2WriteBits),
-        static_cast<long long>(macOps));
+        static_cast<long long>(macOps),
+        static_cast<long long>(vectorOps));
 }
 
 AccessAnalysis
@@ -117,6 +118,9 @@ analyzeMappingUnchecked(const ConvLayer &layer,
 
     const int64_t macs = layer.macs();
     c.macOps = macs;
+    // Post-MAC element-wise passes (softmax on attention scores) run
+    // on the vector ALU once per output element per pass.
+    c.vectorOps = layer.vectorOps();
     // Active lanes share one P-wide activation vector per cycle.
     c.al1ReadBits += macs * 8 / std::max(1, s.coreTile.co);
 

@@ -42,6 +42,7 @@ struct AccessCounts
     int64_t ol2ReadBits = 0;
     int64_t ol2WriteBits = 0;
     int64_t macOps = 0;      //!< effective MAC operations
+    int64_t vectorOps = 0;   //!< post-MAC vector-ALU passes (softmax)
 
     int64_t ol2Bytes = 0; //!< derived O-L2 size (single chiplet workload)
 

@@ -41,10 +41,10 @@ footprintBytes(Tensor tensor, const TileSpan &span, const ConvLayer &layer)
             layer.isDepthwise()
                 ? std::min<int64_t>(layer.ci, span.co)
                 : span.ci;
-        return rows * cols * channels;
+        return span.b * rows * cols * channels;
       }
       case Tensor::Outputs:
-        return span.ho * span.wo * span.co;
+        return span.b * span.ho * span.wo * span.co;
     }
     panic("bad Tensor");
 }
@@ -54,13 +54,17 @@ isRelevant(Tensor tensor, Dim dim, const ConvLayer &layer)
 {
     switch (tensor) {
       case Tensor::Weights:
+        // Weights are shared across the batch: crossing a B loop does
+        // not grow the weight footprint (the reuse the batch loop
+        // placement exploits).
         return dim == Dim::OC || dim == Dim::IC || dim == Dim::KH ||
                dim == Dim::KW;
       case Tensor::Activations:
         // OC selects input channels in a depthwise layer.
         return dim != Dim::OC || layer.isDepthwise();
       case Tensor::Outputs:
-        return dim == Dim::OH || dim == Dim::OW || dim == Dim::OC;
+        return dim == Dim::OH || dim == Dim::OW || dim == Dim::OC ||
+               dim == Dim::B;
     }
     panic("bad Tensor");
 }

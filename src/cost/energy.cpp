@@ -18,6 +18,7 @@ EnergyBreakdown::operator+=(const EnergyBreakdown &other)
     ol1 += other.ol1;
     ol2 += other.ol2;
     mac += other.mac;
+    vector += other.vector;
     return *this;
 }
 
@@ -34,6 +35,7 @@ EnergyBreakdown::operator*(double scale) const
     e.ol1 *= scale;
     e.ol2 *= scale;
     e.mac *= scale;
+    e.vector *= scale;
     return e;
 }
 
@@ -43,9 +45,9 @@ EnergyBreakdown::toString() const
     const double mj = 1e-9; // pJ -> mJ
     return strprintf(
         "total %.4f mJ (dram %.4f, d2d %.4f, noc %.4f, al2 %.4f, "
-        "al1 %.4f, wl1 %.4f, ol1 %.4f, ol2 %.4f, mac %.4f)",
+        "al1 %.4f, wl1 %.4f, ol1 %.4f, ol2 %.4f, mac %.4f, vec %.4f)",
         total() * mj, dram * mj, d2d * mj, noc * mj, al2 * mj, al1 * mj,
-        wl1 * mj, ol1 * mj, ol2 * mj, mac * mj);
+        wl1 * mj, ol1 * mj, ol2 * mj, mac * mj, vector * mj);
 }
 
 EnergyBreakdown
@@ -67,6 +69,7 @@ computeEnergy(const AccessCounts &counts, const AcceleratorConfig &cfg,
     e.ol2 = (counts.ol2ReadBits + counts.ol2WriteBits) *
             tech.sramEnergyPerBit(std::max<int64_t>(counts.ol2Bytes, 1024));
     e.mac = counts.macOps * tech.macEnergyPerOp;
+    e.vector = counts.vectorOps * tech.vectorOpEnergyPerOp;
     return e;
 }
 

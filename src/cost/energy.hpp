@@ -27,10 +27,12 @@ struct EnergyBreakdown
     double ol1 = 0.0;
     double ol2 = 0.0;
     double mac = 0.0;
+    double vector = 0.0; //!< post-MAC vector-ALU work (softmax)
 
     double total() const
     {
-        return dram + d2d + noc + al2 + al1 + wl1 + ol1 + ol2 + mac;
+        return dram + d2d + noc + al2 + al1 + wl1 + ol1 + ol2 + mac +
+               vector;
     }
 
     /** Sum of the SRAM levels (A-L2 + O-L2 + A-L1 + W-L1). */

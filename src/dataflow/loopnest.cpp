@@ -24,6 +24,8 @@ toString(Dim d)
         return "KH";
       case Dim::KW:
         return "KW";
+      case Dim::B:
+        return "B";
     }
     panic("bad Dim");
 }
@@ -44,6 +46,8 @@ TileSpan::at(Dim d)
         return kh;
       case Dim::KW:
         return kw;
+      case Dim::B:
+        return b;
     }
     panic("bad Dim");
 }
@@ -84,6 +88,8 @@ LoopNest::toString() const
         ss << nnbaton::toString(l.dim) << ":" << l.trips << " ";
     ss << "| atom " << atom.ho << "x" << atom.wo << "x" << atom.co
        << " ci" << atom.ci << " k" << atom.kh << "x" << atom.kw;
+    if (atom.b > 1)
+        ss << " b" << atom.b;
     return ss.str();
 }
 
@@ -120,7 +126,13 @@ buildNests(const ConvLayer &layer, const AcceleratorConfig &cfg,
     NestSet nests;
 
     // ---- per-core nest: pkg-temporal + chip-temporal + core loops ----
+    // The batch loop sits outermost on every nest: samples are
+    // processed one after another, so weights (batch-irrelevant) are
+    // reused across its trips whenever they fit below it, while the
+    // activation/output footprints multiply by its span.
     LoopNest &core = nests.perCore;
+    if (layer.batch > 1)
+        core.loops.push_back({Dim::B, layer.batch});
     appendTemporal(core.loops, mapping.pkgOrder, shapes.pkgTripsH,
                    shapes.pkgTripsW, shapes.pkgTripsC);
     appendTemporal(core.loops, mapping.chipOrder, shapes.chipTripsH,
@@ -150,6 +162,8 @@ buildNests(const ConvLayer &layer, const AcceleratorConfig &cfg,
 
     // ---- per-chiplet nest: pkg-temporal loops over chiplet tiles ----
     LoopNest &chip = nests.perChiplet;
+    if (layer.batch > 1)
+        chip.loops.push_back({Dim::B, layer.batch});
     appendTemporal(chip.loops, mapping.pkgOrder, shapes.pkgTripsH,
                    shapes.pkgTripsW, shapes.pkgTripsC);
     chip.atom = TileSpan{};

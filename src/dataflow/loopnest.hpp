@@ -31,6 +31,7 @@ enum class Dim
     IC, //!< input channels
     KH, //!< kernel rows
     KW, //!< kernel columns
+    B,  //!< batch samples (irrelevant to weights)
 };
 
 const char *toString(Dim d);
@@ -51,6 +52,7 @@ struct TileSpan
     int64_t ci = 1;
     int64_t kh = 1;
     int64_t kw = 1;
+    int64_t b = 1;
 
     int64_t &at(Dim d);
     int64_t at(Dim d) const;

@@ -69,6 +69,7 @@ deriveShapes(const ConvLayer &layer, const AcceleratorConfig &cfg,
              const Mapping &m)
 {
     MappingShapes s;
+    s.batchTrips = layer.batch;
     const int np = cfg.package.chiplets;
 
     // 1. Package spatial: chiplet macro workload.

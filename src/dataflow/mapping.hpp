@@ -118,6 +118,9 @@ struct MappingShapes
     int chipTripsW = 1;
     int chipTripsC = 1;
 
+    // Batch trips of the outermost temporal loop (one per sample).
+    int batchTrips = 1;
+
     int64_t pkgTrips() const
     {
         return static_cast<int64_t>(pkgTripsH) * pkgTripsW * pkgTripsC;
@@ -128,10 +131,12 @@ struct MappingShapes
         return static_cast<int64_t>(chipTripsH) * chipTripsW * chipTripsC;
     }
 
-    /** Core tiles executed per chiplet for the whole layer. */
+    /** Core tiles executed per chiplet for the whole layer (every
+     *  sample of the batch). */
     int64_t coreTilesPerChiplet() const
     {
-        return pkgTrips() * chipTrips();
+        return static_cast<int64_t>(batchTrips) * pkgTrips() *
+               chipTrips();
     }
 };
 

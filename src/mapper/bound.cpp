@@ -153,6 +153,10 @@ energyFloorOf(const ConvLayer &layer, const AcceleratorConfig &cfg,
                 std::max<int64_t>(s.chipletTile.volume(), 1024));
 
     e.mac = static_cast<double>(macs) * tech.macEnergyPerOp;
+    // Vector-ALU passes are mapping-independent, so the exact term is
+    // free tightness.
+    e.vector = static_cast<double>(layer.vectorOps()) *
+               tech.vectorOpEnergyPerOp;
     return EnergyFloor{e.total(), dram_act + w_bits + out_bits, d2d};
 }
 
@@ -282,6 +286,8 @@ subtreeScoreLowerBound(const ConvLayer &layer,
                          tile_max.volume(), 1024)));
 
     e.mac = static_cast<double>(macs) * tech.macEnergyPerOp;
+    e.vector = static_cast<double>(layer.vectorOps()) *
+               tech.vectorOpEnergyPerOp;
     const double energy = e.total();
     if (objective == Objective::MinEnergy)
         return energy;

@@ -65,6 +65,8 @@ MappingCache::makeKey(const ConvLayer &layer,
     k.kw = layer.kw;
     k.stride = layer.stride;
     k.groups = layer.groups;
+    k.batch = layer.batch;
+    k.postOps = layer.postOps;
     k.chiplets = cfg.package.chiplets;
     k.cores = cfg.chiplet.cores;
     k.lanes = cfg.core.lanes;
@@ -102,6 +104,8 @@ MappingCache::KeyHash::operator()(const Key &key) const
         static_cast<uint32_t>(key.kw));
     mix(static_cast<uint64_t>(key.stride) << 32 |
         static_cast<uint32_t>(key.groups));
+    mix(static_cast<uint64_t>(key.batch) << 32 |
+        static_cast<uint32_t>(key.postOps));
     mix(static_cast<uint64_t>(key.chiplets) << 32 |
         static_cast<uint32_t>(key.cores));
     mix(static_cast<uint64_t>(key.lanes) << 32 |
@@ -129,7 +133,8 @@ MappingCache::findShapeMatch(const Key &key) const
         for (const Key &k : shard.lru) {
             if (k.ho != key.ho || k.wo != key.wo || k.co != key.co ||
                 k.ci != key.ci || k.kh != key.kh || k.kw != key.kw ||
-                k.stride != key.stride || k.groups != key.groups)
+                k.stride != key.stride || k.groups != key.groups ||
+                k.batch != key.batch || k.postOps != key.postOps)
                 continue;
             if (k.techFingerprint != key.techFingerprint ||
                 k.objective != key.objective || k.mode != 0)

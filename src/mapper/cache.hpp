@@ -68,9 +68,12 @@ class MappingCache
      */
     struct Key
     {
-        // Layer shape.
+        // Layer shape.  `batch` and `postOps` change the accounting;
+        // the op tag (conv vs gemm) does not — equivalent lowered
+        // shapes deliberately share entries.
         int ho = 0, wo = 0, co = 0, ci = 0;
         int kh = 0, kw = 0, stride = 0, groups = 0;
+        int batch = 1, postOps = 0;
         // Hardware configuration.
         int chiplets = 0, cores = 0, lanes = 0, vectorSize = 0;
         int64_t ol1Bytes = 0, al1Bytes = 0, wl1Bytes = 0, al2Bytes = 0;

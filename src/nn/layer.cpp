@@ -37,6 +37,14 @@ ConvLayer::validate() const
             "layer %s: non-positive kernel/stride (kh=%d kw=%d s=%d)",
             name.c_str(), kh, kw, stride));
     }
+    if (batch <= 0) {
+        throwStatus(errInvalidArgument(
+            "layer %s: non-positive batch %d", name.c_str(), batch));
+    }
+    if (postOps < 0) {
+        throwStatus(errInvalidArgument(
+            "layer %s: negative postOps %d", name.c_str(), postOps));
+    }
     if (groups != 1 && !(groups == ci && groups == co)) {
         throwStatus(errInvalidArgument(
             "layer %s: only dense (groups=1) and depthwise "
@@ -44,14 +52,37 @@ ConvLayer::validate() const
             "groups=%d ci=%d co=%d",
             name.c_str(), groups, ci, co));
     }
+    if (op == LayerOp::Gemm) {
+        if (static_cast<int64_t>(ho) * wo != gemmM || gemmN != co ||
+            gemmK != ci || kh != 1 || kw != 1 || stride != 1 ||
+            groups != 1) {
+            throwStatus(errInvalidArgument(
+                "layer %s: inconsistent GEMM lowering "
+                "(M=%d N=%d K=%d vs ho=%d wo=%d co=%d ci=%d)",
+                name.c_str(), gemmM, gemmN, gemmK, ho, wo, co, ci));
+        }
+    }
 }
 
 std::string
 ConvLayer::toString() const
 {
-    return strprintf("%s: out %dx%dx%d, ci %d, k %dx%d, s %d%s",
+    if (op == LayerOp::Gemm) {
+        return strprintf("%s: gemm %dx%dx%d (plane %dx%d), batch %d%s",
+                         name.c_str(), gemmM, gemmN, gemmK, ho, wo,
+                         batch,
+                         postOps > 0
+                             ? strprintf(", postops %d", postOps).c_str()
+                             : "");
+    }
+    return strprintf("%s: out %dx%dx%d, ci %d, k %dx%d, s %d%s%s%s",
                      name.c_str(), ho, wo, co, ci, kh, kw, stride,
-                     isDepthwise() ? ", depthwise" : "");
+                     isDepthwise() ? ", depthwise" : "",
+                     batch > 1 ? strprintf(", batch %d", batch).c_str()
+                               : "",
+                     postOps > 0
+                         ? strprintf(", postops %d", postOps).c_str()
+                         : "");
 }
 
 ConvLayer
@@ -102,6 +133,41 @@ makeFullyConnected(std::string name, int out_features, int in_features)
 {
     return makeConv(std::move(name), 1, 1, out_features, in_features, 1, 1,
                     1);
+}
+
+ConvLayer
+makeGemm(std::string name, int m, int n, int k, int batch, int post_ops)
+{
+    if (m <= 0) {
+        throwStatus(errInvalidArgument(
+            "layer %s: non-positive GEMM M %d", name.c_str(), m));
+    }
+    // Most balanced exact factorisation: the largest divisor of M not
+    // above sqrt(M) becomes ho (1 x M for prime M).  Exactness keeps
+    // the lowered cube's MAC and output counts identical to the native
+    // M x N x K workload.
+    int ho = 1;
+    for (int d = 1; static_cast<int64_t>(d) * d <= m; ++d) {
+        if (m % d == 0)
+            ho = d;
+    }
+    ConvLayer l;
+    l.name = std::move(name);
+    l.ho = ho;
+    l.wo = m / ho;
+    l.co = n;
+    l.ci = k;
+    l.kh = 1;
+    l.kw = 1;
+    l.stride = 1;
+    l.batch = batch;
+    l.op = LayerOp::Gemm;
+    l.gemmM = m;
+    l.gemmN = n;
+    l.gemmK = k;
+    l.postOps = post_ops;
+    l.validate();
+    return l;
 }
 
 } // namespace nnbaton

@@ -4,8 +4,10 @@
  *
  * A layer workload is defined output-centrically: a complete output cube
  * of HO x WO x CO elements, consuming a 3D input cube (HI x WI x CI) and
- * a 4D weight tensor (KH x KW x CI x CO).  Batch size is fixed to one as
- * in the paper.
+ * a 4D weight tensor (KH x KW x CI x CO).  A batch dimension multiplies
+ * the activation and output tensors (weights are shared across the
+ * batch); native GEMM workloads map M x N x K onto the same cube with
+ * M factored over the output plane.
  */
 
 #ifndef NNBATON_NN_LAYER_HPP
@@ -27,15 +29,27 @@ enum class LayerKind
 };
 
 /**
- * A convolution layer workload.
+ * Workload family of a layer.  A Gemm layer is lowered onto the conv
+ * cube (kh = kw = 1, stride 1) with M factored into ho x wo, but keeps
+ * its native M x N x K extents for display and serialisation.
+ */
+enum class LayerOp
+{
+    Conv, //!< convolution (or FC reorganised as 1x1 point-wise)
+    Gemm, //!< native matrix multiply, M x N x K
+};
+
+/**
+ * A layer workload.
  *
  * All extents are in elements.  Fully-connected layers are reorganised
  * into point-wise (1x1) convolutions for the evaluation, as in the
- * paper (section VI-A.2).
+ * paper (section VI-A.2); GEMM layers keep a 2D spatial plane by
+ * factoring M into ho x wo (exact: ho * wo == M).
  */
 struct ConvLayer
 {
-    std::string name; //!< layer name, e.g. "conv1" or "res2a_branch2a"
+    std::string name; //!< layer name, e.g. "conv1" or "enc0_qkv"
     int ho = 0;       //!< output height
     int wo = 0;       //!< output width
     int co = 0;       //!< output channels
@@ -44,6 +58,17 @@ struct ConvLayer
     int kw = 0;       //!< kernel width
     int stride = 1;   //!< convolution stride (same in H and W)
     int groups = 1;   //!< channel groups (1 = dense, ci = depthwise)
+    int batch = 1;    //!< batch size (weights shared across samples)
+
+    LayerOp op = LayerOp::Conv; //!< workload family
+    int gemmM = 0; //!< native GEMM rows (op == Gemm; ho * wo == gemmM)
+    int gemmN = 0; //!< native GEMM columns (== co)
+    int gemmK = 0; //!< native GEMM reduction depth (== ci)
+
+    /** Vector-ALU passes over each output element after the MACs
+     *  (e.g. 3 for a softmax: max, exp-sum, divide).  Zero for plain
+     *  conv/GEMM layers. */
+    int postOps = 0;
 
     /** Input-cube height needed to produce the full output (padded). */
     int hi() const { return (ho - 1) * stride + kh; }
@@ -57,30 +82,35 @@ struct ConvLayer
     /** True for depthwise convolutions (one input channel per output). */
     bool isDepthwise() const { return groups > 1 && groups == ci; }
 
-    /** Total multiply-accumulate operations for the layer. */
+    /** Total multiply-accumulate operations for the layer (all
+     *  samples of the batch). */
     int64_t macs() const
     {
-        return static_cast<int64_t>(ho) * wo * co * ciPerGroup() * kh *
-               kw;
+        return static_cast<int64_t>(batch) * ho * wo * co *
+               ciPerGroup() * kh * kw;
     }
 
-    /** Output tensor volume in elements. */
+    /** Output tensor volume in elements (all samples). */
     int64_t outputVolume() const
     {
-        return static_cast<int64_t>(ho) * wo * co;
+        return static_cast<int64_t>(batch) * ho * wo * co;
     }
 
-    /** Weight tensor volume in elements. */
+    /** Weight tensor volume in elements (shared across the batch). */
     int64_t weightVolume() const
     {
         return static_cast<int64_t>(kh) * kw * ciPerGroup() * co;
     }
 
-    /** Input tensor volume in elements (full padded footprint). */
+    /** Input tensor volume in elements (full padded footprint, all
+     *  samples). */
     int64_t inputVolume() const
     {
-        return static_cast<int64_t>(hi()) * wi() * ci;
+        return static_cast<int64_t>(batch) * hi() * wi() * ci;
     }
+
+    /** Post-MAC vector operations for the layer (all samples). */
+    int64_t vectorOps() const { return outputVolume() * postOps; }
 
     /** True for 1x1 kernels. */
     bool isPointWise() const { return kh == 1 && kw == 1; }
@@ -135,6 +165,17 @@ ConvLayer makeDepthwiseConv(std::string name, int ho, int wo,
  */
 ConvLayer makeFullyConnected(std::string name, int out_features,
                              int in_features);
+
+/**
+ * Build a native GEMM workload of M x N x K per sample.  M is factored
+ * into the most balanced exact ho x wo plane (ho the largest divisor
+ * of M not above sqrt(M)), which keeps a 2D spatial plane for the
+ * planar partitioning primitives; N maps to output channels and K to
+ * input channels with a 1x1 kernel.  @p post_ops vector passes per
+ * output element account for fused element-wise work (softmax).
+ */
+ConvLayer makeGemm(std::string name, int m, int n, int k, int batch = 1,
+                   int post_ops = 0);
 
 } // namespace nnbaton
 

@@ -18,6 +18,20 @@ Model::layer(const std::string &layer_name) const
                             layer_name.c_str()));
 }
 
+void
+Model::scaleBatch(int factor)
+{
+    if (factor <= 0) {
+        throwStatus(errInvalidArgument(
+            "model %s: non-positive batch factor %d", name_.c_str(),
+            factor));
+    }
+    for (auto &l : layers_) {
+        l.batch *= factor;
+        l.validate();
+    }
+}
+
 int64_t
 Model::totalMacs() const
 {

@@ -42,6 +42,14 @@ class Model
     /** All layers in execution order. */
     const std::vector<ConvLayer> &layers() const { return layers_; }
 
+    /**
+     * Multiply every layer's batch dimension by @p factor (the
+     * `--batch` / serve `batch` knob).  Multiplicative so layers that
+     * already fold heads into their batch (lowered attention) scale
+     * with the sequence count instead of being overwritten.
+     */
+    void scaleBatch(int factor);
+
     /** Find a layer by name; throws StatusError(NotFound) if absent. */
     const ConvLayer &layer(const std::string &layer_name) const;
 
@@ -74,7 +82,26 @@ Model makeVgg16(int resolution);
 Model makeResNet50(int resolution);
 Model makeDarkNet19(int resolution);
 Model makeMobileNetV2(int resolution);
+
+/** BERT-base encoder stack (12 layers, d=768, 12 heads); @p resolution
+ *  is the sequence length (the canonical table uses 128). */
+Model makeBertBase(int resolution);
+
+/** ViT-B/16 (patch embed + 12 encoders at seq 197 + head); @p
+ *  resolution is the input image size (224 canonical). */
+Model makeVitB16(int resolution);
 /** @} */
+
+/**
+ * Append one multi-head self-attention block, lowered to its GEMM
+ * sequence: fused QKV projection, per-head score GEMM with a
+ * three-pass softmax (max / exp-sum / normalise) as vector post-ops,
+ * per-head context GEMM, and the output projection.  Heads fold into
+ * the batch dimension of the per-head GEMMs.  @p seq tokens, model
+ * width @p d_model divisible by @p heads, @p batch sequences.
+ */
+void appendAttentionBlock(Model &model, const std::string &prefix,
+                          int seq, int d_model, int heads, int batch);
 
 /** Names of the five representative layers used in figures 11 and 12. */
 struct RepresentativeLayers

@@ -53,6 +53,7 @@ parseModel(std::istream &in)
     std::optional<Model> model;
     std::string line;
     int line_no = 0;
+    int batch = 1; // current batch; applies to subsequent layers
 
     while (std::getline(in, line)) {
         ++line_no;
@@ -86,6 +87,14 @@ parseModel(std::istream &in)
             result.error = lineError(
                 line_no, "the 'model' line must come first");
             return result;
+        }
+
+        if (kind == "batch") {
+            if (tokens.size() != 2 || !parsePositive(tokens[1], batch)) {
+                result.error = lineError(line_no, "expected: batch <n>");
+                return result;
+            }
+            continue;
         }
 
         if (kind == "conv") {
@@ -142,6 +151,46 @@ parseModel(std::istream &in)
             }
             model->addLayer(
                 makeFullyConnected(tokens[1], v[0], v[1]));
+        } else if (kind == "gemm") {
+            int v[4] = {0, 0, 0, 0};
+            const size_t n = tokens.size() - 2;
+            if (n != 3 && n != 4) {
+                result.error = lineError(
+                    line_no,
+                    "expected: gemm <name> <M> <N> <K> [postops]");
+                return result;
+            }
+            for (size_t i = 0; i < n; ++i) {
+                if (!parsePositive(tokens[2 + i], v[i])) {
+                    result.error = lineError(
+                        line_no, "bad integer '" + tokens[2 + i] + "'");
+                    return result;
+                }
+            }
+            model->addLayer(
+                makeGemm(tokens[1], v[0], v[1], v[2], batch, v[3]));
+        } else if (kind == "attention") {
+            int v[3];
+            if (tokens.size() != 5) {
+                result.error = lineError(
+                    line_no,
+                    "expected: attention <name> <seq> <dmodel> <heads>");
+                return result;
+            }
+            for (int i = 0; i < 3; ++i) {
+                if (!parsePositive(tokens[2 + i], v[i])) {
+                    result.error = lineError(
+                        line_no, "bad integer '" + tokens[2 + i] + "'");
+                    return result;
+                }
+            }
+            if (v[1] % v[2] != 0) {
+                result.error = lineError(
+                    line_no, "dmodel must be divisible by heads");
+                return result;
+            }
+            appendAttentionBlock(*model, tokens[1], v[0], v[1], v[2],
+                                 batch);
         } else {
             result.error = lineError(
                 line_no, "unknown layer kind '" + kind + "'");
@@ -203,8 +252,19 @@ writeModelText(const Model &model)
     std::ostringstream ss;
     ss << "model " << model.name() << " " << model.inputResolution()
        << "\n";
+    int batch = 1;
     for (const ConvLayer &l : model.layers()) {
-        if (l.isDepthwise()) {
+        if (l.batch != batch) {
+            batch = l.batch;
+            ss << "batch " << batch << "\n";
+        }
+        if (l.op == LayerOp::Gemm) {
+            ss << "gemm " << l.name << " " << l.gemmM << " " << l.gemmN
+               << " " << l.gemmK;
+            if (l.postOps > 0)
+                ss << " " << l.postOps;
+            ss << "\n";
+        } else if (l.isDepthwise()) {
             // Both kernel dims: non-square depthwise kernels must
             // round-trip (the legacy one-dim form dropped kw).
             ss << "dwconv " << l.name << " " << l.ho << " " << l.wo

@@ -9,14 +9,26 @@
  * @code
  *   # comment lines and blank lines are ignored
  *   model <name> <input-resolution>
+ *   batch  <n>
  *   conv   <name> <ho> <wo> <co> <ci> <kh> <kw> <stride>
  *   dwconv <name> <ho> <wo> <channels> <kh> <kw> <stride>
  *   fc     <name> <out-features> <in-features>
+ *   gemm   <name> <M> <N> <K> [postops]
+ *   attention <name> <seq> <dmodel> <heads>
  * @endcode
  *
  * `dwconv` also accepts the legacy square-kernel form with a single
  * <k> column; the writer always emits both kernel dims so non-square
  * depthwise kernels round-trip.
+ *
+ * `batch` is a stateful directive: it sets the batch dimension of
+ * every subsequent layer (initially 1) until the next `batch` line.
+ * `gemm` appends one native M x N x K matmul; `postops` counts
+ * post-MAC vector passes over the output (e.g. 3 for softmax).
+ * `attention` expands in place to the lowered GEMM sequence of one
+ * multi-head self-attention block (`<name>_qkv`, `_scores`, `_ctx`,
+ * `_proj`); the per-head GEMMs fold the heads into their batch, and
+ * the writer re-emits the lowered form, which round-trips exactly.
  *
  * The `model` line must come first; every other line appends a layer
  * in execution order.

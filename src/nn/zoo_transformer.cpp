@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Transformer-era workloads: BERT-base (Devlin et al., NAACL 2019)
+ * and ViT-B/16 (Dosovitskiy et al., ICLR 2021), lowered to the GEMM
+ * sequence the accelerator executes.
+ *
+ * Multi-head self-attention lowers to four GEMMs per block: a fused
+ * QKV projection, the per-head score GEMM (softmaxed in three vector
+ * passes: row max, exp-sum, normalise), the per-head context GEMM,
+ * and the output projection.  The per-head GEMMs fold the head count
+ * into their batch dimension — each head is an independent matmul
+ * over the same mapping, exactly what the batch loop models.  The
+ * two-layer feed-forward block is two plain GEMMs.
+ */
+
+#include "common/status.hpp"
+#include "nn/model.hpp"
+
+namespace nnbaton {
+
+void
+appendAttentionBlock(Model &model, const std::string &prefix, int seq,
+                     int d_model, int heads, int batch)
+{
+    if (seq <= 0 || d_model <= 0 || heads <= 0 || batch <= 0 ||
+        d_model % heads != 0) {
+        throwStatus(errInvalidArgument(
+            "attention %s: bad shape (seq=%d dmodel=%d heads=%d "
+            "batch=%d); dmodel must be a positive multiple of heads",
+            prefix.c_str(), seq, d_model, heads, batch));
+    }
+    const int d_head = d_model / heads;
+    // Softmax over each score row: max, exp-and-sum, normalise.
+    const int kSoftmaxPasses = 3;
+    model.addLayer(makeGemm(prefix + "_qkv", seq, 3 * d_model, d_model,
+                            batch));
+    model.addLayer(makeGemm(prefix + "_scores", seq, seq, d_head,
+                            batch * heads, kSoftmaxPasses));
+    model.addLayer(makeGemm(prefix + "_ctx", seq, d_head, seq,
+                            batch * heads));
+    model.addLayer(makeGemm(prefix + "_proj", seq, d_model, d_model,
+                            batch));
+}
+
+namespace {
+
+/** One encoder block: attention plus the two FFN GEMMs. */
+void
+appendEncoder(Model &m, const std::string &prefix, int seq, int d_model,
+              int heads, int ffn, int batch)
+{
+    appendAttentionBlock(m, prefix + "_attn", seq, d_model, heads,
+                         batch);
+    m.addLayer(makeGemm(prefix + "_ffn1", seq, ffn, d_model, batch));
+    m.addLayer(makeGemm(prefix + "_ffn2", seq, d_model, ffn, batch));
+}
+
+} // namespace
+
+Model
+makeBertBase(int resolution)
+{
+    const int seq = resolution; // sequence length (canonical 128)
+    if (seq < 2) {
+        throwStatus(errInvalidArgument(
+            "BERT-base sequence length too small: %d", seq));
+    }
+    Model m("BERT-base", seq);
+    for (int i = 1; i <= 12; ++i)
+        appendEncoder(m, "enc" + std::to_string(i), seq, 768, 12, 3072,
+                      1);
+    return m;
+}
+
+Model
+makeVitB16(int resolution)
+{
+    if (resolution < 16 || resolution % 16 != 0) {
+        throwStatus(errInvalidArgument(
+            "ViT-B/16 resolution must be a positive multiple of 16, "
+            "got %d",
+            resolution));
+    }
+    const int grid = resolution / 16;   // patches per side
+    const int seq = grid * grid + 1;    // plus the class token
+    Model m("ViT-B-16", resolution);
+    // Patch embedding: a 16x16/16 convolution over the RGB input.
+    m.addLayer(makeConv("patch_embed", grid, grid, 768, 3, 16, 16, 16));
+    for (int i = 1; i <= 12; ++i)
+        appendEncoder(m, "enc" + std::to_string(i), seq, 768, 12, 3072,
+                      1);
+    m.addLayer(makeFullyConnected("head", 1000, 768));
+    return m;
+}
+
+} // namespace nnbaton

@@ -129,6 +129,8 @@ parseTech(const JsonValue &v, TechnologyModel &tech)
             dbl = &tech.sramEnergyPerBitKb.offset;
         else if (key == "sramEnergySlope")
             dbl = &tech.sramEnergyPerBitKb.slope;
+        else if (key == "vectorOpEnergyPerOp")
+            dbl = &tech.vectorOpEnergyPerOp;
         else if (key == "frequencyGhz")
             dbl = &tech.frequencyGhz;
         else if (key == "dramBitsPerCycle")
@@ -221,6 +223,11 @@ parseRequest(const std::string &line)
             if (!n.ok())
                 return n.status();
             req.resolution = n.value();
+        } else if (key == "batch") {
+            StatusOr<int> n = positiveInt32(key, value);
+            if (!n.ok())
+                return n.status();
+            req.batch = n.value();
         } else if (key == "config") {
             Status s = parseConfig(value, req.config);
             if (!s.ok())

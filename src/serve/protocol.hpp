@@ -27,6 +27,7 @@
  *    "model":"resnet50",            // zoo name, or instead:
  *    "modelText":"model m 32\n...", // inline text-format model
  *    "resolution":224,
+ *    "batch":1,                     // multiplies every layer's batch
  *    "config":{"chiplets":4,"cores":8,"lanes":8,"vectorSize":8,
  *              "ol1Bytes":1536,"al1Bytes":800,"wl1Bytes":18432,
  *              "al2Bytes":65536},   // post: hardware overrides
@@ -85,6 +86,7 @@ struct ServeRequest
     std::string model = "resnet50";
     std::string modelText;
     int resolution = 224;
+    int batch = 1; //!< multiplies every layer's batch (CLI --batch)
 
     // Hardware (post) — starts from the paper's case-study config.
     AcceleratorConfig config;

@@ -85,28 +85,37 @@ serveMetrics()
 Model
 loadRequestModel(const ServeRequest &req)
 {
+    auto finish = [&](Model m) {
+        if (req.batch > 1)
+            m.scaleBatch(req.batch);
+        return m;
+    };
     if (!req.modelText.empty()) {
         ParseResult parsed = parseModelString(req.modelText);
         if (!parsed.ok()) {
             throwStatus(errInvalidArgument("modelText: %s",
                                            parsed.error.c_str()));
         }
-        return std::move(*parsed.model);
+        return finish(std::move(*parsed.model));
     }
     const std::string &n = req.model;
     if (n == "vgg16")
-        return makeVgg16(req.resolution);
+        return finish(makeVgg16(req.resolution));
     if (n == "resnet50")
-        return makeResNet50(req.resolution);
+        return finish(makeResNet50(req.resolution));
     if (n == "darknet19")
-        return makeDarkNet19(req.resolution);
+        return finish(makeDarkNet19(req.resolution));
     if (n == "alexnet")
-        return makeAlexNet(req.resolution);
+        return finish(makeAlexNet(req.resolution));
     if (n == "mobilenetv2")
-        return makeMobileNetV2(req.resolution);
+        return finish(makeMobileNetV2(req.resolution));
+    if (n == "bert_base")
+        return finish(makeBertBase(req.resolution));
+    if (n == "vit_b16")
+        return finish(makeVitB16(req.resolution));
     throwStatus(errInvalidArgument(
-        "unknown model '%s' (try vgg16, resnet50, darknet19, alexnet "
-        "or mobilenetv2)",
+        "unknown model '%s' (try vgg16, resnet50, darknet19, alexnet, "
+        "mobilenetv2, bert_base or vit_b16)",
         n.c_str()));
 }
 

@@ -114,7 +114,10 @@ RuntimeSimulator::run(const ConvLayer &layer,
     const int p =
         std::min<int>(cfg_.core.vectorSize, layer.ciPerGroup());
 
-    const int64_t outer = analysis.shapes.pkgTrips();
+    // Batch samples replay the whole package-temporal schedule once
+    // each (outermost loop), exactly like the analytical tile count.
+    const int64_t outer =
+        static_cast<int64_t>(s.batchTrips) * s.pkgTrips();
     for (int64_t o = 0; o < outer; ++o) {
         for (int th = 0; th < s.chipTripsH; ++th) {
             const int ho = std::min<int>(

@@ -172,6 +172,9 @@ evaluateSimba(const ConvLayer &layer, const AcceleratorConfig &cfg,
     c.nocBits += al1.fillBytes * 8 * nc * np;
 
     c.macOps = macs;
+    // Post-MAC vector work (softmax) is mapping-independent — the
+    // baseline pays the same bill as NN-Baton.
+    c.vectorOps = layer.vectorOps();
     c.ol1RmwBits += ceilDiv(macs, std::max(1, vec_active)) * 24;
     c.ol1ReadBits += outv * 24;
     c.ol2WriteBits += outv * 8;

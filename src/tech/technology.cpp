@@ -78,6 +78,7 @@ TechnologyModel::fingerprint() const
         static_cast<uint32_t>(d2dBitsPerCycle));
     mix(static_cast<uint64_t>(dataBits) << 32 |
         static_cast<uint32_t>(psumBits));
+    mixDouble(vectorOpEnergyPerOp);
     return h;
 }
 

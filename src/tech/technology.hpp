@@ -48,6 +48,13 @@ struct TechnologyModel
     double macEnergyPerOp = 0.024;      //!< 8-bit MAC, pJ/op
     /// @}
 
+    /** Vector-ALU element operation (pJ/op) for post-MAC passes such
+     *  as the softmax in attention scores.  Scaled from the MAC
+     *  anchor: an 8-bit exp/normalise step costs roughly twice a MAC
+     *  on the same datapath (not in table I, documented in
+     *  DESIGN.md). */
+    double vectorOpEnergyPerOp = 0.05;
+
     /** On-chip NoC hop energy (pJ/bit) for Simba-style psum routing;
      *  set to the 32 KB L2 access cost since each hop traverses the
      *  router buffering (not in table I, documented in DESIGN.md). */

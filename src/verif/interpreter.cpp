@@ -19,6 +19,7 @@ struct Offsets
     int64_t ci = 0;
     int64_t kh = 0;
     int64_t kw = 0;
+    int64_t b = 0;
 
     int64_t &at(Dim d)
     {
@@ -35,8 +36,56 @@ struct Offsets
             return kh;
           case Dim::KW:
             return kw;
+          case Dim::B:
+            return b;
         }
         panic("bad Dim");
+    }
+};
+
+/**
+ * Dense linearisation of 4D coordinates into one int64 key, with
+ * strides derived from the actual per-dimension extents (transformer
+ * layers blow far past any fixed per-field width; seq * d_model alone
+ * exceeds 16 bits).  Construction fails with InvalidArgument only when
+ * the extent product genuinely overflows 64 bits.
+ */
+struct Linearizer
+{
+    int64_t e1 = 1, e2 = 1, e3 = 1;
+    bool valid = false;
+
+    static StatusOr<Linearizer>
+    make(int64_t e0, int64_t e1, int64_t e2, int64_t e3)
+    {
+        const int64_t cap = INT64_MAX;
+        int64_t product = 1;
+        for (int64_t e : {e0, e1, e2, e3}) {
+            if (e <= 0)
+                e = 1;
+            if (product > cap / e) {
+                return errInvalidArgument(
+                    "referenceFills: coordinate extents "
+                    "%lld x %lld x %lld x %lld overflow the 64-bit "
+                    "linearisation",
+                    static_cast<long long>(e0),
+                    static_cast<long long>(e1),
+                    static_cast<long long>(e2),
+                    static_cast<long long>(e3));
+            }
+            product *= e;
+        }
+        Linearizer l;
+        l.e1 = std::max<int64_t>(e1, 1);
+        l.e2 = std::max<int64_t>(e2, 1);
+        l.e3 = std::max<int64_t>(e3, 1);
+        l.valid = true;
+        return l;
+    }
+
+    int64_t key(int64_t a, int64_t b, int64_t c, int64_t d) const
+    {
+        return ((a * e1 + b) * e2 + c) * e3 + d;
     }
 };
 
@@ -47,20 +96,20 @@ struct Offsets
  */
 int64_t
 enumerateTile(Tensor tensor, const Offsets &off, const TileSpan &span,
-              const ConvLayer &layer, std::unordered_set<int64_t> &seen)
+              const ConvLayer &layer, const Linearizer &lin,
+              std::unordered_set<int64_t> &seen)
 {
     int64_t added = 0;
     auto touch = [&](int64_t a, int64_t b, int64_t c, int64_t d) {
-        // Linearise with generous strides; extents in this model are
-        // far below 1 << 16.
-        const int64_t key =
-            ((a * 65536 + b) * 65536 + c) * 65536 + d;
-        if (seen.insert(key).second)
+        if (seen.insert(lin.key(a, b, c, d)).second)
             ++added;
     };
 
     switch (tensor) {
       case Tensor::Weights:
+        // Weight coordinates carry no batch index: a retained subtree
+        // spanning several samples dedupes them, matching the
+        // batch-irrelevance of the analytical footprint.
         for (int64_t co = off.co; co < off.co + span.co; ++co)
             for (int64_t ci = off.ci; ci < off.ci + span.ci; ++ci)
                 for (int64_t kh = off.kh; kh < off.kh + span.kh; ++kh)
@@ -85,17 +134,19 @@ enumerateTile(Tensor tensor, const Offsets &off, const TileSpan &span,
         const int64_t chn = layer.isDepthwise()
                                 ? std::min<int64_t>(layer.ci, span.co)
                                 : span.ci;
-        for (int64_t ch = ch0; ch < ch0 + chn; ++ch)
-            for (int64_t r = row0; r < row1; ++r)
-                for (int64_t c = col0; c < col1; ++c)
-                    touch(ch, r, c, 0);
+        for (int64_t b = off.b; b < off.b + span.b; ++b)
+            for (int64_t ch = ch0; ch < ch0 + chn; ++ch)
+                for (int64_t r = row0; r < row1; ++r)
+                    for (int64_t c = col0; c < col1; ++c)
+                        touch(b, ch, r, c);
         break;
       }
       case Tensor::Outputs:
-        for (int64_t co = off.co; co < off.co + span.co; ++co)
-            for (int64_t h = off.ho; h < off.ho + span.ho; ++h)
-                for (int64_t w = off.wo; w < off.wo + span.wo; ++w)
-                    touch(co, h, w, 0);
+        for (int64_t b = off.b; b < off.b + span.b; ++b)
+            for (int64_t co = off.co; co < off.co + span.co; ++co)
+                for (int64_t h = off.ho; h < off.ho + span.ho; ++h)
+                    for (int64_t w = off.wo; w < off.wo + span.wo; ++w)
+                        touch(b, co, h, w);
         break;
     }
     return added;
@@ -106,6 +157,7 @@ struct Walker
     const LoopNest &nest;
     Tensor tensor;
     const ConvLayer &layer;
+    Linearizer lin;
     int64_t capacity;
     ReferenceResult result;
 
@@ -117,7 +169,7 @@ struct Walker
             // Retain this whole subtree: measure its unique touches.
             std::unordered_set<int64_t> seen;
             result.fillBytes +=
-                enumerateTile(tensor, off, span, layer, seen);
+                enumerateTile(tensor, off, span, layer, lin, seen);
             result.retainedTiles += 1;
             return;
         }
@@ -125,7 +177,7 @@ struct Walker
             // Even the atom does not fit: every iteration reloads it.
             std::unordered_set<int64_t> seen;
             result.fillBytes +=
-                enumerateTile(tensor, off, span, layer, seen);
+                enumerateTile(tensor, off, span, layer, lin, seen);
             result.retainedTiles += 1;
             return;
         }
@@ -139,6 +191,31 @@ struct Walker
     }
 };
 
+/** The per-tensor coordinate extents the dense linearisation packs. */
+StatusOr<Linearizer>
+makeLinearizer(Tensor tensor, const TileSpan &full, const ConvLayer &layer)
+{
+    switch (tensor) {
+      case Tensor::Weights:
+        return Linearizer::make(full.co, full.ci, full.kh, full.kw);
+      case Tensor::Activations: {
+        // Input rows/cols include the halo of the outermost span.
+        const int64_t rows =
+            (full.ho - 1) * layer.stride +
+            std::min<int64_t>(full.kh, layer.kh);
+        const int64_t cols =
+            (full.wo - 1) * layer.stride +
+            std::min<int64_t>(full.kw, layer.kw);
+        // Depthwise layers address channels through the CO index.
+        const int64_t channels = std::max(full.ci, full.co);
+        return Linearizer::make(full.b, channels, rows, cols);
+      }
+      case Tensor::Outputs:
+        return Linearizer::make(full.b, full.co, full.ho, full.wo);
+    }
+    panic("bad Tensor");
+}
+
 } // namespace
 
 ReferenceResult
@@ -150,24 +227,17 @@ referenceFills(const LoopNest &nest, Tensor tensor, const ConvLayer &layer,
             "referenceFills: capacity must be positive, got %lld bytes",
             static_cast<long long>(capacity_bytes)));
     }
-    // The coordinate key packs four 16-bit fields; reject nests whose
-    // extents (including the input halo) would alias under that
-    // linearisation instead of silently under-counting.
+    // Dense strides are derived from the nest's outermost span, so any
+    // extents whose product fits in 64 bits linearise exactly; only a
+    // genuine overflow is rejected (with the nest in the message).
     const TileSpan full = nest.spanBelow(0);
-    const int64_t bound = 65536;
-    const int64_t rows = (full.ho - 1) * layer.stride + full.kh +
-                         layer.kh;
-    const int64_t cols = (full.wo - 1) * layer.stride + full.kw +
-                         layer.kw;
-    if (full.ho >= bound || full.wo >= bound || full.co >= bound ||
-        full.ci >= bound || full.kh >= bound || full.kw >= bound ||
-        rows >= bound || cols >= bound) {
+    StatusOr<Linearizer> lin = makeLinearizer(tensor, full, layer);
+    if (!lin.ok()) {
         throwStatus(errInvalidArgument(
-            "referenceFills: nest extents exceed the 16-bit "
-            "coordinate linearisation (nest %s)",
+            "%s (nest %s)", lin.status().message().c_str(),
             nest.toString().c_str()));
     }
-    Walker w{nest, tensor, layer, capacity_bytes, {}};
+    Walker w{nest, tensor, layer, lin.value(), capacity_bytes, {}};
     w.visit(0, Offsets{});
     return w.result;
 }

@@ -143,7 +143,8 @@ isLegal(const DiffCase &c)
 {
     const ConvLayer &l = c.layer;
     if (l.ho < 1 || l.wo < 1 || l.co < 1 || l.ci < 1 || l.kh < 1 ||
-        l.kw < 1 || l.stride < 1 || l.groups < 1)
+        l.kw < 1 || l.stride < 1 || l.groups < 1 || l.batch < 1 ||
+        l.postOps < 0)
         return false;
     if (l.ci % l.groups != 0)
         return false;
@@ -173,6 +174,15 @@ shrinkCandidates(const DiffCase &c)
         out.push_back(std::move(next));
     };
 
+    push([](DiffCase &n) {
+        // Demote a GEMM to the plain conv it lowers to, so the plane
+        // shrink moves below apply (a gemm's toString renders MxNxK,
+        // which the plane moves would not change).
+        n.layer.op = LayerOp::Conv;
+        n.layer.gemmM = n.layer.gemmN = n.layer.gemmK = 0;
+    });
+    push([](DiffCase &n) { n.layer.batch = halved(n.layer.batch); });
+    push([](DiffCase &n) { n.layer.postOps = 0; });
     push([](DiffCase &n) { n.layer.ho = halved(n.layer.ho); });
     push([](DiffCase &n) { n.layer.wo = halved(n.layer.wo); });
     push([](DiffCase &n) {

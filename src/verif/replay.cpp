@@ -126,13 +126,14 @@ replayMapping(const ConvLayer &layer, const AcceleratorConfig &cfg,
                                   s.pkgTripsW, s.pkgTripsC);
     const auto chip = tripsInOrder(mapping.chipOrder, s.chipTripsH,
                                    s.chipTripsW, s.chipTripsC);
-    for (int a = 0; a < pkg[0]; ++a)
-        for (int b = 0; b < pkg[1]; ++b)
-            for (int c = 0; c < pkg[2]; ++c)
-                for (int d = 0; d < chip[0]; ++d)
-                    for (int e = 0; e < chip[1]; ++e)
-                        for (int f = 0; f < chip[2]; ++f)
-                            ++r.tilesWalked;
+    for (int bt = 0; bt < s.batchTrips; ++bt)
+        for (int a = 0; a < pkg[0]; ++a)
+            for (int b = 0; b < pkg[1]; ++b)
+                for (int c = 0; c < pkg[2]; ++c)
+                    for (int d = 0; d < chip[0]; ++d)
+                        for (int e = 0; e < chip[1]; ++e)
+                            for (int f = 0; f < chip[2]; ++f)
+                                ++r.tilesWalked;
 
     // --- access composition over the measured fills ------------------
     // The tensor the package spatial primitive shares rotates over the
@@ -179,16 +180,19 @@ replayMapping(const ConvLayer &layer, const AcceleratorConfig &cfg,
     // active lanes.
     const int64_t issues_per_tile =
         countIssuesPerTile(layer, cfg, s.coreTile);
-    const int64_t macs = static_cast<int64_t>(layer.ho) * layer.wo *
-                         layer.co * layer.ciPerGroup() * layer.kh *
-                         layer.kw;
+    const int64_t macs = static_cast<int64_t>(layer.batch) * layer.ho *
+                         layer.wo * layer.co * layer.ciPerGroup() *
+                         layer.kh * layer.kw;
     c.macOps = macs;
     c.al1ReadBits = macs * 8 / std::max(1, s.coreTile.co);
 
     // Outputs: one 24-bit accumulation per vector-MAC result, one
     // requantisation drain, exactly one externalised output copy.
-    const int64_t out_elems = static_cast<int64_t>(layer.ho) *
-                              layer.wo * layer.co;
+    const int64_t out_elems = static_cast<int64_t>(layer.batch) *
+                              layer.ho * layer.wo * layer.co;
+    // Post-MAC vector passes (softmax) touch each output element once
+    // per pass; recomputed here from the walked output volume.
+    c.vectorOps = out_elems * layer.postOps;
     c.ol1RmwBits = ceilDiv(macs, p) * 24;
     c.ol1ReadBits = out_elems * 24;
     c.ol2WriteBits = out_elems * 8;
@@ -265,6 +269,7 @@ diffMapping(const ConvLayer &layer, const AcceleratorConfig &cfg,
     check("ol2ReadBits", a.ol2ReadBits, r.ol2ReadBits);
     check("ol2WriteBits", a.ol2WriteBits, r.ol2WriteBits);
     check("macOps", a.macOps, r.macOps);
+    check("vectorOps", a.vectorOps, r.vectorOps);
     check("ol2Bytes", a.ol2Bytes, r.ol2Bytes);
 
     check("wl1.fillBytes", choice.analysis.wl1.fillBytes,

@@ -418,16 +418,31 @@ namespace {
 ConvLayer
 smallLayer(std::mt19937 &g)
 {
-    if (pick(g, {0, 1, 2, 3}) == 0) {
-        return makeDepthwiseConv("fuzz-dw", pick(g, {4, 7, 8}),
-                                 pick(g, {4, 7, 8}),
-                                 pick(g, {8, 16, 32}), 3,
-                                 pick(g, {1, 2}));
+    // Batch stays small so the coordinate enumeration (linear in
+    // touched elements, hence in batch) remains cheap.
+    const int batch = pick(g, {1, 1, 2, 3});
+    switch (pick(g, {0, 1, 2, 3})) {
+      case 0: {
+        ConvLayer l = makeDepthwiseConv(
+            "fuzz-dw", pick(g, {4, 7, 8}), pick(g, {4, 7, 8}),
+            pick(g, {8, 16, 32}), 3, pick(g, {1, 2}));
+        l.batch = batch;
+        return l;
+      }
+      case 1:
+        // Native GEMM, sometimes with a softmax-style vector tail.
+        return makeGemm("fuzz-gemm", pick(g, {15, 24, 49, 64}),
+                        pick(g, {8, 16, 32}), pick(g, {8, 16, 32}),
+                        batch, pick(g, {0, 0, 3}));
+      default: {
+        ConvLayer l = makeConv(
+            "fuzz", pick(g, {4, 7, 8, 14}), pick(g, {4, 7, 8, 14}),
+            pick(g, {8, 16, 32}), pick(g, {8, 16, 32}),
+            pick(g, {1, 3}), pick(g, {1, 3}), pick(g, {1, 2}));
+        l.batch = batch;
+        return l;
+      }
     }
-    return makeConv("fuzz", pick(g, {4, 7, 8, 14}),
-                    pick(g, {4, 7, 8, 14}), pick(g, {8, 16, 32}),
-                    pick(g, {8, 16, 32}), pick(g, {1, 3}),
-                    pick(g, {1, 3}), pick(g, {1, 2}));
 }
 
 } // namespace

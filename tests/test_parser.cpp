@@ -116,6 +116,12 @@ expectLayersEqual(const ConvLayer &a, const ConvLayer &b)
     EXPECT_EQ(a.kw, b.kw);
     EXPECT_EQ(a.stride, b.stride);
     EXPECT_EQ(a.groups, b.groups);
+    EXPECT_EQ(a.batch, b.batch);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.gemmM, b.gemmM);
+    EXPECT_EQ(a.gemmN, b.gemmN);
+    EXPECT_EQ(a.gemmK, b.gemmK);
+    EXPECT_EQ(a.postOps, b.postOps);
 }
 
 /** parse(write(m)) must reproduce m exactly. */
@@ -171,12 +177,60 @@ TEST(ParseModel, DepthwiseRejectsWrongArity)
 TEST(WriteModelText, RoundTripPropertyOverFullZoo)
 {
     // Every built-in model must survive write -> parse exactly; this
-    // covers dense conv, depthwise (MobileNetV2) and fc layers.
+    // covers dense conv, depthwise (MobileNetV2), fc and the lowered
+    // GEMM / attention layers of the transformer zoo.
     for (const Model &m :
          {makeAlexNet(224), makeVgg16(224), makeResNet50(224),
-          makeDarkNet19(224), makeMobileNetV2(224)}) {
+          makeDarkNet19(224), makeMobileNetV2(224), makeBertBase(128),
+          makeVitB16(224)}) {
         expectRoundTrips(m);
     }
+}
+
+TEST(ParseModel, GemmBatchAndAttentionDirectives)
+{
+    const ParseResult r = parseModelString(
+        "model t 32\n"
+        "gemm g0 15 64 96\n"       // prime-ish M -> 3x5 plane
+        "batch 4\n"
+        "gemm g1 48 64 96 2\n"     // postops carried
+        "attention a 24 96 4\n"    // expands to 4 gemm layers
+        "batch 1\n"
+        "fc head 10 96\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_EQ(r.model->layers().size(), 7u);
+    const ConvLayer &g0 = r.model->layer("g0");
+    EXPECT_EQ(g0.op, LayerOp::Gemm);
+    EXPECT_EQ(g0.gemmM, 15);
+    EXPECT_EQ(static_cast<int64_t>(g0.ho) * g0.wo, 15);
+    EXPECT_EQ(g0.batch, 1);
+    const ConvLayer &g1 = r.model->layer("g1");
+    EXPECT_EQ(g1.batch, 4);
+    EXPECT_EQ(g1.postOps, 2);
+    // Heads fold into the per-head GEMMs' batch; projections keep the
+    // sequence batch.
+    EXPECT_EQ(r.model->layer("a_qkv").batch, 4);
+    EXPECT_EQ(r.model->layer("a_scores").batch, 16);
+    EXPECT_EQ(r.model->layer("a_scores").postOps, 3);
+    EXPECT_EQ(r.model->layer("a_ctx").batch, 16);
+    EXPECT_EQ(r.model->layer("a_ctx").gemmN, 24);
+    EXPECT_EQ(r.model->layer("a_proj").batch, 4);
+    EXPECT_EQ(r.model->layer("head").batch, 1);
+    expectRoundTrips(*r.model);
+}
+
+TEST(ParseModel, GemmAndAttentionErrors)
+{
+    EXPECT_FALSE(parseModelString("model t 32\ngemm g 8 8\n").ok());
+    EXPECT_FALSE(
+        parseModelString("model t 32\ngemm g 8 8 8 0\n").ok());
+    EXPECT_FALSE(parseModelString("model t 32\nbatch 0\n").ok());
+    EXPECT_FALSE(parseModelString("model t 32\nbatch\n").ok());
+    EXPECT_NE(parseModelString("model t 32\nattention a 16 96 5\n")
+                  .error.find("divisible"),
+              std::string::npos);
+    EXPECT_FALSE(
+        parseModelString("model t 32\nattention a 16 96\n").ok());
 }
 
 TEST(WriteModelText, RoundTripPropertyOverRandomModels)
@@ -193,7 +247,7 @@ TEST(WriteModelText, RoundTripPropertyOverRandomModels)
         const int layers = pick(1, 12);
         for (int i = 0; i < layers; ++i) {
             const std::string name = "l" + std::to_string(i);
-            switch (pick(0, 2)) {
+            switch (pick(0, 4)) {
               case 0:
                 m.addLayer(makeConv(name, pick(2, 64), pick(1, 64),
                                     pick(1, 512), pick(1, 512),
@@ -205,6 +259,17 @@ TEST(WriteModelText, RoundTripPropertyOverRandomModels)
                     name, pick(1, 64), pick(1, 64), pick(1, 512),
                     pick(1, 7), pick(1, 7), pick(1, 3)));
                 break;
+              case 2:
+                m.addLayer(makeGemm(name, pick(1, 512), pick(1, 512),
+                                    pick(1, 512), pick(1, 16),
+                                    pick(0, 4)));
+                break;
+              case 3: {
+                const int heads = pick(1, 8);
+                appendAttentionBlock(m, name, pick(1, 64), 16 * heads,
+                                     heads, pick(1, 8));
+                break;
+              }
               default:
                 m.addLayer(makeFullyConnected(name, pick(1, 4096),
                                               pick(1, 4096)));

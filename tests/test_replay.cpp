@@ -213,14 +213,42 @@ TEST(InterpreterDeathTest, RejectsNonPositiveCapacity)
         "capacity must be positive");
 }
 
-TEST(InterpreterDeathTest, RejectsExtentsBeyondLinearisationBound)
+TEST(InterpreterDeathTest, AcceptsExtentsBeyondOldPackedCeiling)
 {
-    // The coordinate key packs 16-bit fields; oversize nests must be
-    // rejected rather than silently aliased.
+    // Regression: the coordinate key used to pack 16-bit fields and
+    // reject any extent >= 65536; the dense linearisation handles the
+    // old boundary and well beyond it without aliasing.
     const ConvLayer layer = makeConv("big", 70000, 1, 1, 1, 1, 1, 1);
     LoopNest nest;
     nest.atom.ho = 70000;
+    const ReferenceResult r =
+        referenceFills(nest, Tensor::Outputs, layer, INT64_MAX / 2);
+    EXPECT_EQ(r.fillBytes, 70000);
+
+    const ConvLayer edge = makeConv("edge", 65536, 1, 1, 1, 1, 1, 1);
+    LoopNest edge_nest;
+    edge_nest.atom.ho = 65536;
+    EXPECT_EQ(referenceFills(edge_nest, Tensor::Outputs, edge,
+                             INT64_MAX / 2)
+                  .fillBytes,
+              65536);
+}
+
+TEST(InterpreterDeathTest, RejectsTrueLinearisationOverflow)
+{
+    // Extents whose product overflows the 64-bit key are reported as a
+    // clear InvalidArgument instead of silently wrapping.
+    ConvLayer layer = makeConv("huge", 1 << 30, 1 << 30, 1, 1, 1, 1, 1);
+    layer.co = 1 << 30;
+    layer.batch = 1 << 30;
+    LoopNest nest;
+    nest.atom.ho = 1 << 30;
+    nest.atom.wo = 1 << 30;
+    nest.atom.co = 1 << 30;
+    nest.atom.b = 1 << 30;
     expectStatusThrow(
-        [&] { referenceFills(nest, Tensor::Outputs, layer, 1 << 20); },
+        [&] {
+            referenceFills(nest, Tensor::Outputs, layer, INT64_MAX / 2);
+        },
         "linearisation");
 }

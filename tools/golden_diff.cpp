@@ -333,6 +333,140 @@ genFig15(JsonWriter &j)
     j.endObject();
 }
 
+/**
+ * Energy writer for the transformer datasets: same fields as
+ * writeEnergy plus the vector-ALU term (softmax post-ops).  The conv
+ * corpora keep the original writer so their snapshots stay bitwise
+ * stable — the object-size-exact diff would flag a new key as drift.
+ */
+void
+writeEnergyWithVector(JsonWriter &j, const EnergyBreakdown &e)
+{
+    j.beginObject();
+    j.field("total", e.total());
+    j.field("dram", e.dram);
+    j.field("d2d", e.d2d);
+    j.field("noc", e.noc);
+    j.field("al2", e.al2);
+    j.field("al1", e.al1);
+    j.field("wl1", e.wl1);
+    j.field("ol1", e.ol1);
+    j.field("ol2", e.ol2);
+    j.field("mac", e.mac);
+    j.field("vector", e.vector);
+    j.endObject();
+}
+
+/** Per-layer search pin shared by the two transformer datasets. */
+void
+writeLayerChoice(JsonWriter &j, const ConvLayer &layer,
+                 const AcceleratorConfig &cfg,
+                 const TechnologyModel &tech)
+{
+    const auto choice = searchLayer(layer, cfg, tech, SearchEffort::Fast);
+    if (!choice) {
+        throwStatus(errInternal("no legal mapping for layer %s",
+                                layer.name.c_str()));
+    }
+    j.beginObject();
+    j.field("layer", layer.toString());
+    j.field("macs", layer.macs());
+    j.field("vector_ops", layer.vectorOps());
+    j.key("energy_pj");
+    writeEnergyWithVector(j, choice->energy);
+    j.field("cycles", choice->runtime.cycles);
+    j.field("mapping", choice->mapping.toString());
+    j.endObject();
+}
+
+/** Whole-model mapping pin: totals plus deterministic counters. */
+void
+writeModelMapping(JsonWriter &j, const Model &model,
+                  const AcceleratorConfig &cfg,
+                  const TechnologyModel &tech)
+{
+    const ModelMappingResult r =
+        mapModel(model, cfg, tech, SearchEffort::Fast);
+    if (!r.feasible) {
+        throwStatus(errInternal("model %s is infeasible",
+                                model.name().c_str()));
+    }
+    j.beginObject();
+    j.field("layers", static_cast<int64_t>(model.layers().size()));
+    j.field("macs", model.totalMacs());
+    j.field("weights", model.totalWeights());
+    j.key("energy_pj");
+    writeEnergyWithVector(j, r.cost.energy);
+    j.field("cycles", r.cost.cycles);
+    j.key("search").beginObject();
+    j.field("evaluated", r.stats.evaluated);
+    j.field("pruned", r.stats.pruned);
+    j.field("cache_hits", r.stats.cacheHits);
+    j.field("cache_misses", r.stats.cacheMisses);
+    j.endObject();
+    j.endObject();
+}
+
+/**
+ * BERT-base encoder pin: the six distinct GEMMs of one encoder block
+ * (the other eleven encoders repeat these shapes exactly — the
+ * whole-model counters pin that the cache sees them as repeats), on
+ * the paper's case-study hardware at sequence length 128.
+ */
+void
+genBertEncoder(JsonWriter &j)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &tech = defaultTech();
+    const Model bert = makeBertBase(128);
+    j.beginObject();
+    j.field("model", bert.name());
+    j.field("sequence", bert.inputResolution());
+    j.key("encoder_layers").beginArray();
+    for (const char *suffix : {"_attn_qkv", "_attn_scores", "_attn_ctx",
+                               "_attn_proj", "_ffn1", "_ffn2"}) {
+        writeLayerChoice(j, bert.layer("enc1" + std::string(suffix)),
+                         cfg, tech);
+    }
+    j.endArray();
+    j.key("model_mapping");
+    writeModelMapping(j, bert, cfg, tech);
+    j.endObject();
+}
+
+/**
+ * ViT-B/16 pin: the 16x16-stride patch-embedding convolution, one
+ * encoder's GEMMs (197-token sequence — prime, so the GEMM plane
+ * degenerates to 1x197), the classifier head, and a batch-4 variant
+ * of the softmax-carrying scores GEMM to pin the batch accounting.
+ */
+void
+genVit(JsonWriter &j)
+{
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const TechnologyModel &tech = defaultTech();
+    const Model vit = makeVitB16(224);
+    j.beginObject();
+    j.field("model", vit.name());
+    j.field("resolution", vit.inputResolution());
+    j.key("layers").beginArray();
+    for (const char *name : {"patch_embed", "enc1_attn_qkv",
+                             "enc1_attn_scores", "enc1_attn_ctx",
+                             "enc1_attn_proj", "enc1_ffn1", "enc1_ffn2",
+                             "head"}) {
+        writeLayerChoice(j, vit.layer(name), cfg, tech);
+    }
+    j.endArray();
+    ConvLayer batched = vit.layer("enc1_attn_scores");
+    batched.batch *= 4;
+    batched.validate();
+    j.key("scores_batch4");
+    writeLayerChoice(j, batched, cfg, tech);
+    j.key("model_mapping");
+    writeModelMapping(j, vit, cfg, tech);
+    j.endObject();
+}
+
 struct Dataset
 {
     const char *name;
@@ -340,8 +474,13 @@ struct Dataset
 };
 
 const Dataset kDatasets[] = {
-    {"table1", genTable1}, {"fig7", genFig7},   {"fig10", genFig10},
-    {"fig12", genFig12},   {"fig15", genFig15},
+    {"table1", genTable1},
+    {"fig7", genFig7},
+    {"fig10", genFig10},
+    {"fig12", genFig12},
+    {"fig15", genFig15},
+    {"bert_encoder", genBertEncoder},
+    {"vit", genVit},
 };
 
 std::string

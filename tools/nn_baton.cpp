@@ -71,6 +71,7 @@ struct Args
     bool verify = false;   //!< post: replay winners differentially
     int verifyBudget = 4;  //!< --verify-budget: mappings to replay
     int resolution = 224;
+    int batch = 1; //!< --batch: multiply every layer's batch
     int64_t macs = 2048;
     double areaMm2 = 0.0;
     bool proportional = false;
@@ -115,9 +116,12 @@ usage()
         "\n"
         "options:\n"
         "  --model <name>        zoo model (vgg16 resnet50 darknet19\n"
-        "                        alexnet mobilenetv2) [resnet50]\n"
+        "                        alexnet mobilenetv2 bert_base\n"
+        "                        vit_b16) [resnet50]\n"
         "  --model-file <path>   text model description instead\n"
-        "  --resolution <n>      input resolution (224 or 512) [224]\n"
+        "  --resolution <n>      input resolution (224 or 512; the\n"
+        "                        sequence length for bert_base) [224]\n"
+        "  --batch <n>           multiply every layer's batch [1]\n"
         "  --macs <n>            pre: required MAC units [2048]\n"
         "  --area <mm2>          pre: chiplet area budget [none]\n"
         "  --proportional        pre: memory proportional to compute\n"
@@ -201,6 +205,8 @@ parseArgs(int argc, char **argv, Args &args)
             args.modelFile = next();
         } else if (opt == "--resolution") {
             args.resolution = parsePositiveInt(name, next()).value();
+        } else if (opt == "--batch") {
+            args.batch = parsePositiveInt(name, next()).value();
         } else if (opt == "--macs") {
             args.macs = parsePositiveInt64(name, next()).value();
         } else if (opt == "--area") {
@@ -324,23 +330,32 @@ parseArgs(int argc, char **argv, Args &args)
 Model
 loadModel(const Args &args)
 {
+    auto finish = [&](Model m) {
+        if (args.batch > 1)
+            m.scaleBatch(args.batch);
+        return m;
+    };
     if (!args.modelFile.empty())
-        return loadModelFile(args.modelFile).value();
+        return finish(loadModelFile(args.modelFile).value());
     const std::string &n = args.model;
     const int res = args.resolution;
     if (n == "vgg16")
-        return makeVgg16(res);
+        return finish(makeVgg16(res));
     if (n == "resnet50")
-        return makeResNet50(res);
+        return finish(makeResNet50(res));
     if (n == "darknet19")
-        return makeDarkNet19(res);
+        return finish(makeDarkNet19(res));
     if (n == "alexnet")
-        return makeAlexNet(res);
+        return finish(makeAlexNet(res));
     if (n == "mobilenetv2")
-        return makeMobileNetV2(res);
+        return finish(makeMobileNetV2(res));
+    if (n == "bert_base")
+        return finish(makeBertBase(res));
+    if (n == "vit_b16")
+        return finish(makeVitB16(res));
     throwStatus(errInvalidArgument(
-        "unknown model '%s' (try vgg16, resnet50, darknet19, alexnet "
-        "or mobilenetv2)",
+        "unknown model '%s' (try vgg16, resnet50, darknet19, alexnet, "
+        "mobilenetv2, bert_base or vit_b16)",
         n.c_str()));
 }
 
@@ -526,7 +541,8 @@ runModels(const Args &args)
         return 0;
     }
     for (const char *name : {"alexnet", "vgg16", "resnet50",
-                             "darknet19", "mobilenetv2"}) {
+                             "darknet19", "mobilenetv2", "bert_base",
+                             "vit_b16"}) {
         Args a = args;
         a.model = name;
         const Model m = loadModel(a);
