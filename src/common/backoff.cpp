@@ -1,0 +1,63 @@
+#include "common/backoff.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/cancel.hpp"
+
+namespace nnbaton {
+
+Backoff::Backoff(const BackoffPolicy &policy, uint64_t seed)
+    : policy_(policy), state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+{
+}
+
+uint64_t
+Backoff::nextRandom()
+{
+    // xorshift64*: deterministic, no global state, good enough to
+    // spread retry storms.
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+}
+
+int64_t
+Backoff::nextDelayMs()
+{
+    const double grown =
+        static_cast<double>(policy_.initialDelayMs) *
+        std::pow(policy_.multiplier, static_cast<double>(attempts_));
+    ++attempts_;
+    const double base =
+        std::min(grown, static_cast<double>(policy_.maxDelayMs));
+    double jitter = 0.0;
+    if (policy_.jitter > 0) {
+        // Uniform in [-jitter, +jitter] from the seeded stream.
+        const double unit =
+            static_cast<double>(nextRandom() >> 11) /
+            static_cast<double>(1ull << 53);
+        jitter = base * policy_.jitter * (2.0 * unit - 1.0);
+    }
+    const double delay = std::max(1.0, base + jitter);
+    return static_cast<int64_t>(delay);
+}
+
+bool
+sleepWithCancel(int64_t delayMs, const CancelToken *cancel)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(delayMs);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (cancel && cancel->cancelled())
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<int64_t>(delayMs, 5)));
+    }
+    return cancel == nullptr || !cancel->cancelled();
+}
+
+} // namespace nnbaton

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Small socket utilities shared by every networked caller: the serve
+ * daemon's clients (`nn-baton request` / `stats`), and the fabric
+ * coordinator's worker connections.
+ *
+ * Two endpoint families, one string syntax:
+ *
+ *  - "host:port" (or ":port" for localhost) — TCP.  The fabric uses
+ *    TCP so a sweep can shard across machines.
+ *  - anything else — a filesystem path to a Unix-domain socket.
+ *
+ * Connections and line I/O are Status-based and timeout-bounded: a
+ * peer that hangs mid-frame turns into errDeadlineExceeded at the
+ * caller instead of wedging a thread forever, which is what lets the
+ * coordinator's lease machinery treat a stalled worker exactly like a
+ * crashed one.
+ */
+
+#ifndef NNBATON_COMMON_NET_HPP
+#define NNBATON_COMMON_NET_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace nnbaton {
+
+/** A parsed endpoint: either a TCP host/port or a Unix socket path. */
+struct Endpoint
+{
+    bool tcp = false;
+    std::string host;     //!< TCP only; defaults to 127.0.0.1
+    int port = 0;         //!< TCP only
+    std::string unixPath; //!< Unix only
+
+    /** Canonical display form ("127.0.0.1:7070" or the path). */
+    std::string toString() const;
+};
+
+/**
+ * Parse "host:port", ":port" (localhost) or a Unix socket path.
+ * Rejects empty strings and out-of-range ports.
+ */
+StatusOr<Endpoint> parseEndpoint(const std::string &text);
+
+/**
+ * Connect to @p endpoint with a wall-clock timeout (non-blocking
+ * connect + poll).  Returns the connected fd; the fd is left in
+ * blocking mode.  errUnavailable on refusal/resolution failure,
+ * errDeadlineExceeded on timeout.
+ */
+StatusOr<int> connectEndpoint(const Endpoint &endpoint,
+                              double timeoutSeconds);
+
+/**
+ * A buffered newline-delimited line channel over a connected socket.
+ * Owns the fd.  All operations are bounded by per-call timeouts, so
+ * a dead or stalled peer always surfaces as a Status instead of a
+ * hang.
+ */
+class LineChannel
+{
+  public:
+    LineChannel() = default;
+    /** Takes ownership of a connected @p fd. */
+    explicit LineChannel(int fd) : fd_(fd) {}
+    ~LineChannel() { close(); }
+
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+    LineChannel(LineChannel &&other) noexcept { swap(other); }
+    LineChannel &operator=(LineChannel &&other) noexcept
+    {
+        close();
+        swap(other);
+        return *this;
+    }
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Close the socket (idempotent); pending buffer is dropped. */
+    void close();
+
+    /**
+     * Send @p line plus a trailing newline, tolerating short writes.
+     * errUnavailable on a socket error (peer hung up),
+     * errDeadlineExceeded when @p timeoutSeconds elapses first.
+     */
+    Status sendLine(const std::string &line, double timeoutSeconds);
+
+    /**
+     * Receive one newline-terminated line (without the newline).
+     * errUnavailable when the peer closes mid-line,
+     * errDeadlineExceeded when @p timeoutSeconds elapses first.
+     */
+    StatusOr<std::string> recvLine(double timeoutSeconds);
+
+  private:
+    void swap(LineChannel &other) noexcept
+    {
+        std::swap(fd_, other.fd_);
+        std::swap(buffer_, other.buffer_);
+    }
+
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/** parseEndpoint + connectEndpoint + LineChannel in one call. */
+StatusOr<LineChannel> connectLineChannel(const std::string &endpoint,
+                                         double timeoutSeconds);
+
+} // namespace nnbaton
+
+#endif // NNBATON_COMMON_NET_HPP

@@ -1,13 +1,16 @@
 #include "dse/checkpoint.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "common/json.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "verif/fault.hpp"
 
 namespace nnbaton {
@@ -16,34 +19,6 @@ namespace {
 
 constexpr const char *kFormat = "nn-baton-sweep-checkpoint";
 constexpr int kVersion = 1;
-
-const char *
-kindName(CheckpointEntry::Kind kind)
-{
-    switch (kind) {
-    case CheckpointEntry::Kind::AreaRejected:
-        return "area_rejected";
-    case CheckpointEntry::Kind::Infeasible:
-        return "infeasible";
-    case CheckpointEntry::Kind::Valid:
-        return "valid";
-    }
-    return "unknown";
-}
-
-bool
-parseKind(const std::string &name, CheckpointEntry::Kind &out)
-{
-    if (name == "area_rejected")
-        out = CheckpointEntry::Kind::AreaRejected;
-    else if (name == "infeasible")
-        out = CheckpointEntry::Kind::Infeasible;
-    else if (name == "valid")
-        out = CheckpointEntry::Kind::Valid;
-    else
-        return false;
-    return true;
-}
 
 void
 writeEnergyArray(JsonWriter &j, const EnergyBreakdown &e)
@@ -61,8 +36,38 @@ writeEnergyArray(JsonWriter &j, const EnergyBreakdown &e)
     j.endArray();
 }
 
+} // namespace
+
+const char *
+checkpointKindName(CheckpointEntry::Kind kind)
+{
+    switch (kind) {
+    case CheckpointEntry::Kind::AreaRejected:
+        return "area_rejected";
+    case CheckpointEntry::Kind::Infeasible:
+        return "infeasible";
+    case CheckpointEntry::Kind::Valid:
+        return "valid";
+    }
+    return "unknown";
+}
+
+bool
+parseCheckpointKind(const std::string &name, CheckpointEntry::Kind &out)
+{
+    if (name == "area_rejected")
+        out = CheckpointEntry::Kind::AreaRejected;
+    else if (name == "infeasible")
+        out = CheckpointEntry::Kind::Infeasible;
+    else if (name == "valid")
+        out = CheckpointEntry::Kind::Valid;
+    else
+        return false;
+    return true;
+}
+
 void
-writePoint(JsonWriter &j, const DesignPoint &p)
+writeDesignPointJson(JsonWriter &j, const DesignPoint &p)
 {
     j.beginObject();
     j.key("compute").beginArray();
@@ -105,6 +110,8 @@ writePoint(JsonWriter &j, const DesignPoint &p)
     j.endObject(); // point
 }
 
+namespace {
+
 Status
 readEnergyArray(const JsonValue *v, EnergyBreakdown &out,
                 const char *where)
@@ -143,8 +150,10 @@ readNumberArray(const JsonValue *v, size_t n, const char *where,
     return Status::okStatus();
 }
 
+} // namespace
+
 Status
-readPoint(const JsonValue &v, DesignPoint &p)
+readDesignPointJson(const JsonValue &v, DesignPoint &p)
 {
     if (!v.isObject())
         return errDataLoss("checkpoint: point is not an object");
@@ -221,8 +230,6 @@ readPoint(const JsonValue &v, DesignPoint &p)
     return Status::okStatus();
 }
 
-} // namespace
-
 std::string
 designPointKey(const ComputeAllocation &compute,
                const MemoryAllocation &memory)
@@ -284,10 +291,10 @@ saveSweepCheckpoint(const std::string &path,
         const CheckpointEntry &e = checkpoint.entries.at(*key);
         j.beginObject();
         j.field("key", *key);
-        j.field("kind", kindName(e.kind));
+        j.field("kind", checkpointKindName(e.kind));
         if (e.kind == CheckpointEntry::Kind::Valid) {
             j.key("point");
-            writePoint(j, e.point);
+            writeDesignPointJson(j, e.point);
         }
         j.endObject();
     }
@@ -298,18 +305,23 @@ saveSweepCheckpoint(const std::string &path,
     const std::string tmp = path + ".tmp";
     {
         std::ofstream os(tmp, std::ios::trunc);
-        if (!os)
-            return errUnavailable("cannot open %s for writing",
-                                  tmp.c_str());
+        if (!os) {
+            return errUnavailable("cannot open %s for writing: %s",
+                                  tmp.c_str(), std::strerror(errno));
+        }
         os << body.str();
         os.flush();
-        if (!os)
-            return errUnavailable("short write to %s", tmp.c_str());
+        if (!os) {
+            return errUnavailable("short write to %s: %s", tmp.c_str(),
+                                  std::strerror(errno));
+        }
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
         std::remove(tmp.c_str());
-        return errUnavailable("cannot rename %s over %s", tmp.c_str(),
-                              path.c_str());
+        return errUnavailable("cannot rename %s over %s: %s",
+                              tmp.c_str(), path.c_str(),
+                              std::strerror(err));
     }
     return Status::okStatus();
 }
@@ -368,7 +380,7 @@ loadSweepCheckpoint(const std::string &path)
                                path.c_str());
         }
         CheckpointEntry entry;
-        if (!parseKind(kind->string, entry.kind)) {
+        if (!parseCheckpointKind(kind->string, entry.kind)) {
             return errDataLoss("checkpoint %s: unknown kind '%s'",
                                path.c_str(), kind->string.c_str());
         }
@@ -378,13 +390,78 @@ loadSweepCheckpoint(const std::string &path)
                 return errDataLoss("checkpoint %s: valid entry "
                                    "missing point",
                                    path.c_str());
-            Status s = readPoint(*point, entry.point);
+            Status s = readDesignPointJson(*point, entry.point);
             if (!s.ok())
                 return s.withContext("checkpoint " + path);
         }
         out.entries.emplace(key->string, std::move(entry));
     }
     return out;
+}
+
+void
+CheckpointSink::seed(const std::string &key,
+                     const CheckpointEntry &entry)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.entries.emplace(key, entry);
+}
+
+void
+CheckpointSink::record(const std::string &key,
+                       const SweepPointOutcome &out)
+{
+    if (!enabled())
+        return;
+    CheckpointEntry entry;
+    switch (out.kind) {
+    case SweepPointOutcome::AreaRejected:
+        entry.kind = CheckpointEntry::Kind::AreaRejected;
+        break;
+    case SweepPointOutcome::Infeasible:
+        entry.kind = CheckpointEntry::Kind::Infeasible;
+        break;
+    case SweepPointOutcome::Valid:
+        entry.kind = CheckpointEntry::Kind::Valid;
+        entry.point = out.point;
+        break;
+    case SweepPointOutcome::Poisoned:
+    case SweepPointOutcome::Skipped:
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.entries.emplace(key, std::move(entry));
+    if (++sinceFlush_ >= every_)
+        flushLocked();
+}
+
+void
+CheckpointSink::finish(bool complete)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.complete = complete;
+    flushLocked();
+}
+
+void
+CheckpointSink::flushLocked()
+{
+    sinceFlush_ = 0;
+    Status s = saveSweepCheckpoint(path_, state_);
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    if (s.ok()) {
+        reg.counter("dse.checkpoint.writes").add(1);
+    } else {
+        // Losing a checkpoint must not lose the sweep: count it, warn
+        // with the target path and errno detail, and keep going.
+        reg.counter("dse.checkpoint.failures").add(1);
+        warn("checkpoint write to %s failed: %s", path_.c_str(),
+             s.toString().c_str());
+    }
 }
 
 } // namespace nnbaton

@@ -26,11 +26,14 @@
 #ifndef NNBATON_DSE_CHECKPOINT_HPP
 #define NNBATON_DSE_CHECKPOINT_HPP
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/json.hpp"
 #include "common/status.hpp"
 #include "dse/explorer.hpp"
+#include "dse/slice.hpp"
 
 namespace nnbaton {
 
@@ -86,6 +89,62 @@ Status saveSweepCheckpoint(const std::string &path,
  * mismatch with errFailedPrecondition).
  */
 StatusOr<SweepCheckpoint> loadSweepCheckpoint(const std::string &path);
+
+/**
+ * Serialise a full DesignPoint (doubles at %.17g).  One serialisation
+ * shared by the checkpoint file and the fabric's sweepUnit responses —
+ * the same bytes travel both paths, so a distributed sweep and a
+ * checkpoint resume reconstruct identical points.
+ */
+void writeDesignPointJson(JsonWriter &j, const DesignPoint &point);
+
+/** Inverse of writeDesignPointJson; errDataLoss on malformed input. */
+Status readDesignPointJson(const JsonValue &value, DesignPoint &point);
+
+/** Wire/file name of an entry kind ("valid", "area_rejected", ...). */
+const char *checkpointKindName(CheckpointEntry::Kind kind);
+
+/** Parse a kind name; false when @p name is not a known kind. */
+bool parseCheckpointKind(const std::string &name,
+                         CheckpointEntry::Kind &out);
+
+/**
+ * Shared checkpoint state: sweep workers (local pool lanes or fabric
+ * unit completions) append their settled outcome under the mutex and
+ * every checkpointEvery completions the current snapshot is flushed
+ * (atomically) to disk.  Poisoned and skipped points are not recorded
+ * — a resume retries them.
+ */
+class CheckpointSink
+{
+  public:
+    CheckpointSink(std::string path, int every, std::string fingerprint)
+        : path_(std::move(path)), every_(every < 1 ? 1 : every)
+    {
+        state_.fingerprint = std::move(fingerprint);
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Seed with entries restored from a --resume checkpoint so a
+     *  later resume of THIS run still sees them. */
+    void seed(const std::string &key, const CheckpointEntry &entry);
+
+    /** Record a completed point; flushes every N completions. */
+    void record(const std::string &key, const SweepPointOutcome &out);
+
+    /** Final flush; @p complete marks a full (uninterrupted) sweep. */
+    void finish(bool complete);
+
+  private:
+    void flushLocked();
+
+    const std::string path_;
+    const int every_;
+    std::mutex mutex_;
+    SweepCheckpoint state_;
+    int sinceFlush_ = 0;
+};
 
 } // namespace nnbaton
 

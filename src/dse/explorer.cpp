@@ -6,7 +6,6 @@
 #include <limits>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
@@ -14,6 +13,7 @@
 #include "common/status.hpp"
 #include "common/trace.hpp"
 #include "dse/checkpoint.hpp"
+#include "dse/slice.hpp"
 #include "mapper/cache.hpp"
 #include "verif/fault.hpp"
 
@@ -61,170 +61,6 @@ DseResult::bestEnergy() const
     return best;
 }
 
-namespace {
-
-/** Per-design-point evaluation outcome, kept in sweep order so the
- *  parallel collection is bit-identical to the serial one. */
-struct PointOutcome
-{
-    enum Kind
-    {
-        AreaRejected,
-        Infeasible,
-        Valid,
-        Poisoned, //!< evaluation threw; quarantined with the error
-        Skipped,  //!< not evaluated (cancellation / deadline)
-    };
-    Kind kind = AreaRejected;
-    DesignPoint point;
-    SearchStats stats;
-    std::string error; //!< Poisoned only: the captured Status
-    bool restored = false; //!< prefilled from a --resume checkpoint
-};
-
-PointOutcome
-evaluatePoint(const Model &model, const DseOptions &options,
-              const TechnologyModel &tech,
-              const ComputeAllocation &compute,
-              const MemoryAllocation &memory, MappingCache &cache)
-{
-    NNBATON_TRACE_SCOPE("dse.design_point");
-
-    PointOutcome out;
-    AcceleratorConfig cfg = makeConfig(compute, memory);
-    AreaBreakdown area = chipletArea(cfg, tech, defaultOl2Bytes(cfg));
-    if (options.areaLimitMm2 > 0.0 &&
-        area.total() > options.areaLimitMm2) {
-        out.kind = PointOutcome::AreaRejected;
-        return out;
-    }
-    SearchOptions search;
-    search.threads = 1; // point-level parallelism only (nested-free)
-    search.boundPruning = options.boundPruning;
-    search.mode = options.searchMode;
-    search.annealSeed = options.annealSeed;
-    search.annealIterations = options.annealIterations;
-    search.warmStart = options.warmStart;
-    search.detailedMetrics = options.detailedMetrics;
-    search.cancel = options.cancel;
-    const uint64_t t0 = options.detailedMetrics ? obs::traceNowNs() : 0;
-    ModelMappingResult mapped =
-        mapModel(model, cfg, tech, options.effort, options.objective,
-                 search, &cache);
-    if (options.detailedMetrics) {
-        static obs::Histogram &m_point_us =
-            obs::MetricsRegistry::instance().histogram(
-                "dse.point_latency_us");
-        m_point_us.record(
-            static_cast<int64_t>((obs::traceNowNs() - t0) / 1000));
-    }
-    out.stats = mapped.stats;
-    if (!mapped.feasible) {
-        out.kind = PointOutcome::Infeasible;
-        return out;
-    }
-    out.kind = PointOutcome::Valid;
-    out.point.compute = compute;
-    out.point.memory = memory;
-    out.point.area = area;
-    out.point.cost = std::move(mapped.cost);
-    out.point.clockGhz = tech.frequencyGhz;
-    return out;
-}
-
-/**
- * Shared checkpoint state: workers append their settled outcome under
- * the mutex and every checkpointEvery completions the current
- * snapshot is flushed (atomically) to disk.  Poisoned and skipped
- * points are not recorded — a resume retries them.
- */
-class CheckpointSink
-{
-  public:
-    CheckpointSink(std::string path, int every, std::string fingerprint)
-        : path_(std::move(path)), every_(every < 1 ? 1 : every)
-    {
-        state_.fingerprint = std::move(fingerprint);
-    }
-
-    bool enabled() const { return !path_.empty(); }
-
-    /** Seed with entries restored from a --resume checkpoint so a
-     *  later resume of THIS run still sees them. */
-    void
-    seed(const std::string &key, const CheckpointEntry &entry)
-    {
-        if (!enabled())
-            return;
-        std::lock_guard<std::mutex> lock(mutex_);
-        state_.entries.emplace(key, entry);
-    }
-
-    /** Record a completed point; flushes every N completions. */
-    void
-    record(const std::string &key, const PointOutcome &out)
-    {
-        if (!enabled())
-            return;
-        CheckpointEntry entry;
-        switch (out.kind) {
-        case PointOutcome::AreaRejected:
-            entry.kind = CheckpointEntry::Kind::AreaRejected;
-            break;
-        case PointOutcome::Infeasible:
-            entry.kind = CheckpointEntry::Kind::Infeasible;
-            break;
-        case PointOutcome::Valid:
-            entry.kind = CheckpointEntry::Kind::Valid;
-            entry.point = out.point;
-            break;
-        case PointOutcome::Poisoned:
-        case PointOutcome::Skipped:
-            return;
-        }
-        std::lock_guard<std::mutex> lock(mutex_);
-        state_.entries.emplace(key, std::move(entry));
-        if (++sinceFlush_ >= every_)
-            flushLocked();
-    }
-
-    /** Final flush; @p complete marks a full (uninterrupted) sweep. */
-    void
-    finish(bool complete)
-    {
-        if (!enabled())
-            return;
-        std::lock_guard<std::mutex> lock(mutex_);
-        state_.complete = complete;
-        flushLocked();
-    }
-
-  private:
-    void
-    flushLocked()
-    {
-        sinceFlush_ = 0;
-        Status s = saveSweepCheckpoint(path_, state_);
-        obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
-        if (s.ok()) {
-            reg.counter("dse.checkpoint.writes").add(1);
-        } else {
-            // Losing a checkpoint must not lose the sweep: count it,
-            // warn once per failure and keep going.
-            reg.counter("dse.checkpoint.failures").add(1);
-            warn("checkpoint write failed: %s", s.toString().c_str());
-        }
-    }
-
-    const std::string path_;
-    const int every_;
-    std::mutex mutex_;
-    SweepCheckpoint state_;
-    int sinceFlush_ = 0;
-};
-
-} // namespace
-
 DseResult
 explore(const Model &model, const DseOptions &options,
         const TechnologyModel &tech)
@@ -232,40 +68,12 @@ explore(const Model &model, const DseOptions &options,
     NNBATON_TRACE_SCOPE("dse.explore");
     const auto start = std::chrono::steady_clock::now();
 
-    DseResult result;
-
     // Flatten the sweep into an index space first; the evaluation
     // order then no longer matters and the collection pass below
-    // reproduces the serial ordering exactly.
-    struct Task
-    {
-        ComputeAllocation compute;
-        MemoryAllocation memory;
-    };
-    std::vector<Task> tasks;
-    {
-        NNBATON_TRACE_SCOPE("dse.enumerate_space");
-        const auto computes = enumerateCompute(options.totalMacs);
-        if (computes.empty()) {
-            throwStatus(errInvalidArgument(
-                "explore: no table II compute allocation yields %lld "
-                "MACs",
-                static_cast<long long>(options.totalMacs)));
-        }
-
-        std::vector<MemoryAllocation> memories;
-        if (!options.proportionalMem)
-            memories = enumerateMemory();
-
-        for (const ComputeAllocation &compute : computes) {
-            if (options.proportionalMem) {
-                tasks.push_back({compute, proportionalMemory(compute)});
-                continue;
-            }
-            for (const MemoryAllocation &memory : memories)
-                tasks.push_back({compute, memory});
-        }
-    }
+    // reproduces the serial ordering exactly.  The same enumeration
+    // feeds the fabric coordinator, which is what lets a distributed
+    // sweep merge bit-identically with this one.
+    const std::vector<SweepTask> tasks = enumerateSweepTasks(options);
     debugLog("explore: %zu design points to evaluate on %d lane(s)",
              tasks.size(), options.threads);
 
@@ -273,9 +81,10 @@ explore(const Model &model, const DseOptions &options,
     CheckpointSink sink(options.checkpointPath, options.checkpointEvery,
                         fingerprint);
 
-    std::vector<PointOutcome> outcomes(tasks.size());
+    std::vector<SweepPointOutcome> outcomes(tasks.size());
 
     // Restore previously evaluated points before spawning workers.
+    int64_t resumedPoints = 0;
     if (!options.resumePath.empty()) {
         SweepCheckpoint restored =
             loadSweepCheckpoint(options.resumePath).value();
@@ -292,25 +101,25 @@ explore(const Model &model, const DseOptions &options,
             auto it = restored.entries.find(key);
             if (it == restored.entries.end())
                 continue;
-            PointOutcome &out = outcomes[i];
+            SweepPointOutcome &out = outcomes[i];
             out.restored = true;
             switch (it->second.kind) {
             case CheckpointEntry::Kind::AreaRejected:
-                out.kind = PointOutcome::AreaRejected;
+                out.kind = SweepPointOutcome::AreaRejected;
                 break;
             case CheckpointEntry::Kind::Infeasible:
-                out.kind = PointOutcome::Infeasible;
+                out.kind = SweepPointOutcome::Infeasible;
                 break;
             case CheckpointEntry::Kind::Valid:
-                out.kind = PointOutcome::Valid;
+                out.kind = SweepPointOutcome::Valid;
                 out.point = it->second.point;
                 break;
             }
             sink.seed(key, it->second);
-            ++result.resumed;
+            ++resumedPoints;
         }
         inform("resume: restored %lld of %zu design points from %s",
-               static_cast<long long>(result.resumed), tasks.size(),
+               static_cast<long long>(resumedPoints), tasks.size(),
                options.resumePath.c_str());
     }
 
@@ -318,12 +127,11 @@ explore(const Model &model, const DseOptions &options,
     // a sweep-side thread turns them into a log line and
     // dse.progress.* gauges every period.  Observation only — the
     // counters feed nothing back into the sweep.
-    std::atomic<int64_t> progressDone{result.resumed};
+    std::atomic<int64_t> progressDone{resumedPoints};
     std::atomic<int64_t> progressHits{0};
     std::atomic<int64_t> progressMisses{0};
     std::atomic<int64_t> progressEvaluated{0};
     std::atomic<int64_t> progressPruned{0};
-    const int64_t resumedPoints = result.resumed;
     const auto emitProgress = [&] {
         const int64_t done =
             progressDone.load(std::memory_order_relaxed);
@@ -413,37 +221,36 @@ explore(const Model &model, const DseOptions &options,
     ThreadPool pool(options.threads);
     pool.parallelFor(
         static_cast<int64_t>(tasks.size()), [&](int64_t i) {
-            PointOutcome &out = outcomes[i];
+            SweepPointOutcome &out = outcomes[i];
             if (out.restored)
                 return;
             if (options.cancel && options.cancel->cancelled()) {
-                out.kind = PointOutcome::Skipped;
+                out.kind = SweepPointOutcome::Skipped;
                 progressDone.fetch_add(1, std::memory_order_relaxed);
                 return;
             }
             try {
                 verif::injectPointFault(i);
-                out = evaluatePoint(model, options, tech,
-                                    tasks[i].compute, tasks[i].memory,
-                                    cache);
+                out = evaluateSweepPoint(model, options, tech, tasks[i],
+                                         cache);
             } catch (const StatusError &e) {
                 const StatusCode code = e.status().code();
                 if (code == StatusCode::Cancelled ||
                     code == StatusCode::DeadlineExceeded) {
-                    out = PointOutcome();
-                    out.kind = PointOutcome::Skipped;
+                    out = SweepPointOutcome();
+                    out.kind = SweepPointOutcome::Skipped;
                     return;
                 }
                 if (options.strict)
                     throw;
-                out = PointOutcome();
-                out.kind = PointOutcome::Poisoned;
+                out = SweepPointOutcome();
+                out.kind = SweepPointOutcome::Poisoned;
                 out.error = e.status().toString();
             } catch (const std::exception &e) {
                 if (options.strict)
                     throw;
-                out = PointOutcome();
-                out.kind = PointOutcome::Poisoned;
+                out = SweepPointOutcome();
+                out.kind = SweepPointOutcome::Poisoned;
                 out.error = e.what();
             }
             sink.record(designPointKey(tasks[i].compute,
@@ -467,34 +274,7 @@ explore(const Model &model, const DseOptions &options,
     }
 
     // Deterministic collection in sweep order.
-    {
-        NNBATON_TRACE_SCOPE("dse.collect");
-        for (size_t i = 0; i < outcomes.size(); ++i) {
-            PointOutcome &out = outcomes[i];
-            ++result.swept;
-            result.search += out.stats;
-            switch (out.kind) {
-            case PointOutcome::AreaRejected:
-                ++result.areaRejected;
-                break;
-            case PointOutcome::Infeasible:
-                ++result.infeasible;
-                break;
-            case PointOutcome::Valid:
-                result.points.push_back(std::move(out.point));
-                break;
-            case PointOutcome::Poisoned:
-                result.poisoned.push_back(
-                    {tasks[i].compute, tasks[i].memory,
-                     static_cast<int64_t>(i), std::move(out.error)});
-                break;
-            case PointOutcome::Skipped:
-                ++result.skipped;
-                break;
-            }
-        }
-    }
-    result.complete = result.skipped == 0;
+    DseResult result = collectSweepOutcomes(tasks, outcomes);
     result.cacheEntries = static_cast<int64_t>(cache.size());
     sink.finish(result.complete);
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The coordinator's lease table: which sweep units are pending,
+ * leased, or done.
+ *
+ * Work stealing falls out of the lease discipline.  claim() hands out
+ * pending units first; when none remain it re-issues the unit whose
+ * lease expired longest ago — covering both crashed workers (their
+ * lease times out and another worker finishes the unit) and
+ * stragglers (a stalled worker's unit is re-evaluated elsewhere; the
+ * first completion wins).  complete() is idempotent: exactly one
+ * caller gets `true` per unit and owns writing the merged outcome,
+ * so a late duplicate from a slow worker can never race the winner's
+ * writes — it is counted and dropped.
+ *
+ * All waiting happens on the internal condition variable with short
+ * timeouts, re-checking cancellation and lease expiry, so a
+ * coordinator with every worker wedged still makes progress (claim
+ * returns the expired unit to whoever asks next).
+ */
+
+#ifndef NNBATON_FABRIC_LEASE_HPP
+#define NNBATON_FABRIC_LEASE_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "fabric/wire.hpp"
+
+namespace nnbaton {
+namespace fabric {
+
+class LeaseTable
+{
+  public:
+    /** @p leaseSeconds is how long a claimed unit stays exclusively
+     *  leased before it becomes claimable again. */
+    LeaseTable(std::vector<WorkUnit> units, double leaseSeconds);
+
+    /**
+     * Claim the next unit to evaluate: a pending unit if any, else
+     * the longest-expired lease (re-issue; bumps leasesExpired).
+     * Blocks while every incomplete unit holds a live lease, waking
+     * when one completes, a lease expires, or @p cancel fires.
+     * Returns nullopt when every unit is complete or the wait was
+     * cancelled.
+     */
+    std::optional<WorkUnit> claim(const CancelToken *cancel);
+
+    /**
+     * Return a claimed unit to the pending pool immediately (the
+     * claimer hit a failure and is not going to finish it); other
+     * workers can pick it up without waiting out the lease.
+     */
+    void release(int64_t unitId);
+
+    /**
+     * Record @p unitId finished.  True for the first completion —
+     * the caller owns merging the unit's outcomes; false for
+     * duplicates (counted, dropped).
+     */
+    bool complete(int64_t unitId);
+
+    /** True once every unit has completed. */
+    bool allDone() const;
+
+    /** Units never completed (cancelled sweep); sweep-order. */
+    std::vector<WorkUnit> incompleteUnits() const;
+
+    int64_t leasesExpired() const;
+    int64_t duplicateCompletions() const;
+
+  private:
+    enum class State
+    {
+        Pending,
+        Leased,
+        Done,
+    };
+    struct Slot
+    {
+        WorkUnit unit;
+        State state = State::Pending;
+        std::chrono::steady_clock::time_point leaseDeadline{};
+    };
+
+    mutable std::mutex mutex_;
+    mutable std::condition_variable cv_;
+    std::vector<Slot> slots_;
+    const std::chrono::steady_clock::duration leaseTtl_;
+    int64_t done_ = 0;
+    int64_t leasesExpired_ = 0;
+    int64_t duplicates_ = 0;
+};
+
+} // namespace fabric
+} // namespace nnbaton
+
+#endif // NNBATON_FABRIC_LEASE_HPP

@@ -1,0 +1,122 @@
+#include "fabric/worker.hpp"
+
+#include <functional>
+
+#include "common/logging.hpp"
+#include "serve/protocol.hpp"
+
+namespace nnbaton {
+namespace fabric {
+
+namespace {
+
+/** Failures worth retrying on the same worker.  The serve-level
+ *  retryable set (overload, cancellation, deadline) plus DataLoss:
+ *  a corrupted frame is a transport accident, not the worker's
+ *  opinion, and a fresh connection usually clears it. */
+bool
+retryableFailure(const Status &status)
+{
+    return serve::isRetryableCode(status.code()) ||
+           status.code() == StatusCode::DataLoss;
+}
+
+} // namespace
+
+WorkerClient::WorkerClient(std::string endpoint, WorkerPolicy policy)
+    : endpoint_(std::move(endpoint)), policy_(policy),
+      // Seeded from the endpoint string: each worker gets its own
+      // deterministic jitter stream, so retry storms desynchronise
+      // across workers yet tests replay exactly.
+      backoff_(policy.backoff, std::hash<std::string>{}(endpoint_))
+{
+}
+
+StatusOr<std::string>
+WorkerClient::attempt(const std::string &requestLine)
+{
+    if (!channel_.connected()) {
+        StatusOr<LineChannel> channel = connectLineChannel(
+            endpoint_, policy_.connectTimeoutSeconds);
+        if (!channel.ok())
+            return channel.status();
+        channel_ = std::move(channel).value();
+    }
+    Status sent = channel_.sendLine(requestLine,
+                                    policy_.ioTimeoutSeconds);
+    if (!sent.ok()) {
+        channel_.close();
+        return sent;
+    }
+    StatusOr<std::string> line =
+        channel_.recvLine(policy_.ioTimeoutSeconds);
+    if (!line.ok()) {
+        // The connection is in an unknown framing state (half a
+        // response may still be in flight); drop it so the next
+        // attempt starts clean.
+        channel_.close();
+        return line.status();
+    }
+    return line;
+}
+
+StatusOr<SweepUnitResult>
+WorkerClient::callUnit(const std::string &requestLine,
+                       const WorkUnit &unit, const std::string &sweepFp,
+                       const std::string &techFp,
+                       const CancelToken *cancel)
+{
+    for (;;) {
+        if (cancel && cancel->cancelled())
+            return errCancelled("fabric: sweep cancelled");
+
+        Status failure = Status::okStatus();
+        StatusOr<std::string> line = attempt(requestLine);
+        if (line.ok()) {
+            StatusOr<SweepUnitResult> result = parseSweepUnitResponse(
+                line.value(), unit, sweepFp, techFp);
+            if (result.ok()) {
+                consecutiveFailures_ = 0;
+                backoff_.reset();
+                return result;
+            }
+            failure = result.status();
+            if (failure.code() == StatusCode::DataLoss) {
+                // Corrupt frame: subsequent bytes on this connection
+                // cannot be trusted to line up with requests.
+                channel_.close();
+            }
+        } else {
+            failure = line.status();
+        }
+
+        if (!retryableFailure(failure)) {
+            // The worker answered coherently but wrongly (fingerprint
+            // mismatch, unknown op): it disagrees about the design
+            // space and must not be asked again.
+            quarantined_ = true;
+            return failure.withContext(
+                strprintf("worker %s quarantined", endpoint_.c_str()));
+        }
+
+        ++retries_;
+        ++consecutiveFailures_;
+        if (consecutiveFailures_ >= policy_.maxFailures) {
+            quarantined_ = true;
+            return failure.withContext(strprintf(
+                "worker %s quarantined after %d consecutive failures",
+                endpoint_.c_str(), consecutiveFailures_));
+        }
+        const int64_t delayMs = backoff_.nextDelayMs();
+        debugLog("fabric: worker %s unit %lld failed (%s); retry in "
+                 "%lldms",
+                 endpoint_.c_str(), static_cast<long long>(unit.id),
+                 failure.toString().c_str(),
+                 static_cast<long long>(delayMs));
+        if (!sleepWithCancel(delayMs, cancel))
+            return errCancelled("fabric: sweep cancelled");
+    }
+}
+
+} // namespace fabric
+} // namespace nnbaton

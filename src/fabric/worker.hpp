@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The coordinator's view of one remote worker: a `nn-baton serve`
+ * daemon reachable over TCP (or a Unix socket for same-host tests).
+ *
+ * callUnit() owns the failure policy for a single endpoint:
+ *
+ *  - transient failures (connect refused, dropped connection, I/O
+ *    timeout, corrupted frame, retryable {"ok":false} envelopes such
+ *    as admission-control overload) are retried on a fresh connection
+ *    after exponential backoff with jitter;
+ *  - each failed attempt counts toward a consecutive-failure budget;
+ *    exhausting it quarantines the worker — the fabric stops handing
+ *    it units and its current unit is released for work stealing;
+ *  - non-retryable failures (fingerprint mismatch, invalid request)
+ *    quarantine immediately: a worker that disagrees about the design
+ *    space cannot be allowed to poison the merged result;
+ *  - any success resets the failure budget and the backoff schedule.
+ *
+ * The backoff stream is seeded from the endpoint string, so retry
+ * jitter is deterministic per worker and reproducible in tests.
+ */
+
+#ifndef NNBATON_FABRIC_WORKER_HPP
+#define NNBATON_FABRIC_WORKER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/backoff.hpp"
+#include "common/cancel.hpp"
+#include "common/net.hpp"
+#include "fabric/wire.hpp"
+
+namespace nnbaton {
+namespace fabric {
+
+/** Per-worker failure/retry policy. */
+struct WorkerPolicy
+{
+    /** Wall-clock budget for establishing a connection. */
+    double connectTimeoutSeconds = 5.0;
+
+    /** Per-line I/O budget; also bounds how long a stalled worker
+     *  can hold this lane before the attempt fails. */
+    double ioTimeoutSeconds = 30.0;
+
+    /** Consecutive failed attempts before quarantine. */
+    int maxFailures = 3;
+
+    /** Backoff between retryable failures. */
+    BackoffPolicy backoff;
+};
+
+class WorkerClient
+{
+  public:
+    WorkerClient(std::string endpoint, WorkerPolicy policy);
+
+    const std::string &endpoint() const { return endpoint_; }
+    bool quarantined() const { return quarantined_; }
+    int64_t retries() const { return retries_; }
+
+    /**
+     * Evaluate @p unit on this worker: send @p requestLine, receive
+     * and validate the response, applying the retry/backoff policy
+     * above.  On a non-OK return (other than cancellation) the
+     * worker is quarantined and the caller should release the unit
+     * for other workers.  @p cancel aborts waits between retries.
+     */
+    StatusOr<SweepUnitResult> callUnit(const std::string &requestLine,
+                                       const WorkUnit &unit,
+                                       const std::string &sweepFp,
+                                       const std::string &techFp,
+                                       const CancelToken *cancel);
+
+  private:
+    /** One attempt: connect if needed, send, receive. */
+    StatusOr<std::string> attempt(const std::string &requestLine);
+
+    const std::string endpoint_;
+    const WorkerPolicy policy_;
+    LineChannel channel_;
+    Backoff backoff_;
+    int consecutiveFailures_ = 0;
+    int64_t retries_ = 0;
+    bool quarantined_ = false;
+};
+
+} // namespace fabric
+} // namespace nnbaton
+
+#endif // NNBATON_FABRIC_WORKER_HPP

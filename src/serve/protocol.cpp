@@ -26,6 +26,23 @@ positiveInt(const std::string &name, const JsonValue &v)
     return static_cast<int64_t>(d);
 }
 
+/** A JSON number that is an exact integer >= 0. */
+StatusOr<int64_t>
+nonNegativeInt(const std::string &name, const JsonValue &v)
+{
+    if (!v.isNumber()) {
+        return errInvalidArgument("'%s' must be a number",
+                                  name.c_str());
+    }
+    const double d = v.number;
+    if (d < 0 || d != std::floor(d) || d > 9.007199254740992e15) {
+        return errInvalidArgument(
+            "'%s' must be a non-negative integer, got %g",
+            name.c_str(), d);
+    }
+    return static_cast<int64_t>(d);
+}
+
 StatusOr<int>
 positiveInt32(const std::string &name, const JsonValue &v)
 {
@@ -186,6 +203,8 @@ parseRequest(const std::string &line)
         req.op = Op::Post;
     else if (op->string == "pre")
         req.op = Op::Pre;
+    else if (op->string == "sweepUnit")
+        req.op = Op::SweepUnit;
     else if (op->string == "stats")
         req.op = Op::Stats;
     else if (op->string == "metrics")
@@ -198,8 +217,8 @@ parseRequest(const std::string &line)
         req.op = Op::Shutdown;
     else {
         return errInvalidArgument(
-            "unknown op '%s' (post, pre, stats, metrics, flight, "
-            "ping, shutdown)",
+            "unknown op '%s' (post, pre, sweepUnit, stats, metrics, "
+            "flight, ping, shutdown)",
             op->string.c_str());
     }
 
@@ -296,6 +315,33 @@ parseRequest(const std::string &line)
                     "'proportional' must be a boolean");
             }
             req.proportional = value.boolean;
+        } else if (key == "unitId") {
+            StatusOr<int64_t> n = nonNegativeInt(key, value);
+            if (!n.ok())
+                return n.status();
+            req.unitId = n.value();
+        } else if (key == "begin") {
+            StatusOr<int64_t> n = nonNegativeInt(key, value);
+            if (!n.ok())
+                return n.status();
+            req.unitBegin = n.value();
+        } else if (key == "end") {
+            StatusOr<int64_t> n = positiveInt(key, value);
+            if (!n.ok())
+                return n.status();
+            req.unitEnd = n.value();
+        } else if (key == "fingerprint") {
+            if (!value.isString()) {
+                return errInvalidArgument(
+                    "'fingerprint' must be a string");
+            }
+            req.sweepFp = value.string;
+        } else if (key == "techFingerprint") {
+            if (!value.isString()) {
+                return errInvalidArgument(
+                    "'techFingerprint' must be a string");
+            }
+            req.techFp = value.string;
         } else {
             return errInvalidArgument("unknown request member '%s'",
                                       key.c_str());
@@ -304,6 +350,16 @@ parseRequest(const std::string &line)
     if (modelNamed && !req.modelText.empty()) {
         return errInvalidArgument(
             "'model' and 'modelText' are mutually exclusive");
+    }
+    if (req.op == Op::SweepUnit) {
+        if (req.unitId < 0 || req.unitEnd <= req.unitBegin) {
+            return errInvalidArgument(
+                "sweepUnit needs unitId >= 0 and end > begin");
+        }
+        if (req.sweepFp.empty() || req.techFp.empty()) {
+            return errInvalidArgument(
+                "sweepUnit needs 'fingerprint' and 'techFingerprint'");
+        }
     }
     return req;
 }
@@ -316,6 +372,8 @@ toString(Op op)
         return "post";
       case Op::Pre:
         return "pre";
+      case Op::SweepUnit:
+        return "sweepUnit";
       case Op::Stats:
         return "stats";
       case Op::Metrics:
@@ -330,6 +388,17 @@ toString(Op op)
     return "?";
 }
 
+bool
+isRetryableCode(StatusCode code)
+{
+    // Transient conditions: the operation may succeed on another
+    // worker or after backoff.  Everything else (bad request, wrong
+    // fingerprint, internal bug) would fail identically on retry.
+    return code == StatusCode::Unavailable ||
+           code == StatusCode::Cancelled ||
+           code == StatusCode::DeadlineExceeded;
+}
+
 std::string
 errorResponse(const Status &status, uint64_t rid)
 {
@@ -339,6 +408,7 @@ errorResponse(const Status &status, uint64_t rid)
     j.field("ok", false);
     if (rid)
         j.field("rid", static_cast<int64_t>(rid));
+    j.field("retryable", isRetryableCode(status.code()));
     j.key("error").beginObject();
     j.field("code", nnbaton::toString(status.code()));
     j.field("message", status.message());

@@ -22,8 +22,8 @@
  * Request schema (see docs/serving.md for the full reference):
  *
  * @code
- *   {"op":"post" | "pre" | "stats" | "metrics" | "flight" | "ping"
- *         | "shutdown",
+ *   {"op":"post" | "pre" | "sweepUnit" | "stats" | "metrics"
+ *         | "flight" | "ping" | "shutdown",
  *    "model":"resnet50",            // zoo name, or instead:
  *    "modelText":"model m 32\n...", // inline text-format model
  *    "resolution":224,
@@ -37,8 +37,17 @@
  *    "annealSeed":1,"annealIterations":400,     // anneal only
  *    "deadlineSeconds":30,          // per-request budget
  *    "macs":2048,"areaMm2":3.0,"proportional":false,  // pre only
- *    "progressSeconds":5}           // pre: heartbeat to daemon stderr
+ *    "progressSeconds":5,           // pre: heartbeat to daemon stderr
+ *    "unitId":7,"begin":0,"end":32, // sweepUnit: leased task slice
+ *    "fingerprint":"...",           // sweepUnit: sweepFingerprint()
+ *    "techFingerprint":"1a2b..."}   // sweepUnit: tech identity (hex)
  * @endcode
+ *
+ * "sweepUnit" (docs/distributed.md) evaluates tasks [begin, end) of
+ * the canonical sweep enumeration for the given pre-design options and
+ * answers {"ok":true,"unitId":...,"entries":[...],"stats":{...}} —
+ * entry points use the same %.17g serialisation as checkpoints, so the
+ * coordinator's merge is bit-identical to a local sweep.
  *
  * "metrics" answers with the bare writeMetricsJson document (the
  * whole obs registry: counters, gauges, histograms with quantiles) —
@@ -65,13 +74,14 @@ namespace serve {
 /** Request kinds the service understands. */
 enum class Op
 {
-    Post,     //!< post-design mapping query on fixed hardware
-    Pre,      //!< bounded pre-design sweep
-    Stats,    //!< service + cache counters
-    Metrics,  //!< full obs metrics registry (the `stats` CLI scrape)
-    Flight,   //!< flight-recorder dump (recent spans per thread)
-    Ping,     //!< liveness probe
-    Shutdown, //!< answer, then stop the daemon
+    Post,      //!< post-design mapping query on fixed hardware
+    Pre,       //!< bounded pre-design sweep
+    SweepUnit, //!< one leased slice of a distributed sweep
+    Stats,     //!< service + cache counters
+    Metrics,   //!< full obs metrics registry (the `stats` CLI scrape)
+    Flight,    //!< flight-recorder dump (recent spans per thread)
+    Ping,      //!< liveness probe
+    Shutdown,  //!< answer, then stop the daemon
 };
 
 /** The wire name of @p op ("post", "metrics", ...). */
@@ -113,14 +123,36 @@ struct ServeRequest
      *  <= 0 disables.  Lines go to the daemon's stderr and the
      *  dse.progress.* gauges, scrapeable via the metrics op. */
     double progressSeconds = 0.0;
+
+    // Distributed sweep unit (op "sweepUnit"; docs/distributed.md).
+    // The coordinator names the leased slice [unitBegin, unitEnd) of
+    // the canonical task enumeration and pins the sweep identity the
+    // worker must reproduce: the sweep fingerprint (model + options)
+    // and the technology fingerprint.  A worker whose local
+    // enumeration disagrees answers FAILED_PRECONDITION instead of
+    // silently evaluating a different space.
+    int64_t unitId = -1;        //!< coordinator-assigned unit id
+    int64_t unitBegin = 0;      //!< first task index (inclusive)
+    int64_t unitEnd = 0;        //!< past-the-end task index
+    std::string sweepFp;        //!< expected sweepFingerprint()
+    std::string techFp;         //!< expected tech fingerprint (hex)
 };
 
 /** Parse one request line; strict about types and member names. */
 StatusOr<ServeRequest> parseRequest(const std::string &line);
 
-/** Serialise a Status as the one-line error envelope; a nonzero
- *  @p rid identifies the failing request for postmortem correlation. */
+/**
+ * Serialise a Status as the one-line error envelope; a nonzero
+ * @p rid identifies the failing request for postmortem correlation.
+ * The envelope carries "retryable": true for transient conditions
+ * (UNAVAILABLE / CANCELLED / DEADLINE_EXCEEDED) that a client may
+ * retry with backoff, false for definitive rejections.
+ */
 std::string errorResponse(const Status &status, uint64_t rid = 0);
+
+/** True when a failure with @p code is worth retrying elsewhere or
+ *  later (the coordinator's re-lease / backoff predicate). */
+bool isRetryableCode(StatusCode code);
 
 } // namespace serve
 } // namespace nnbaton

@@ -3,12 +3,16 @@
 #include <cerrno>
 #include <cstring>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "common/logging.hpp"
+#include "common/net.hpp"
 #include "common/parallel.hpp"
 
 namespace nnbaton {
@@ -59,10 +63,32 @@ Server::~Server()
         ::close(listenFd_);
         ::unlink(options_.socketPath.c_str());
     }
+    if (tcpFd_ >= 0)
+        ::close(tcpFd_);
 }
 
 Status
 Server::start()
+{
+    if (options_.socketPath.empty() && options_.tcpAddress.empty()) {
+        return errInvalidArgument(
+            "serve needs a Unix socket path and/or a TCP address");
+    }
+    if (!options_.socketPath.empty()) {
+        Status s = startUnix();
+        if (!s.ok())
+            return s;
+    }
+    if (!options_.tcpAddress.empty()) {
+        Status s = startTcp();
+        if (!s.ok())
+            return s;
+    }
+    return Status::okStatus();
+}
+
+Status
+Server::startUnix()
 {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -103,10 +129,66 @@ Server::start()
     return Status::okStatus();
 }
 
+Status
+Server::startTcp()
+{
+    StatusOr<Endpoint> parsed = parseEndpoint(options_.tcpAddress);
+    if (!parsed.ok())
+        return parsed.status();
+    const Endpoint &ep = parsed.value();
+    if (!ep.tcp) {
+        return errInvalidArgument(
+            "--tcp needs \"host:port\" or \":port\", got '%s'",
+            options_.tcpAddress.c_str());
+    }
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(ep.port));
+    const char *host =
+        ep.host == "localhost" ? "127.0.0.1" : ep.host.c_str();
+    if (::inet_pton(AF_INET, host, &addr.sin_addr) != 1) {
+        return errInvalidArgument(
+            "--tcp host '%s': expected a dotted-quad IPv4 address",
+            ep.host.c_str());
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0)
+        return errUnavailable("socket: %s", std::strerror(errno));
+    // Restarted workers rebind the same port without waiting out
+    // TIME_WAIT; the coordinator retries connect anyway.
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return errUnavailable("bind %s: %s",
+                              options_.tcpAddress.c_str(),
+                              std::strerror(err));
+    }
+    if (::listen(fd, 128) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return errUnavailable("listen %s: %s",
+                              options_.tcpAddress.c_str(),
+                              std::strerror(err));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0) {
+        tcpPort_ = ntohs(bound.sin_port);
+    }
+    tcpFd_ = fd;
+    return Status::okStatus();
+}
+
 int64_t
 Server::run()
 {
-    if (listenFd_ < 0)
+    if (listenFd_ < 0 && tcpFd_ < 0)
         throwStatus(errFailedPrecondition("run() before start()"));
     const int lanes = options_.threads < 1 ? 1 : options_.threads;
     ThreadPool pool(lanes);
@@ -132,11 +214,22 @@ Server::stopped() const
 void
 Server::acceptLoop()
 {
+    // One lane polls every configured listener (Unix and/or TCP);
+    // whichever becomes readable first wins the accept race.
+    pollfd fds[2];
+    int nfds = 0;
+    if (listenFd_ >= 0)
+        fds[nfds++].fd = listenFd_;
+    if (tcpFd_ >= 0)
+        fds[nfds++].fd = tcpFd_;
+
     while (!stopped()) {
-        pollfd p{};
-        p.fd = listenFd_;
-        p.events = POLLIN;
-        const int ready = ::poll(&p, 1, options_.pollMs);
+        for (int i = 0; i < nfds; ++i) {
+            fds[i].events = POLLIN;
+            fds[i].revents = 0;
+        }
+        const int ready = ::poll(fds, static_cast<nfds_t>(nfds),
+                                 options_.pollMs);
         if (ready < 0) {
             if (errno == EINTR)
                 continue;
@@ -145,17 +238,21 @@ Server::acceptLoop()
         }
         if (ready == 0)
             continue;
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0) {
-            // Another lane won the race for this connection.
-            if (errno == EAGAIN || errno == EWOULDBLOCK ||
-                errno == EINTR || errno == ECONNABORTED)
+        for (int i = 0; i < nfds; ++i) {
+            if (!(fds[i].revents & POLLIN))
                 continue;
-            warn("serve: accept: %s", std::strerror(errno));
-            return;
+            const int fd = ::accept(fds[i].fd, nullptr, nullptr);
+            if (fd < 0) {
+                // Another lane won the race for this connection.
+                if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR || errno == ECONNABORTED)
+                    continue;
+                warn("serve: accept: %s", std::strerror(errno));
+                return;
+            }
+            handleConnection(fd);
+            ::close(fd);
         }
-        handleConnection(fd);
-        ::close(fd);
     }
 }
 
@@ -196,6 +293,14 @@ Server::handleConnection(int fd)
             if (line.empty())
                 continue;
             HandleResult result = service_.handleLine(line);
+            if (result.dropConnection) {
+                // Injected transport fault: behave like a crash —
+                // no response bytes, connection torn down, and for
+                // the kill flavour the whole server goes with it.
+                if (result.shutdown)
+                    requestStop();
+                return;
+            }
             result.response.push_back('\n');
             if (!writeAll(fd, result.response))
                 return;

@@ -37,7 +37,15 @@ namespace serve {
 /** Transport configuration. */
 struct ServerOptions
 {
-    std::string socketPath; //!< filesystem path of the Unix socket
+    /** Filesystem path of the Unix socket (empty = no Unix listener;
+     *  at least one of socketPath / tcpAddress must be set). */
+    std::string socketPath;
+
+    /** TCP listen address "host:port" or ":port" (--tcp; empty = no
+     *  TCP listener).  TCP is what lets a fabric coordinator shard a
+     *  sweep across machines; both listeners serve the same
+     *  EvalService and cache. */
+    std::string tcpAddress;
 
     /** Accept/handle lanes (including the thread calling run());
      *  also the number of requests evaluated concurrently. */
@@ -64,9 +72,15 @@ class Server
 
     /**
      * Bind and listen on options.socketPath (an existing socket file
-     * at that path is replaced).  Must succeed before run().
+     * at that path is replaced) and/or options.tcpAddress.  Must
+     * succeed before run().
      */
     Status start();
+
+    /** After start(): the port the TCP listener actually bound
+     *  (useful with ":0" — the kernel picks a free port); -1 when
+     *  no TCP listener is configured. */
+    int tcpPort() const { return tcpPort_; }
 
     /**
      * Serve until stopped; blocks the calling thread (which works as
@@ -81,6 +95,8 @@ class Server
     const EvalService &service() const { return service_; }
 
   private:
+    Status startUnix();
+    Status startTcp();
     void acceptLoop();
     void handleConnection(int fd);
     bool stopped() const;
@@ -89,7 +105,9 @@ class Server
     CancelToken stopToken_; //!< fired by requestStop / shutdown op;
                             //!< chained under options.cancel
     EvalService service_;   //!< links request tokens to stopToken_
-    int listenFd_ = -1;
+    int listenFd_ = -1;     //!< Unix listener (-1 when disabled)
+    int tcpFd_ = -1;        //!< TCP listener (-1 when disabled)
+    int tcpPort_ = -1;      //!< bound TCP port after start()
 };
 
 } // namespace serve

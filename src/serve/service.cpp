@@ -1,8 +1,10 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "baton/baton.hpp"
 #include "baton/export.hpp"
@@ -10,7 +12,10 @@
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "dse/checkpoint.hpp"
+#include "dse/slice.hpp"
 #include "nn/parser.hpp"
+#include "verif/fault.hpp"
 
 namespace nnbaton {
 namespace serve {
@@ -26,6 +31,8 @@ struct ServeMetrics
     obs::Counter *cacheMiss;
     obs::Counter *cacheEvicted;
     obs::Counter *sloViolations;
+    obs::Counter *overloadRejected;
+    obs::Counter *unitPoints;
     obs::Histogram *latencyUs;
     // Mapping-search work done on behalf of requests (SearchStats
     // mirrored per request; see mapper/search.hpp).
@@ -47,6 +54,8 @@ struct ServeMetrics
         cacheMiss = &reg.counter("serve.cache.miss");
         cacheEvicted = &reg.counter("serve.cache.evicted");
         sloViolations = &reg.counter("serve.slo.violations");
+        overloadRejected = &reg.counter("serve.overload.rejected");
+        unitPoints = &reg.counter("serve.unit.points");
         latencyUs = &reg.histogram("serve.request_us");
         searchEvaluated = &reg.counter("serve.search.evaluated");
         searchPruned = &reg.counter("serve.search.pruned");
@@ -177,13 +186,75 @@ EvalService::handleLine(const std::string &line)
         ServeRequest req = parseRequest(line).value();
         audit.op = toString(req.op);
 
+        // Chaos hooks: a FaultPlan can make this worker misbehave at
+        // the transport level for a specific sweep unit — exactly the
+        // failures the coordinator's lease/retry machinery must
+        // absorb.  No-ops unless a test armed a plan.
+        if (req.op == Op::SweepUnit && verif::faultPlanArmed()) {
+            int64_t stallMs = 0;
+            switch (verif::injectTransportFault(req.unitId, &stallMs)) {
+              case verif::TransportFault::DropConnection:
+                audit.outcome = "DROPPED";
+                out.dropConnection = true;
+                break;
+              case verif::TransportFault::KillWorker:
+                audit.outcome = "KILLED";
+                out.dropConnection = true;
+                out.shutdown = true;
+                break;
+              case verif::TransportFault::CorruptFrame:
+                audit.outcome = "CORRUPTED";
+                out.response = "\x7fgarbage frame, not protocol JSON";
+                break;
+              case verif::TransportFault::Stall:
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(stallMs));
+                break;
+              case verif::TransportFault::None:
+                break;
+            }
+            if (out.dropConnection || !out.response.empty()) {
+                writeAccessLog(audit);
+                return out;
+            }
+        }
+
+        // Admission control: heavy evaluations beyond the configured
+        // concurrency answer a retryable UNAVAILABLE immediately —
+        // the caller backs off or re-leases elsewhere — instead of
+        // queueing without bound behind a busy lane.
+        const bool heavy = req.op == Op::Post || req.op == Op::Pre ||
+                           req.op == Op::SweepUnit;
+        struct InflightSlot
+        {
+            std::atomic<int> *counter = nullptr;
+            ~InflightSlot()
+            {
+                if (counter)
+                    counter->fetch_sub(1, std::memory_order_relaxed);
+            }
+        } slot;
+        if (heavy && options_.maxInflight > 0) {
+            const int running =
+                inflight_.fetch_add(1, std::memory_order_relaxed);
+            slot.counter = &inflight_;
+            if (running >= options_.maxInflight) {
+                m.overloadRejected->add();
+                throwStatus(errUnavailable(
+                    "overloaded: %d request(s) already evaluating "
+                    "(max %d); retry with backoff",
+                    running, options_.maxInflight));
+            }
+        }
+
         // Per-request cancellation: the request deadline (capped by
         // the service maximum) plus the service-wide stop token.
         CancelToken cancel;
         cancel.linkParent(options_.stop);
         double deadline =
             std::min(req.deadlineSeconds, options_.maxDeadlineSeconds);
-        if (req.op == Op::Pre && req.deadlineSeconds <= 0)
+        if ((req.op == Op::Pre || req.op == Op::SweepUnit) &&
+            req.deadlineSeconds <= 0)
             deadline = options_.maxDeadlineSeconds; // always bounded
         if (deadline > 0)
             cancel.setDeadlineAfter(deadline);
@@ -194,6 +265,9 @@ EvalService::handleLine(const std::string &line)
             break;
           case Op::Pre:
             out.response = runPre(req, cancel, audit);
+            break;
+          case Op::SweepUnit:
+            out.response = runSweepUnit(req, cancel, audit);
             break;
           case Op::Stats:
             out.response = runStats();
@@ -317,6 +391,143 @@ EvalService::runPre(const ServeRequest &req, CancelToken &cancel,
     std::ostringstream ss;
     exportPreDesign(report, ss, ExportOptions::lean());
     return oneLine(ss);
+}
+
+std::string
+EvalService::runSweepUnit(const ServeRequest &req, CancelToken &cancel,
+                          RequestAudit &audit)
+{
+    NNBATON_TRACE_SCOPE("serve.sweep_unit");
+    const Model model = loadRequestModel(req);
+
+    // The same DseOptions the one-shot `pre` path builds, so the
+    // canonical task enumeration and per-point evaluation are
+    // byte-for-byte those of a local sweep.
+    DseOptions opt;
+    opt.totalMacs = req.macs;
+    opt.areaLimitMm2 = req.areaMm2;
+    opt.proportionalMem = req.proportional;
+    opt.effort = req.proportional ? SearchEffort::Fast
+                                  : SearchEffort::Sketch;
+    opt.objective = req.edpObjective ? Objective::MinEdp
+                                     : Objective::MinEnergy;
+    opt.searchMode = req.searchMode;
+    opt.annealSeed = req.annealSeed;
+    opt.annealIterations = req.annealIterations;
+    opt.warmStart = req.searchMode == SearchMode::Bnb; // see runPost
+    opt.threads = 1; // concurrency lives across requests
+    opt.cancel = &cancel;
+    opt.cache = &cache_;
+
+    // Identity gate before any evaluation.  A worker that computes a
+    // different sweep fingerprint (other build, other model zoo) or
+    // technology digest would return points from a different design
+    // space; FAILED_PRECONDITION is deliberately non-retryable so the
+    // coordinator quarantines this worker instead of retrying into
+    // the same wrong answer.
+    const std::string fp = sweepFingerprint(model, opt);
+    if (fp != req.sweepFp) {
+        throwStatus(errFailedPrecondition(
+            "sweepUnit %lld: sweep fingerprint mismatch (worker "
+            "\"%s\" != coordinator \"%s\")",
+            static_cast<long long>(req.unitId), fp.c_str(),
+            req.sweepFp.c_str()));
+    }
+    const std::string techFp = strprintf(
+        "%016llx",
+        static_cast<unsigned long long>(req.tech.fingerprint()));
+    if (techFp != req.techFp) {
+        throwStatus(errFailedPrecondition(
+            "sweepUnit %lld: technology fingerprint mismatch (worker "
+            "%s != coordinator %s)",
+            static_cast<long long>(req.unitId), techFp.c_str(),
+            req.techFp.c_str()));
+    }
+
+    const std::vector<SweepTask> tasks = enumerateSweepTasks(opt);
+    if (req.unitEnd > static_cast<int64_t>(tasks.size())) {
+        throwStatus(errFailedPrecondition(
+            "sweepUnit %lld: range [%lld, %lld) exceeds the %zu-task "
+            "enumeration",
+            static_cast<long long>(req.unitId),
+            static_cast<long long>(req.unitBegin),
+            static_cast<long long>(req.unitEnd), tasks.size()));
+    }
+
+    std::vector<SweepPointOutcome> outcomes =
+        evaluateSweepSlice(model, opt, req.tech, tasks, req.unitBegin,
+                           req.unitEnd, cache_);
+
+    // A unit is atomic: all points or none.  When the deadline or a
+    // shutdown interrupted the slice, answer with the (retryable)
+    // cancellation status so the coordinator re-leases the whole unit
+    // rather than merging a partial one.
+    SearchStats stats;
+    for (const SweepPointOutcome &out : outcomes) {
+        if (out.kind == SweepPointOutcome::Skipped)
+            throwStatus(cancel.toStatus());
+        stats += out.stats;
+    }
+    serveMetrics().cacheHit->add(stats.cacheHits);
+    serveMetrics().cacheMiss->add(stats.cacheMisses);
+    serveMetrics().recordSearch(stats);
+    serveMetrics().unitPoints->add(
+        static_cast<int64_t>(outcomes.size()));
+    audit.search = nnbaton::toString(req.searchMode);
+    audit.cacheHits = stats.cacheHits;
+    audit.cacheMisses = stats.cacheMisses;
+
+    std::ostringstream ss;
+    JsonWriter j(ss);
+    j.beginObject();
+    j.field("ok", true);
+    j.field("unitId", req.unitId);
+    j.field("fingerprint", fp);
+    j.field("techFingerprint", techFp);
+    j.key("entries").beginArray();
+    for (size_t k = 0; k < outcomes.size(); ++k) {
+        const SweepPointOutcome &out = outcomes[k];
+        j.beginObject();
+        j.field("i", req.unitBegin + static_cast<int64_t>(k));
+        switch (out.kind) {
+          case SweepPointOutcome::AreaRejected:
+            j.field("kind", checkpointKindName(
+                                CheckpointEntry::Kind::AreaRejected));
+            break;
+          case SweepPointOutcome::Infeasible:
+            j.field("kind", checkpointKindName(
+                                CheckpointEntry::Kind::Infeasible));
+            break;
+          case SweepPointOutcome::Valid:
+            j.field("kind",
+                    checkpointKindName(CheckpointEntry::Kind::Valid));
+            j.key("point");
+            writeDesignPointJson(j, out.point);
+            break;
+          case SweepPointOutcome::Poisoned:
+            j.field("kind", "poisoned");
+            j.field("error", out.error);
+            break;
+          case SweepPointOutcome::Skipped:
+            break; // unreachable: thrown above
+        }
+        j.endObject();
+    }
+    j.endArray();
+    j.key("stats").beginObject();
+    j.field("evaluated", stats.evaluated);
+    j.field("pruned", stats.pruned);
+    j.field("cacheHits", stats.cacheHits);
+    j.field("cacheMisses", stats.cacheMisses);
+    j.field("nodesOpened", stats.nodesOpened);
+    j.field("subtreesPruned", stats.subtreesPruned);
+    j.field("incumbentUpdates", stats.incumbentUpdates);
+    j.field("warmStarts", stats.warmStarts);
+    j.field("refined", stats.refined);
+    j.field("refinedPruned", stats.refinedPruned);
+    j.endObject();
+    j.endObject();
+    return ss.str();
 }
 
 std::string

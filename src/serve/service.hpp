@@ -68,6 +68,13 @@ struct ServiceOptions
     /** Service-wide stop token (borrowed, may be null).  Linked under
      *  every per-request token so shutdown interrupts evaluations. */
     const CancelToken *stop = nullptr;
+
+    /** Admission control: maximum heavy requests (post / pre /
+     *  sweepUnit) evaluating concurrently; excess requests are
+     *  answered immediately with a retryable UNAVAILABLE envelope
+     *  instead of queueing unboundedly (0 = unlimited).  Cheap ops
+     *  (ping, stats, ...) are never refused. */
+    int maxInflight = 0;
 };
 
 /** One handled request: the response line plus control flow. */
@@ -75,6 +82,11 @@ struct HandleResult
 {
     std::string response; //!< one line, no trailing newline
     bool shutdown = false; //!< request asked the daemon to stop
+
+    /** Close the connection without sending `response` — the
+     *  transport-fault injection path (a crashed worker, from the
+     *  coordinator's point of view). */
+    bool dropConnection = false;
 };
 
 class EvalService
@@ -120,6 +132,8 @@ class EvalService
                         RequestAudit &audit);
     std::string runPre(const ServeRequest &req, CancelToken &cancel,
                        RequestAudit &audit);
+    std::string runSweepUnit(const ServeRequest &req,
+                             CancelToken &cancel, RequestAudit &audit);
     std::string runStats();
     std::string runMetrics();
     std::string runFlight();
@@ -137,6 +151,7 @@ class EvalService
     std::atomic<int64_t> requests_{0};
     std::atomic<int64_t> errors_{0};
     std::atomic<int64_t> evictionsSeen_{0};
+    std::atomic<int> inflight_{0}; //!< heavy ops currently evaluating
 };
 
 } // namespace serve

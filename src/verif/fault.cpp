@@ -109,5 +109,32 @@ notifyPointCompleted(CancelToken *cancel)
         cancel->requestCancel();
 }
 
+TransportFault
+injectTransportFault(int64_t unitId, int64_t *stallMs)
+{
+    if (!faultPlanArmed() || unitId < 0)
+        return TransportFault::None;
+    std::lock_guard<std::mutex> lock(planMutex);
+    if (plan.killWorkerAtUnit == unitId) {
+        plan.killWorkerAtUnit = -1;
+        return TransportFault::KillWorker;
+    }
+    if (plan.dropConnAtUnit == unitId) {
+        plan.dropConnAtUnit = -1;
+        return TransportFault::DropConnection;
+    }
+    if (plan.corruptFrameAtUnit == unitId) {
+        plan.corruptFrameAtUnit = -1;
+        return TransportFault::CorruptFrame;
+    }
+    if (plan.stallAtUnit == unitId) {
+        plan.stallAtUnit = -1;
+        if (stallMs)
+            *stallMs = plan.stallUnitMs;
+        return TransportFault::Stall;
+    }
+    return TransportFault::None;
+}
+
 } // namespace verif
 } // namespace nnbaton

@@ -43,6 +43,28 @@ struct FaultPlan
 
     /** Make the next checkpoint write fail (cleared once it fires). */
     bool failNextCheckpointWrite = false;
+
+    // Transport faults for the distributed sweep fabric.  Each fires
+    // once when a worker receives the sweepUnit with the matching
+    // coordinator-assigned unit id, then clears, so the coordinator's
+    // retry/re-lease path gets a healthy worker on the next attempt
+    // (killWorkerAtUnit is the exception — the worker stays down and
+    // the unit must be re-leased elsewhere).
+
+    /** Drop the connection without answering this unit. */
+    int64_t dropConnAtUnit = -1;
+
+    /** Stall this unit's response by stallUnitMs before answering
+     *  (past the coordinator's I/O timeout = a wedged worker). */
+    int64_t stallAtUnit = -1;
+    int64_t stallUnitMs = 0;
+
+    /** Answer this unit with a corrupted (non-protocol) frame. */
+    int64_t corruptFrameAtUnit = -1;
+
+    /** Kill the worker mid-unit: drop the connection AND stop the
+     *  whole server, as a crash would. */
+    int64_t killWorkerAtUnit = -1;
 };
 
 /** Install @p plan process-wide (overwrites any previous plan). */
@@ -73,6 +95,23 @@ bool injectCheckpointWriteFailure();
 /** Called after each completed design point; requests cancellation on
  *  @p cancel once cancelAfterPoints points have completed. */
 void notifyPointCompleted(CancelToken *cancel);
+
+/** What the transport should do to the sweepUnit with @p unitId. */
+enum class TransportFault
+{
+    None,
+    DropConnection, //!< close without answering
+    Stall,          //!< sleep stallMs, then answer normally
+    CorruptFrame,   //!< answer with a garbage frame
+    KillWorker,     //!< drop the connection and stop the server
+};
+
+/**
+ * Consume the armed transport fault matching @p unitId, if any
+ * (one-shot: the matched fault clears as it fires).  For Stall,
+ * @p stallMs receives the armed delay.
+ */
+TransportFault injectTransportFault(int64_t unitId, int64_t *stallMs);
 
 } // namespace verif
 } // namespace nnbaton

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# End-to-end chaos test for the distributed sweep fabric
+# (docs/distributed.md):
+#   1. a sweep sharded across three `nn-baton serve --tcp` workers
+#      produces JSON bit-identical to the single-process `pre` run —
+#      even with one worker SIGKILLed mid-sweep (its units are
+#      re-leased to the survivors);
+#   2. a coordinator interrupted by SIGINT leaves a checkpoint that a
+#      fresh coordinator resumes to the same bytes (crash recovery);
+#   3. the fleet drains cleanly via the shutdown op.
+#
+# Usage: fabric_chaos.sh <path-to-nn-baton>
+set -euo pipefail
+
+BIN=${1:?usage: fabric_chaos.sh <path-to-nn-baton>}
+DIR=$(mktemp -d)
+WORKER_PIDS=()
+
+cleanup() {
+    # Kill whatever is left of the fleet on any exit, including
+    # INT/TERM mid-test; escalate to KILL so the trap cannot hang.
+    for pid in ${WORKER_PIDS[@]+"${WORKER_PIDS[@]}"}; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in ${WORKER_PIDS[@]+"${WORKER_PIDS[@]}"}; do
+        for _ in $(seq 20); do
+            kill -0 "$pid" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -9 "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+
+fail() {
+    echo "fabric_chaos: FAIL: $*" >&2
+    exit 1
+}
+
+# The full (non-proportional) memory grid at --macs 32 is ~45k design
+# points: a several-second sweep, so the kill signals below genuinely
+# land mid-flight, while still finishing fast enough for CI.
+cat > "$DIR/tiny.model" << 'EOF'
+model tiny 32
+conv c1 8 8 64 16 3 3 1
+fc head 64 128
+EOF
+PRE_ARGS=(pre --model-file "$DIR/tiny.model" --macs 32 --no-obs)
+# ~90 units of 500 points: every worker holds several leases over the
+# run without drowning the wire in per-unit round trips.
+UNIT_POINTS=500
+
+# The lean export keeps the "resumed" counter (how many points a run
+# restored from a checkpoint), which legitimately differs between a
+# fresh and a resumed run of the same sweep; everything else must be
+# bit-identical.
+normalize() {
+    sed 's/"resumed":[0-9]*/"resumed":0/' "$1"
+}
+
+# Reference bytes from the single-process sweep.
+"$BIN" "${PRE_ARGS[@]}" --json "$DIR/serial.json" > /dev/null
+
+# Start three TCP workers on kernel-assigned ports and collect their
+# endpoints from the readiness lines.
+ENDPOINTS=()
+for i in 1 2 3; do
+    "$BIN" serve --tcp :0 --threads 2 \
+        > "$DIR/worker$i.log" 2>&1 &
+    WORKER_PIDS+=($!)
+done
+WAIT_DEADLINE_S=60
+for i in 1 2 3; do
+    pid=${WORKER_PIDS[$((i - 1))]}
+    SECONDS=0
+    until grep -q 'listening on tcp port' "$DIR/worker$i.log" \
+        2>/dev/null; do
+        kill -0 "$pid" 2>/dev/null || {
+            cat "$DIR/worker$i.log" >&2
+            fail "worker $i died at startup"
+        }
+        if (( SECONDS >= WAIT_DEADLINE_S )); then
+            cat "$DIR/worker$i.log" >&2
+            fail "worker $i not ready within ${WAIT_DEADLINE_S}s"
+        fi
+        sleep 0.1
+    done
+    port=$(sed -n 's/.*listening on tcp port \([0-9]*\).*/\1/p' \
+        "$DIR/worker$i.log")
+    [[ -n "$port" ]] || fail "cannot parse worker $i port"
+    ENDPOINTS+=("127.0.0.1:$port")
+done
+ALL_WORKERS=$(IFS=,; echo "${ENDPOINTS[*]}")
+
+# 1. Distributed sweep with a worker SIGKILLed mid-flight: the
+# coordinator must quarantine worker 2, re-lease its units and still
+# merge to the serial bytes.
+"$BIN" "${PRE_ARGS[@]}" --workers "$ALL_WORKERS" \
+    --unit-points "$UNIT_POINTS" \
+    --json "$DIR/dist.json" > "$DIR/dist.log" 2>&1 &
+COORD_PID=$!
+sleep 1
+kill -9 "${WORKER_PIDS[1]}" 2>/dev/null || true
+set +e
+wait "$COORD_PID"
+RC=$?
+set -e
+[[ $RC -eq 0 ]] || {
+    cat "$DIR/dist.log" >&2
+    fail "distributed pre exit $RC with a killed worker, want 0"
+}
+cmp <(normalize "$DIR/serial.json") <(normalize "$DIR/dist.json") \
+    || fail "distributed sweep differs from the single-process run"
+
+SURVIVORS="${ENDPOINTS[0]},${ENDPOINTS[2]}"
+
+# 2. Coordinator killed mid-sweep: SIGINT once the checkpoint exists,
+# then a fresh coordinator resumes from it.  If the sweep happened to
+# finish before the signal landed, the resume run simply restores
+# every point — either way the final bytes must match the serial run.
+"$BIN" "${PRE_ARGS[@]}" --workers "$SURVIVORS" \
+    --unit-points "$UNIT_POINTS" \
+    --checkpoint "$DIR/ck.json" --checkpoint-every 2000 \
+    --json "$DIR/part.json" > "$DIR/part.log" 2>&1 &
+COORD_PID=$!
+SECONDS=0
+until [[ -s "$DIR/ck.json" ]]; do
+    kill -0 "$COORD_PID" 2>/dev/null && \
+        (( SECONDS < WAIT_DEADLINE_S )) || break
+    sleep 0.05
+done
+kill -INT "$COORD_PID" 2>/dev/null || true
+set +e
+wait "$COORD_PID"
+RC=$?
+set -e
+[[ $RC -eq 0 || $RC -eq 3 ]] || {
+    cat "$DIR/part.log" >&2
+    fail "interrupted coordinator exit $RC, want 0 or 3"
+}
+[[ -s "$DIR/ck.json" ]] || fail "no checkpoint after SIGINT"
+
+"$BIN" "${PRE_ARGS[@]}" --workers "$SURVIVORS" \
+    --unit-points "$UNIT_POINTS" \
+    --resume "$DIR/ck.json" --json "$DIR/resumed.json" \
+    > "$DIR/resume.log" 2>&1 \
+    || { cat "$DIR/resume.log" >&2; fail "resume run failed"; }
+cmp <(normalize "$DIR/serial.json") <(normalize "$DIR/resumed.json") \
+    || fail "resumed sweep differs from the single-process run"
+
+# 3. Drain the surviving workers cleanly.
+for ep in "${ENDPOINTS[0]}" "${ENDPOINTS[2]}"; do
+    "$BIN" request --socket "$ep" --request '{"op":"shutdown"}' \
+        > /dev/null || fail "shutdown op failed for $ep"
+done
+for pid in "${WORKER_PIDS[0]}" "${WORKER_PIDS[2]}"; do
+    wait "$pid" || fail "worker $pid did not exit 0 after shutdown"
+done
+WORKER_PIDS=()
+
+echo "fabric_chaos: PASS"

@@ -19,13 +19,25 @@ SOCK="$DIR/nnb.sock"
 DAEMON_PID=
 
 cleanup() {
+    # Runs on any exit, including INT/TERM mid-test: the daemon must
+    # not outlive the test, and a stale socket file must not confuse
+    # the next run.  TERM first; escalate to KILL if the daemon is
+    # wedged so the trap itself cannot hang in wait.
     if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
         kill "$DAEMON_PID" 2>/dev/null || true
+        for _ in $(seq 50); do
+            kill -0 "$DAEMON_PID" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
         wait "$DAEMON_PID" 2>/dev/null || true
     fi
+    rm -f "$SOCK"
     rm -rf "$DIR"
 }
 trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 fail() {
     echo "serve_smoke: FAIL: $*" >&2

@@ -10,10 +10,15 @@
  *   compare — evaluate the Simba weight-centric baseline against the
  *             NN-Baton mappings on the same hardware.
  *   models  — list the built-in model zoo (or dump one as text).
- *   serve   — persistent evaluation daemon on a Unix-domain socket,
- *             answering JSON requests with a warm shared mapping
- *             cache (see docs/serving.md).
- *   request — one-shot client for the serve daemon.
+ *   serve   — persistent evaluation daemon on a Unix-domain socket
+ *             and/or a TCP port, answering JSON requests with a warm
+ *             shared mapping cache (see docs/serving.md); a TCP
+ *             listener makes the daemon a sweep-fabric worker.
+ *   coordinate — distribute a pre-design sweep across serve workers
+ *             (leases, retry/backoff, crash recovery; see
+ *             docs/distributed.md).
+ *   request — one-shot client for the serve daemon, with optional
+ *             retry/backoff on retryable failures.
  *   stats   — scrape a live daemon's metrics registry and render it
  *             as a table, JSON, or Prometheus text exposition.
  *
@@ -36,23 +41,22 @@
 
 #include "baton/baton.hpp"
 #include "baton/export.hpp"
+#include "common/backoff.hpp"
 #include "common/cancel.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "common/net.hpp"
 #include "common/parallel.hpp"
 #include "common/parse.hpp"
 #include "common/profile.hpp"
 #include "common/status.hpp"
 #include "common/trace.hpp"
+#include "fabric/coordinator.hpp"
 #include "nn/parser.hpp"
 #include "serve/server.hpp"
 #include "verif/random_mapping.hpp"
 #include "verif/replay.hpp"
-
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
 
 using namespace nnbaton;
 
@@ -89,8 +93,16 @@ struct Args
     bool noObs = false;         //!< --no-obs: lean JSON exports
     // Service options for `serve` / `request` / `stats`.
     std::string socketPath;          //!< --socket: Unix socket path
+    std::string tcpAddress;          //!< serve: --tcp host:port
     int64_t cacheBytes = 256 << 20;  //!< --cache-bytes: LRU cap
     std::string requestBody;         //!< request: --request JSON line
+    double timeoutSeconds = 30.0;    //!< request/stats: --timeout
+    int retries = 0;                 //!< request: --retries budget
+    // Fabric options for `pre --workers` / `coordinate`.
+    std::string workersCsv;          //!< --workers a,b,c endpoints
+    int64_t unitPoints = 0;          //!< --unit-points (0 = auto)
+    double leaseSeconds = 60.0;      //!< --lease TTL in seconds
+    int maxInflight = 0;             //!< serve: --max-inflight cap
     int64_t sloUs = 0;               //!< serve: --slo-us threshold
     std::string accessLogPath;       //!< serve: --access-log file
     std::string flightDumpPath;      //!< --flight-dump: crash/error dump
@@ -110,7 +122,10 @@ usage()
         "  pre      explore the design space (chiplet granularity)\n"
         "  compare  Simba baseline vs NN-Baton on the same hardware\n"
         "  models   list the built-in model zoo / dump one as text\n"
-        "  serve    persistent evaluation daemon on a Unix socket\n"
+        "  serve    persistent evaluation daemon (Unix socket and/or\n"
+        "           TCP; a TCP listener is a sweep-fabric worker)\n"
+        "  coordinate\n"
+        "           distribute a pre sweep across serve workers\n"
         "  request  send one JSON request to a serve daemon\n"
         "  stats    scrape a serve daemon's metrics registry\n"
         "\n"
@@ -159,9 +174,28 @@ usage()
         "                        design point instead of quarantining\n"
         "  --no-obs              omit run-dependent fields from JSON\n"
         "                        reports (stable, comparable bytes)\n"
-        "  --socket <path>       serve/request/stats: Unix socket path\n"
+        "  --socket <ep>         serve: Unix socket path to bind;\n"
+        "                        request/stats: daemon endpoint (a\n"
+        "                        socket path or host:port)\n"
+        "  --tcp <host:port>     serve: also listen on TCP (\":0\"\n"
+        "                        binds a kernel-assigned port)\n"
+        "  --workers <eps>       pre/coordinate: comma-separated serve\n"
+        "                        endpoints to shard the sweep across\n"
+        "  --unit-points <n>     fabric: design points per leased work\n"
+        "                        unit [auto]\n"
+        "  --lease <s>           fabric: seconds before an unfinished\n"
+        "                        unit is re-issued to another worker\n"
+        "                        [60]\n"
+        "  --timeout <s>         request/stats: per-I/O wall-clock\n"
+        "                        budget [30]\n"
+        "  --retries <n>         request: retry retryable failures up\n"
+        "                        to n times with backoff; exit 4 when\n"
+        "                        still failing retryably [0]\n"
         "  --cache-bytes <n>     serve: mapping-cache LRU capacity in\n"
         "                        bytes [268435456]\n"
+        "  --max-inflight <n>    serve: refuse heavy requests beyond n\n"
+        "                        evaluating concurrently with a\n"
+        "                        retryable envelope [unlimited]\n"
         "  --request <json>      request: one JSON request line (reads\n"
         "                        stdin lines when omitted)\n"
         "  --slo-us <n>          serve: request-latency SLO; slower\n"
@@ -273,8 +307,26 @@ parseArgs(int argc, char **argv, Args &args)
             args.noObs = true;
         } else if (opt == "--socket") {
             args.socketPath = next();
+        } else if (opt == "--tcp") {
+            args.tcpAddress = next();
+        } else if (opt == "--workers") {
+            args.workersCsv = next();
+        } else if (opt == "--unit-points") {
+            args.unitPoints = parsePositiveInt64(name, next()).value();
+        } else if (opt == "--lease") {
+            args.leaseSeconds =
+                parsePositiveDouble(name, next()).value();
+        } else if (opt == "--timeout") {
+            args.timeoutSeconds =
+                parsePositiveDouble(name, next()).value();
+        } else if (opt == "--retries") {
+            args.retries = static_cast<int>(
+                parsePositiveInt64(name, next()).value());
         } else if (opt == "--cache-bytes") {
             args.cacheBytes = parsePositiveInt64(name, next()).value();
+        } else if (opt == "--max-inflight") {
+            args.maxInflight = static_cast<int>(
+                parsePositiveInt64(name, next()).value());
         } else if (opt == "--request") {
             args.requestBody = next();
         } else if (opt == "--slo-us") {
@@ -494,8 +546,49 @@ runPre(const Args &args)
     opt.checkpointEvery = args.checkpointEvery;
     opt.resumePath = args.resumePath;
     opt.cancel = &globalCancelToken();
-    PreDesignFlow flow(opt);
-    const PreDesignReport report = flow.run(model);
+
+    PreDesignReport report;
+    if (!args.workersCsv.empty()) {
+        // Distributed sweep: shard the same fingerprinted space
+        // across serve workers.  The merged report is bit-identical
+        // to the local path below (docs/distributed.md).
+        fabric::FabricOptions fab;
+        for (size_t at = 0; at < args.workersCsv.size();) {
+            size_t comma = args.workersCsv.find(',', at);
+            if (comma == std::string::npos)
+                comma = args.workersCsv.size();
+            if (comma > at)
+                fab.workers.push_back(
+                    args.workersCsv.substr(at, comma - at));
+            at = comma + 1;
+        }
+        if (fab.workers.empty()) {
+            throwStatus(errInvalidArgument(
+                "--workers needs at least one endpoint"));
+        }
+        fab.unitPoints = args.unitPoints;
+        fab.leaseSeconds = args.leaseSeconds;
+        fabric::FabricStats fstats;
+        report.sweep = fabric::coordinateSweep(model, opt,
+                                               defaultTech(), fab,
+                                               &fstats);
+        if (auto best = report.sweep.bestEdp())
+            report.recommended = report.sweep.points[*best];
+        inform("fabric: %lld/%lld unit(s) completed remotely, "
+               "%lld retries, %lld lease(s) expired, %lld worker(s) "
+               "quarantined, %lld duplicate(s) dropped, %lld unit(s) "
+               "evaluated locally",
+               static_cast<long long>(fstats.unitsCompleted),
+               static_cast<long long>(fstats.units),
+               static_cast<long long>(fstats.retries),
+               static_cast<long long>(fstats.leasesExpired),
+               static_cast<long long>(fstats.workersQuarantined),
+               static_cast<long long>(fstats.duplicateCompletions),
+               static_cast<long long>(fstats.localFallbackUnits));
+    } else {
+        PreDesignFlow flow(opt);
+        report = flow.run(model);
+    }
     std::printf("%s", report.toString().c_str());
     if (!args.jsonPath.empty()) {
         std::ofstream out(args.jsonPath);
@@ -562,27 +655,39 @@ runModels(const Args &args)
 int
 runServe(const Args &args)
 {
-    if (args.socketPath.empty()) {
-        throwStatus(
-            errInvalidArgument("serve needs --socket <path>"));
+    if (args.socketPath.empty() && args.tcpAddress.empty()) {
+        throwStatus(errInvalidArgument(
+            "serve needs --socket <path> and/or --tcp <host:port>"));
     }
     serve::ServerOptions opt;
     opt.socketPath = args.socketPath;
+    opt.tcpAddress = args.tcpAddress;
     opt.threads = args.threads;
     opt.cancel = &globalCancelToken();
     opt.service.cacheBytes = args.cacheBytes;
+    opt.service.maxInflight = args.maxInflight;
     opt.service.sloUs = args.sloUs;
     opt.service.accessLogPath = args.accessLogPath;
     // A daemon always has an on-error flight dump target so a failed
     // request leaves a postmortem behind without any extra flag.
-    opt.service.flightDumpPath = args.flightDumpPath.empty()
-                                     ? args.socketPath + ".flight.json"
-                                     : args.flightDumpPath;
+    opt.service.flightDumpPath =
+        !args.flightDumpPath.empty() ? args.flightDumpPath
+        : !args.socketPath.empty()   ? args.socketPath + ".flight.json"
+                                     : "nn-baton-serve.flight.json";
     serve::Server server(std::move(opt));
     throwIfError(server.start());
-    // Stdout line so wrappers can wait for readiness.
+    // Stdout line so wrappers can wait for readiness; the resolved
+    // TCP port matters for --tcp ":0" (kernel-assigned).
+    std::string listening;
+    if (!args.socketPath.empty())
+        listening = args.socketPath;
+    if (server.tcpPort() >= 0) {
+        if (!listening.empty())
+            listening += " and ";
+        listening += strprintf("tcp port %d", server.tcpPort());
+    }
     std::printf("nn-baton serve: listening on %s (%d lanes)\n",
-                args.socketPath.c_str(), args.threads);
+                listening.c_str(), args.threads);
     std::fflush(stdout);
     const int64_t handled = server.run();
     inform("serve: handled %lld requests",
@@ -590,109 +695,93 @@ runServe(const Args &args)
     return 0;
 }
 
-/** Minimal blocking line-oriented client for the daemon's socket. */
-class SocketClient
-{
-  public:
-    explicit SocketClient(const std::string &path)
-    {
-        sockaddr_un addr{};
-        addr.sun_family = AF_UNIX;
-        if (path.size() >= sizeof(addr.sun_path))
-            throwStatus(errInvalidArgument("socket path too long"));
-        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        if (fd_ < 0) {
-            throwStatus(
-                errUnavailable("socket: %s", std::strerror(errno)));
-        }
-        if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
-                      sizeof(addr)) != 0) {
-            const int err = errno;
-            ::close(fd_);
-            fd_ = -1;
-            throwStatus(errUnavailable("connect %s: %s", path.c_str(),
-                                       std::strerror(err)));
-        }
-    }
-
-    ~SocketClient()
-    {
-        if (fd_ >= 0)
-            ::close(fd_);
-    }
-
-    SocketClient(const SocketClient &) = delete;
-    SocketClient &operator=(const SocketClient &) = delete;
-
-    void
-    sendLine(std::string line)
-    {
-        line.push_back('\n');
-        size_t off = 0;
-        while (off < line.size()) {
-            const ssize_t n = ::send(fd_, line.data() + off,
-                                     line.size() - off, MSG_NOSIGNAL);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                throwStatus(
-                    errUnavailable("send: %s", std::strerror(errno)));
-            }
-            off += static_cast<size_t>(n);
-        }
-    }
-
-    std::string
-    recvLine()
-    {
-        size_t nl;
-        while ((nl = buffer_.find('\n')) == std::string::npos) {
-            char chunk[4096];
-            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                throwStatus(
-                    errUnavailable("recv: %s", std::strerror(errno)));
-            }
-            if (n == 0) {
-                throwStatus(errUnavailable(
-                    "daemon closed the connection mid-response"));
-            }
-            buffer_.append(chunk, static_cast<size_t>(n));
-        }
-        std::string line = buffer_.substr(0, nl);
-        buffer_.erase(0, nl + 1);
-        return line;
-    }
-
-  private:
-    int fd_ = -1;
-    std::string buffer_;
-};
-
 /**
  * One-shot client for the daemon: send --request (or every stdin
- * line) and print each response line.  Exits 1 if any response is a
- * structured error envelope.
+ * line) and print each response line.  Transport failures and
+ * retryable {"ok":false,"retryable":true} envelopes (overload,
+ * deadline) are retried --retries times with exponential backoff;
+ * when they persist the exit code is 4, distinct from both success
+ * (0) and a definitive error envelope (1), so wrappers can tell
+ * "try again later" from "this request is wrong".
  */
 int
 runRequest(const Args &args)
 {
     if (args.socketPath.empty()) {
-        throwStatus(
-            errInvalidArgument("request needs --socket <path>"));
+        throwStatus(errInvalidArgument(
+            "request needs --socket <endpoint>"));
     }
-    SocketClient client(args.socketPath);
+    LineChannel channel;
+    BackoffPolicy policy;
+    policy.maxRetries = args.retries;
 
     int rc = 0;
     auto roundTrip = [&](const std::string &request) {
-        client.sendLine(request);
-        const std::string response = client.recvLine();
-        std::printf("%s\n", response.c_str());
-        if (response.rfind("{\"ok\":false", 0) == 0)
-            rc = 1;
+        Backoff backoff(policy, /*seed=*/1);
+        for (;;) {
+            Status failure = Status::okStatus();
+            std::string response;
+            if (!channel.connected()) {
+                StatusOr<LineChannel> fresh = connectLineChannel(
+                    args.socketPath, args.timeoutSeconds);
+                if (fresh.ok())
+                    channel = std::move(fresh).value();
+                else
+                    failure = fresh.status();
+            }
+            if (failure.ok()) {
+                failure = channel.sendLine(request,
+                                           args.timeoutSeconds);
+            }
+            if (failure.ok()) {
+                StatusOr<std::string> line =
+                    channel.recvLine(args.timeoutSeconds);
+                if (line.ok())
+                    response = std::move(line).value();
+                else
+                    failure = line.status();
+            }
+
+            if (failure.ok()) {
+                const bool envelope =
+                    response.rfind("{\"ok\":false", 0) == 0;
+                const bool retryable =
+                    envelope && response.find("\"retryable\":true") !=
+                                    std::string::npos;
+                if (retryable && !backoff.exhausted()) {
+                    warn("request: retryable failure (attempt %d): "
+                         "%s",
+                         backoff.attempts() + 1, response.c_str());
+                    if (!sleepWithCancel(backoff.nextDelayMs(),
+                                         &globalCancelToken())) {
+                        rc = std::max(rc, 3);
+                        return;
+                    }
+                    continue;
+                }
+                std::printf("%s\n", response.c_str());
+                if (envelope)
+                    rc = std::max(rc, retryable ? 4 : 1);
+                return;
+            }
+
+            // Transport failure (refused, hung up, timed out): the
+            // daemon may be restarting — retryable by definition.
+            channel.close();
+            if (backoff.exhausted()) {
+                std::fprintf(stderr, "nn-baton: %s\n",
+                             failure.toString().c_str());
+                rc = std::max(rc, 4);
+                return;
+            }
+            warn("request: %s (attempt %d); retrying",
+                 failure.toString().c_str(), backoff.attempts() + 1);
+            if (!sleepWithCancel(backoff.nextDelayMs(),
+                                 &globalCancelToken())) {
+                rc = std::max(rc, 3);
+                return;
+            }
+        }
     };
     if (!args.requestBody.empty()) {
         roundTrip(args.requestBody);
@@ -716,11 +805,17 @@ runRequest(const Args &args)
 int
 runStats(const Args &args)
 {
-    if (args.socketPath.empty())
-        throwStatus(errInvalidArgument("stats needs --socket <path>"));
-    SocketClient client(args.socketPath);
-    client.sendLine("{\"op\":\"metrics\"}");
-    const std::string response = client.recvLine();
+    if (args.socketPath.empty()) {
+        throwStatus(
+            errInvalidArgument("stats needs --socket <endpoint>"));
+    }
+    LineChannel channel =
+        connectLineChannel(args.socketPath, args.timeoutSeconds)
+            .value();
+    throwIfError(
+        channel.sendLine("{\"op\":\"metrics\"}", args.timeoutSeconds));
+    const std::string response =
+        channel.recvLine(args.timeoutSeconds).value();
     if (response.rfind("{\"ok\":false", 0) == 0) {
         std::fprintf(stderr, "nn-baton: %s\n", response.c_str());
         return 1;
@@ -806,13 +901,22 @@ main(int argc, char **argv)
         globalCancelToken().setDeadlineAfter(args.deadlineSeconds);
 
     // Exit codes: 0 success, 1 error or infeasible, 2 usage,
-    // 3 partial result (cancelled or past the deadline).
+    // 3 partial result (cancelled or past the deadline), 4 retryable
+    // failure that persisted (request: daemon overloaded/unreachable
+    // after --retries attempts).
     int rc = 2;
     try {
         if (args.command == "post")
             rc = runPost(args);
         else if (args.command == "pre")
             rc = runPre(args);
+        else if (args.command == "coordinate") {
+            if (args.workersCsv.empty()) {
+                throwStatus(errInvalidArgument(
+                    "coordinate needs --workers <ep,ep,...>"));
+            }
+            rc = runPre(args);
+        }
         else if (args.command == "compare")
             rc = runCompare(args);
         else if (args.command == "models")
