@@ -51,29 +51,67 @@ analyzeMappingUnchecked(const ConvLayer &layer,
                         const Mapping &mapping,
                         const AnalysisOptions &options)
 {
-    AccessAnalysis out;
-    out.shapes = deriveShapes(layer, cfg, mapping);
-    const MappingShapes &s = out.shapes;
-    const NestSet nests = buildNests(layer, cfg, mapping, s);
+    const MappingShapes shapes = deriveShapes(layer, cfg, mapping);
+    const NestSet nests = buildNests(layer, cfg, mapping, shapes);
 
-    const int np = cfg.package.chiplets;
-    const int nc = cfg.chiplet.cores;
-    const int cw = mapping.chipChannelWays;
-    const int pw = mapping.chipSplit.parts();
+    // C3P buffer analyses.  W-L1 buffers of the pw cores sharing one
+    // weight stream are merged into one pool (paper section III-A.2).
+    const int64_t wl1_capacity =
+        cfg.core.wl1Bytes *
+        (options.wl1Pooling ? mapping.chipSplit.parts() : 1);
+    const ReuseResult wl1 = analyzeBuffer(nests.perCore, Tensor::Weights,
+                                          layer, wl1_capacity);
+    const ReuseResult al1 = analyzeBuffer(
+        nests.perCore, Tensor::Activations, layer, cfg.core.al1Bytes);
+    const ReuseResult al2 =
+        analyzeBuffer(nests.perChiplet, Tensor::Activations, layer,
+                      cfg.chiplet.al2Bytes);
+    return composeAccessAnalysis(layer, cfg, mapping, options, shapes,
+                                 wl1, al1, al2);
+}
+
+AccessAnalysis
+composeAccessAnalysis(const ConvLayer &layer,
+                      const AcceleratorConfig &cfg,
+                      const Mapping &mapping,
+                      const AnalysisOptions &options,
+                      const MappingShapes &shapes, const ReuseResult &wl1,
+                      const ReuseResult &al1, const ReuseResult &al2)
+{
+    AccessAnalysis out;
+    composeAccessAnalysisInto(layer, cfg, mapping, options, shapes, wl1,
+                              al1, al2, out);
+    return out;
+}
+
+void
+composeAccessAnalysisInto(const ConvLayer &layer,
+                          const AcceleratorConfig &cfg,
+                          const Mapping &mapping,
+                          const AnalysisOptions &options,
+                          const MappingShapes &shapes,
+                          const ReuseResult &wl1, const ReuseResult &al1,
+                          const ReuseResult &al2, AccessAnalysis &out)
+{
+    // Reset the POD parts; the ReuseResult assignments below reuse any
+    // criticalPoints capacity @p out already carries (the evaluation
+    // hot loops feed the same AccessAnalysis back in every call).
+    out.counts = AccessCounts{};
+    out.shapes = shapes;
+    out.wl1 = wl1;
+    out.al1 = al1;
+    out.al2 = al2;
+    const MappingShapes &s = out.shapes;
+
+    // The parallel-unit counts are promoted to int64 up front so every
+    // product below is 64-bit from the first multiplication; batch>1
+    // transformer shapes push the int32 boundary otherwise.
+    const int64_t np = cfg.package.chiplets;
+    const int64_t nc = cfg.chiplet.cores;
+    const int64_t cw = mapping.chipChannelWays;
+    const int64_t pw = mapping.chipSplit.parts();
     const int p =
         std::min<int>(cfg.core.vectorSize, layer.ciPerGroup());
-
-    // --- C3P buffer analyses ---------------------------------------
-    // W-L1 buffers of the pw cores sharing one weight stream are
-    // merged into one pool (paper section III-A.2).
-    const int64_t wl1_capacity =
-        cfg.core.wl1Bytes * (options.wl1Pooling ? pw : 1);
-    out.wl1 = analyzeBuffer(nests.perCore, Tensor::Weights, layer,
-                            wl1_capacity);
-    out.al1 = analyzeBuffer(nests.perCore, Tensor::Activations, layer,
-                            cfg.core.al1Bytes);
-    out.al2 = analyzeBuffer(nests.perChiplet, Tensor::Activations, layer,
-                            cfg.chiplet.al2Bytes);
 
     AccessCounts &c = out.counts;
     const bool acts_shared = options.rotationSharing &&
@@ -84,7 +122,7 @@ analyzeMappingUnchecked(const ConvLayer &layer,
     // --- weights: DRAM -> (ring) -> W-L1 ----------------------------
     // cw distinct weight streams per chiplet; each stream fills its
     // merged W-L1 pool once per analysis.
-    const int w_streams = options.wl1Pooling ? cw : nc;
+    const int64_t w_streams = options.wl1Pooling ? cw : nc;
     const int64_t w_chip_bits = out.wl1.fillBytes * w_streams * 8;
     if (weights_shared) {
         c.dramReadWeightBits += w_chip_bits;
@@ -146,7 +184,6 @@ analyzeMappingUnchecked(const ConvLayer &layer,
         static_cast<double>(vec_work) /
         static_cast<double>(ceilDiv(vec_work, cfg.core.vectorSize) *
                             cfg.core.vectorSize);
-    return out;
 }
 
 } // namespace nnbaton

@@ -112,6 +112,39 @@ AccessAnalysis analyzeMappingUnchecked(const ConvLayer &layer,
                                        const Mapping &mapping,
                                        const AnalysisOptions &options = {});
 
+/**
+ * The closed-form composition step of the accounting: turn the three
+ * buffer reuse analyses plus the derived shapes into whole-package
+ * access counts.  analyzeMappingUnchecked() and the incremental
+ * evaluator (c3p/incremental.hpp) both call this one function, so the
+ * incremental path is bit-identical to the full one by construction —
+ * the only inputs are the (integer-exact) ReuseResults and shapes.
+ */
+AccessAnalysis composeAccessAnalysis(const ConvLayer &layer,
+                                     const AcceleratorConfig &cfg,
+                                     const Mapping &mapping,
+                                     const AnalysisOptions &options,
+                                     const MappingShapes &shapes,
+                                     const ReuseResult &wl1,
+                                     const ReuseResult &al1,
+                                     const ReuseResult &al2);
+
+/**
+ * composeAccessAnalysis() writing into caller-owned storage.  The
+ * evaluation hot loops feed the same @p out back in every call so the
+ * criticalPoints vectors keep their capacity; all scalar fields are
+ * fully (re)assigned, so no stale state survives.
+ */
+void composeAccessAnalysisInto(const ConvLayer &layer,
+                               const AcceleratorConfig &cfg,
+                               const Mapping &mapping,
+                               const AnalysisOptions &options,
+                               const MappingShapes &shapes,
+                               const ReuseResult &wl1,
+                               const ReuseResult &al1,
+                               const ReuseResult &al2,
+                               AccessAnalysis &out);
+
 } // namespace nnbaton
 
 #endif // NNBATON_C3P_ACCESS_HPP

@@ -66,6 +66,31 @@ struct ReuseResult
 ReuseResult analyzeBuffer(const LoopNest &nest, Tensor tensor,
                           const ConvLayer &layer, int64_t capacity_bytes);
 
+/**
+ * analyzeBuffer() in a single inward-to-outward pass: every boundary
+ * footprint is produced by one running span accumulation instead of an
+ * O(n) spanBelow() walk per boundary, cutting the scan from quadratic
+ * to linear in the nest depth.  Span products are the same exact
+ * int64 multiplications in a different (commutative) order, so the
+ * result is bit-identical to analyzeBuffer() on every field — the
+ * incremental evaluator's hot path relies on that, and the C3P fuzz
+ * suite pins it.
+ */
+ReuseResult analyzeBufferFast(const LoopNest &nest, Tensor tensor,
+                              const ConvLayer &layer,
+                              int64_t capacity_bytes);
+
+/**
+ * analyzeBufferFast() writing into caller-owned storage: @p out's
+ * criticalPoints vector keeps its capacity across calls, so a hot loop
+ * feeding the same result slot back in allocates nothing in the steady
+ * state (the incremental evaluator's memo fills its ring entries this
+ * way).  All fields are fully (re)assigned.
+ */
+void analyzeBufferFastInto(const LoopNest &nest, Tensor tensor,
+                           const ConvLayer &layer, int64_t capacity_bytes,
+                           ReuseResult &out);
+
 } // namespace nnbaton
 
 #endif // NNBATON_C3P_ANALYSIS_HPP

@@ -1,0 +1,332 @@
+#include "c3p/incremental.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+
+namespace nnbaton {
+
+namespace {
+
+bool
+sameSpan(const TileSpan &a, const TileSpan &b)
+{
+    return a.ho == b.ho && a.wo == b.wo && a.co == b.co &&
+           a.ci == b.ci && a.kh == b.kh && a.kw == b.kw && a.b == b.b;
+}
+
+bool
+sameNest(const LoopNest &a, const LoopNest &b)
+{
+    if (a.loops.size() != b.loops.size() || !sameSpan(a.atom, b.atom))
+        return false;
+    for (size_t i = 0; i < a.loops.size(); ++i) {
+        if (a.loops[i].dim != b.loops[i].dim ||
+            a.loops[i].trips != b.loops[i].trips)
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+fnvStep(uint64_t h, uint64_t v)
+{
+    return (h ^ v) * 1099511628211ull; // FNV-1a, one multiply per word
+}
+
+/** Hash of the full nest identity (atom + loop sequence).  Computed
+ *  once per nest per analyze(); the memo key mixes the capacity in on
+ *  top.  A collision is harmless — find() verifies the full key. */
+uint64_t
+nestHash(const LoopNest &nest)
+{
+    uint64_t h = 14695981039346656037ull;
+    h = fnvStep(h, static_cast<uint64_t>(nest.atom.ho));
+    h = fnvStep(h, static_cast<uint64_t>(nest.atom.wo));
+    h = fnvStep(h, static_cast<uint64_t>(nest.atom.co));
+    h = fnvStep(h, static_cast<uint64_t>(nest.atom.ci));
+    h = fnvStep(h, (static_cast<uint64_t>(nest.atom.kh) << 42) ^
+                       (static_cast<uint64_t>(nest.atom.kw) << 21) ^
+                       static_cast<uint64_t>(nest.atom.b));
+    for (const Loop &l : nest.loops)
+        h = fnvStep(h, (static_cast<uint64_t>(l.dim) << 56) ^
+                           static_cast<uint64_t>(l.trips));
+    return h;
+}
+
+bool
+sameCounts(const AccessCounts &a, const AccessCounts &b)
+{
+    return a.dramReadActBits == b.dramReadActBits &&
+           a.dramReadWeightBits == b.dramReadWeightBits &&
+           a.dramWriteBits == b.dramWriteBits &&
+           a.d2dBits == b.d2dBits && a.nocBits == b.nocBits &&
+           a.al2ReadBits == b.al2ReadBits &&
+           a.al2WriteBits == b.al2WriteBits &&
+           a.al1ReadBits == b.al1ReadBits &&
+           a.al1WriteBits == b.al1WriteBits &&
+           a.wl1ReadBits == b.wl1ReadBits &&
+           a.wl1WriteBits == b.wl1WriteBits &&
+           a.ol1RmwBits == b.ol1RmwBits &&
+           a.ol1ReadBits == b.ol1ReadBits &&
+           a.ol2ReadBits == b.ol2ReadBits &&
+           a.ol2WriteBits == b.ol2WriteBits && a.macOps == b.macOps &&
+           a.vectorOps == b.vectorOps && a.ol2Bytes == b.ol2Bytes;
+}
+
+} // namespace
+
+const char *
+toString(MappingDelta d)
+{
+    switch (d) {
+      case MappingDelta::Prime:
+        return "prime";
+      case MappingDelta::TileFactor:
+        return "tile-factor";
+      case MappingDelta::TileAndOrder:
+        return "tile-and-order";
+      case MappingDelta::LoopOrder:
+        return "loop-order";
+      case MappingDelta::SpatialSplit:
+        return "spatial-split";
+      case MappingDelta::Uncovered:
+        return "uncovered";
+    }
+    panic("bad MappingDelta");
+}
+
+MappingDelta
+classifyMappingDelta(const Mapping &prev, const Mapping &next)
+{
+    // Spatial groups: the three independent spatial-split decisions of
+    // the mapping.  A covered spatial diff changes exactly one group
+    // and nothing else.
+    const bool pkg_group = prev.pkgSpatial != next.pkgSpatial ||
+                           !(prev.pkgSplit == next.pkgSplit);
+    const bool chip_group =
+        prev.chipSpatial != next.chipSpatial ||
+        prev.chipChannelWays != next.chipChannelWays ||
+        !(prev.chipSplit == next.chipSplit);
+    const bool core_group =
+        prev.hoC != next.hoC || prev.woC != next.woC;
+    const int spatial_changes = static_cast<int>(pkg_group) +
+                                static_cast<int>(chip_group) +
+                                static_cast<int>(core_group);
+
+    const int tile_changes =
+        static_cast<int>(prev.chipletTile.ho != next.chipletTile.ho) +
+        static_cast<int>(prev.chipletTile.wo != next.chipletTile.wo) +
+        static_cast<int>(prev.chipletTile.co != next.chipletTile.co);
+
+    const bool order_changed = prev.pkgOrder != next.pkgOrder ||
+                               prev.chipOrder != next.chipOrder;
+
+    if (spatial_changes > 0) {
+        if (spatial_changes == 1 && tile_changes == 0 && !order_changed)
+            return MappingDelta::SpatialSplit;
+        return MappingDelta::Uncovered;
+    }
+    if (tile_changes > 1)
+        return MappingDelta::Uncovered;
+    if (tile_changes == 1)
+        return order_changed ? MappingDelta::TileAndOrder
+                             : MappingDelta::TileFactor;
+    // Order-only diff; an identical mapping lands here too (every
+    // cached term is reusable either way).
+    return MappingDelta::LoopOrder;
+}
+
+const ReuseResult *
+IncrementalAnalyzer::NestMemo::find(uint64_t hash,
+                                    const LoopNest &nest,
+                                    int64_t capacity) const
+{
+    // Newest-first: enumeration streams revisit the most recent nests
+    // (order flips alternate between two nests per tile point).  The
+    // wrap is branch-based — a modulo per probe costs more than the
+    // whole one-word hash compare.
+    const size_t n = ring.size();
+    size_t i = next;
+    for (size_t k = 0; k < n; ++k) {
+        i = (i == 0 ? n : i) - 1;
+        if (ring[i].hash == hash && ring[i].capacity == capacity &&
+            sameNest(ring[i].nest, nest))
+            return &ring[i].result;
+    }
+    return nullptr;
+}
+
+IncrementalAnalyzer::MemoEntry &
+IncrementalAnalyzer::NestMemo::claim()
+{
+    if (ring.size() < kEntries) {
+        ring.reserve(kEntries);
+        ring.emplace_back();
+        next = ring.size() % kEntries;
+        return ring.back();
+    }
+    MemoEntry &slot = ring[next];
+    next = (next + 1) % kEntries;
+    return slot;
+}
+
+IncrementalAnalyzer::IncrementalAnalyzer(const ConvLayer &layer,
+                                         const AcceleratorConfig &cfg,
+                                         const AnalysisOptions &options)
+    : layer_(layer), cfg_(cfg), options_(options),
+      crossCheck_(crossCheckFromEnv())
+{
+}
+
+bool
+IncrementalAnalyzer::crossCheckFromEnv()
+{
+    const char *v = std::getenv("NNBATON_INCREMENTAL_CHECK");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+const ReuseResult &
+IncrementalAnalyzer::bufferTerm(NestMemo &memo, const LoopNest &nest,
+                                uint64_t nest_hash, Tensor tensor,
+                                int64_t capacity)
+{
+    const uint64_t hash =
+        fnvStep(nest_hash, static_cast<uint64_t>(capacity));
+    if (const ReuseResult *hit = memo.find(hash, nest, capacity)) {
+        ++stats_.nestReuses;
+        return *hit;
+    }
+    ++stats_.nestScans;
+    MemoEntry &slot = memo.claim();
+    slot.hash = hash;
+    slot.capacity = capacity;
+    slot.nest = nest;
+    analyzeBufferFastInto(nest, tensor, layer_, capacity, slot.result);
+    return slot.result;
+}
+
+void
+IncrementalAnalyzer::validate(const Mapping &mapping,
+                              const AccessAnalysis &incremental)
+{
+    ++stats_.crossChecks;
+    const AccessAnalysis full =
+        analyzeMapping(layer_, cfg_, mapping, options_);
+    if (!sameCounts(incremental.counts, full.counts) ||
+        incremental.wl1.fillBytes != full.wl1.fillBytes ||
+        incremental.al1.fillBytes != full.al1.fillBytes ||
+        incremental.al2.fillBytes != full.al2.fillBytes ||
+        incremental.laneUtilization != full.laneUtilization ||
+        incremental.vectorUtilization != full.vectorUtilization) {
+        panic("incremental cross-check divergence on %s %s:\n"
+              "  incremental: %s\n  full:        %s",
+              layer_.name.c_str(), mapping.toString().c_str(),
+              incremental.counts.toString().c_str(),
+              full.counts.toString().c_str());
+    }
+}
+
+const AccessAnalysis &
+IncrementalAnalyzer::analyze(const Mapping &mapping)
+{
+    analyzeInto(mapping, out_);
+    return out_;
+}
+
+void
+IncrementalAnalyzer::analyzeInto(const Mapping &mapping,
+                                 AccessAnalysis &out)
+{
+    ++stats_.evaluations;
+    const MappingDelta delta =
+        hasPrev_ ? classifyMappingDelta(prevMapping_, mapping)
+                 : MappingDelta::Prime;
+
+    // The classification only gates shape reuse.  Everything else —
+    // the rebuilt nests, the memoised buffer terms, the shared
+    // composition — is sound for any diff, because the memo keys on
+    // the exact (nest, capacity) pair; a fallback just re-derives the
+    // shapes from scratch instead of carrying them over.
+    if (delta == MappingDelta::Prime ||
+        delta == MappingDelta::Uncovered) {
+        ++stats_.fallbacks;
+        shapes_ = deriveShapes(layer_, cfg_, mapping);
+    } else {
+        ++stats_.deltaHits;
+        if (delta == MappingDelta::LoopOrder) {
+            // deriveShapes() never reads the loop orders, so the
+            // derived shapes carry over verbatim.
+            ++stats_.shapeReuses;
+        } else {
+            shapes_ = deriveShapes(layer_, cfg_, mapping);
+        }
+    }
+    buildNestsInto(layer_, cfg_, mapping, shapes_, nests_);
+
+    const int64_t wl1_capacity =
+        cfg_.core.wl1Bytes *
+        (options_.wl1Pooling ? mapping.chipSplit.parts() : 1);
+    const uint64_t core_hash = nestHash(nests_.perCore);
+    const uint64_t chiplet_hash = nestHash(nests_.perChiplet);
+    const ReuseResult &wl1 =
+        bufferTerm(wl1Memo_, nests_.perCore, core_hash,
+                   Tensor::Weights, wl1_capacity);
+    const ReuseResult &al1 =
+        bufferTerm(al1Memo_, nests_.perCore, core_hash,
+                   Tensor::Activations, cfg_.core.al1Bytes);
+    const ReuseResult &al2 =
+        bufferTerm(al2Memo_, nests_.perChiplet, chiplet_hash,
+                   Tensor::Activations, cfg_.chiplet.al2Bytes);
+
+    composeAccessAnalysisInto(layer_, cfg_, mapping, options_, shapes_,
+                              wl1, al1, al2, out);
+    prevMapping_ = mapping;
+    hasPrev_ = true;
+    if (crossCheck_)
+        validate(mapping, out);
+}
+
+AccessAnalysis
+analyzeMappingIncremental(IncrementalAnalyzer &state,
+                          const Mapping &mapping)
+{
+    return state.analyze(mapping);
+}
+
+void
+mirrorIncrementalMetrics(const IncrementalStats &stats)
+{
+    static obs::Counter &m_evals =
+        obs::MetricsRegistry::instance().counter(
+            "c3p.incremental.evaluations");
+    static obs::Counter &m_hits =
+        obs::MetricsRegistry::instance().counter(
+            "c3p.incremental.delta_hits");
+    static obs::Counter &m_fallbacks =
+        obs::MetricsRegistry::instance().counter(
+            "c3p.incremental.fallbacks");
+    static obs::Counter &m_shape =
+        obs::MetricsRegistry::instance().counter(
+            "c3p.incremental.shape_reuses");
+    static obs::Counter &m_nest =
+        obs::MetricsRegistry::instance().counter(
+            "c3p.incremental.nest_reuses");
+    static obs::Counter &m_scan =
+        obs::MetricsRegistry::instance().counter(
+            "c3p.incremental.nest_scans");
+    static obs::Counter &m_checks =
+        obs::MetricsRegistry::instance().counter(
+            "c3p.incremental.cross_checks");
+    m_evals.add(stats.evaluations);
+    m_hits.add(stats.deltaHits);
+    m_fallbacks.add(stats.fallbacks);
+    m_shape.add(stats.shapeReuses);
+    m_nest.add(stats.nestReuses);
+    m_scan.add(stats.nestScans);
+    m_checks.add(stats.crossChecks);
+}
+
+} // namespace nnbaton

@@ -70,14 +70,19 @@ HistogramSnapshot::quantile(double q) const
         if (!n)
             continue;
         if (static_cast<double>(cumulative + n) >= rank) {
-            // Clamp the bucket bounds to the observed range: the last
-            // bucket's nominal upper bound is INT64_MAX, and a bucket
-            // holding only the min (or max) collapses to the exact
-            // value.
-            const double lo = static_cast<double>(
-                std::max(Histogram::bucketLowerBound(b), minValue));
-            const double hi = static_cast<double>(
-                std::min(Histogram::bucketUpperBound(b), maxValue));
+            // Clamp the bucket bounds into [minValue, maxValue]: the
+            // last bucket's nominal upper bound is INT64_MAX, and a
+            // bucket holding only the min (or max) collapses to the
+            // exact value.  Both bounds need both clamps — bucket 0's
+            // nominal range is [0, 0], so for all-negative recordings
+            // max-only/min-only clamping would leave lo or hi at 0 and
+            // interpolate outside the observed range entirely.
+            const double lo = static_cast<double>(std::min(
+                std::max(Histogram::bucketLowerBound(b), minValue),
+                maxValue));
+            const double hi = static_cast<double>(std::max(
+                std::min(Histogram::bucketUpperBound(b), maxValue),
+                minValue));
             const double frac =
                 (rank - static_cast<double>(cumulative)) /
                 static_cast<double>(n);

@@ -124,6 +124,17 @@ buildNests(const ConvLayer &layer, const AcceleratorConfig &cfg,
            const Mapping &mapping, const MappingShapes &shapes)
 {
     NestSet nests;
+    buildNestsInto(layer, cfg, mapping, shapes, nests);
+    return nests;
+}
+
+void
+buildNestsInto(const ConvLayer &layer, const AcceleratorConfig &cfg,
+               const Mapping &mapping, const MappingShapes &shapes,
+               NestSet &nests)
+{
+    nests.perCore.loops.clear();
+    nests.perChiplet.loops.clear();
 
     // ---- per-core nest: pkg-temporal + chip-temporal + core loops ----
     // The batch loop sits outermost on every nest: samples are
@@ -173,7 +184,6 @@ buildNests(const ConvLayer &layer, const AcceleratorConfig &cfg,
     chip.atom.ci = layer.ciPerGroup();
     chip.atom.kh = layer.kh;
     chip.atom.kw = layer.kw;
-    return nests;
 }
 
 } // namespace nnbaton

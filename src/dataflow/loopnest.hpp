@@ -101,6 +101,16 @@ struct NestSet
 NestSet buildNests(const ConvLayer &layer, const AcceleratorConfig &cfg,
                    const Mapping &mapping, const MappingShapes &shapes);
 
+/**
+ * buildNests() into caller-owned storage: @p out's loop vectors are
+ * cleared and refilled in place, so a caller evaluating a candidate
+ * stream (the incremental evaluator) pays the allocation once and
+ * reuses the capacity for every subsequent rebuild.
+ */
+void buildNestsInto(const ConvLayer &layer, const AcceleratorConfig &cfg,
+                    const Mapping &mapping, const MappingShapes &shapes,
+                    NestSet &out);
+
 } // namespace nnbaton
 
 #endif // NNBATON_DATAFLOW_LOOPNEST_HPP

@@ -13,6 +13,7 @@
 #include "common/status.hpp"
 #include "common/trace.hpp"
 #include "dse/checkpoint.hpp"
+#include "dse/progress.hpp"
 #include "dse/slice.hpp"
 #include "mapper/cache.hpp"
 #include "verif/fault.hpp"
@@ -133,17 +134,14 @@ explore(const Model &model, const DseOptions &options,
     std::atomic<int64_t> progressEvaluated{0};
     std::atomic<int64_t> progressPruned{0};
     const auto emitProgress = [&] {
-        const int64_t done =
-            progressDone.load(std::memory_order_relaxed);
-        const int64_t total = static_cast<int64_t>(tasks.size());
         const double elapsed = std::chrono::duration<double>(
                                    std::chrono::steady_clock::now() -
                                    start)
                                    .count();
-        const int64_t fresh = done - resumedPoints;
-        const double rate = elapsed > 0 ? fresh / elapsed : 0.0;
-        const double etaSeconds =
-            rate > 0 ? (total - done) / rate : 0.0;
+        const ProgressStats ps = computeProgressStats(
+            progressDone.load(std::memory_order_relaxed),
+            static_cast<int64_t>(tasks.size()), resumedPoints,
+            elapsed);
         const int64_t hits =
             progressHits.load(std::memory_order_relaxed);
         const int64_t misses =
@@ -160,18 +158,21 @@ explore(const Model &model, const DseOptions &options,
             evaluated + pruned
                 ? static_cast<double>(pruned) / (evaluated + pruned)
                 : 0.0;
-        inform("progress: %lld/%lld points, %.1f/s, eta %.0fs, "
-               "cache hit %.1f%%, pruned %.1f%%",
-               static_cast<long long>(done),
-               static_cast<long long>(total), rate, etaSeconds,
-               100.0 * hitRate, 100.0 * pruneRate);
+        inform("progress: %lld/%lld points (%lld restored), %.1f/s, "
+               "eta %.0fs, cache hit %.1f%%, pruned %.1f%%",
+               static_cast<long long>(ps.done),
+               static_cast<long long>(ps.total),
+               static_cast<long long>(ps.restored), ps.pointsPerSec,
+               ps.etaSeconds, 100.0 * hitRate, 100.0 * pruneRate);
         obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
         reg.gauge("dse.progress.done")
-            .set(static_cast<double>(done));
+            .set(static_cast<double>(ps.done));
         reg.gauge("dse.progress.total")
-            .set(static_cast<double>(total));
-        reg.gauge("dse.progress.points_per_sec").set(rate);
-        reg.gauge("dse.progress.eta_seconds").set(etaSeconds);
+            .set(static_cast<double>(ps.total));
+        reg.gauge("dse.progress.restored")
+            .set(static_cast<double>(ps.restored));
+        reg.gauge("dse.progress.points_per_sec").set(ps.pointsPerSec);
+        reg.gauge("dse.progress.eta_seconds").set(ps.etaSeconds);
         reg.gauge("dse.progress.cache_hit_rate").set(hitRate);
         reg.gauge("dse.progress.prune_rate").set(pruneRate);
     };

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Resume-aware progress arithmetic for the sweep heartbeat.
+ *
+ * Pure functions only: the explorer's heartbeat thread feeds in the
+ * raw counters and the wall-clock elapsed time, and renders whatever
+ * comes back.  Keeping the arithmetic out of the thread makes the
+ * --resume behaviour unit-testable — the historical bug class here is
+ * a restored checkpoint inflating points/sec (restored points count as
+ * "done" but took no sweep time this run) and an ETA that divides by
+ * zero or reports "done" while points remain.
+ */
+
+#ifndef NNBATON_DSE_PROGRESS_HPP
+#define NNBATON_DSE_PROGRESS_HPP
+
+#include <algorithm>
+#include <cstdint>
+
+namespace nnbaton {
+
+/** One heartbeat's derived figures. */
+struct ProgressStats
+{
+    int64_t done = 0;     //!< points complete, restored included
+    int64_t total = 0;    //!< points in the sweep
+    int64_t restored = 0; //!< points seeded from the resume checkpoint
+    int64_t fresh = 0;    //!< points actually computed this run
+    int64_t remaining = 0;
+
+    /** Throughput of *this run*: fresh points over elapsed time.
+     *  Restored points are excluded — they cost no sweep time, so
+     *  counting them would inflate the rate right after a resume. */
+    double pointsPerSec = 0.0;
+
+    /** Remaining work over this run's fresh rate; 0 when finished and
+     *  also 0 (unknown) before the first fresh point lands. */
+    double etaSeconds = 0.0;
+
+    bool finished() const { return remaining == 0; }
+};
+
+/**
+ * Derive heartbeat figures from raw counters.  @p done includes the
+ * @p restored points (the worker counter starts at the restored
+ * count); negative inputs and done < restored are clamped rather than
+ * propagated so a torn relaxed-atomic read can never produce a
+ * negative rate or ETA.
+ */
+inline ProgressStats
+computeProgressStats(int64_t done, int64_t total, int64_t restored,
+                     double elapsed_seconds)
+{
+    ProgressStats s;
+    s.total = std::max<int64_t>(0, total);
+    s.done = std::clamp<int64_t>(done, 0, s.total);
+    s.restored = std::clamp<int64_t>(restored, 0, s.done);
+    s.fresh = s.done - s.restored;
+    s.remaining = s.total - s.done;
+    s.pointsPerSec =
+        elapsed_seconds > 0.0
+            ? static_cast<double>(s.fresh) / elapsed_seconds
+            : 0.0;
+    s.etaSeconds = s.remaining > 0 && s.pointsPerSec > 0.0
+                       ? static_cast<double>(s.remaining) /
+                             s.pointsPerSec
+                       : 0.0;
+    return s;
+}
+
+} // namespace nnbaton
+
+#endif // NNBATON_DSE_PROGRESS_HPP

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "c3p/incremental.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
@@ -103,13 +104,15 @@ void
 drainQueue(const ConvLayer &layer, const AcceleratorConfig &cfg,
            const TechnologyModel &tech, const CandidateSpace &space,
            Objective objective, const SearchOptions &search,
-           ThreadPool *pool, OpenQueue &open, bool want_full_lane,
+           ThreadPool *pool, IncrementalAnalyzer *inc, OpenQueue &open,
+           bool want_full_lane,
            std::vector<CandidateSpace::Leaf> *rejected_class,
            int64_t skip_ordinal, Incumbent &best, BnbCounters &c)
 {
     const bool prune = search.boundPruning;
     std::vector<Node> batch;
     std::vector<MappingChoice> slots;
+    CandidateBlock expanded; // reused across subtree expansions
     size_t block_cap = 1;
 
     while (!open.empty()) {
@@ -132,23 +135,26 @@ drainQueue(const ConvLayer &layer, const AcceleratorConfig &cfg,
                 }
                 ++c.nodesOpened;
                 NNBATON_TRACE_SCOPE("mapper.bnb_expand");
-                for (CandidateSpace::Leaf &leaf : space.expand(
-                         static_cast<size_t>(node.subtree))) {
-                    if (leaf.ordinal == skip_ordinal)
+                space.expandInto(static_cast<size_t>(node.subtree),
+                                 expanded);
+                for (size_t k = 0; k < expanded.size(); ++k) {
+                    if (expanded.ordinal(k) == skip_ordinal)
                         continue; // warm-start hint, already evaluated
-                    if (leaf.fullLane != want_full_lane) {
+                    if (expanded.fullLane(k) != want_full_lane) {
                         if (rejected_class) {
                             rejected_class->push_back(
-                                std::move(leaf));
+                                {expanded.mapping(k),
+                                 expanded.ordinal(k),
+                                 expanded.fullLane(k)});
                         }
                         continue;
                     }
                     Node ln;
                     ln.bound = scoreLowerBound(layer, cfg, tech,
-                                               leaf.mapping,
+                                               expanded.mapping(k),
                                                objective);
-                    ln.ordinal = leaf.ordinal;
-                    ln.mapping = std::move(leaf.mapping);
+                    ln.ordinal = expanded.ordinal(k);
+                    ln.mapping = expanded.mapping(k);
                     open.push(std::move(ln));
                 }
                 continue;
@@ -181,18 +187,26 @@ drainQueue(const ConvLayer &layer, const AcceleratorConfig &cfg,
         {
             NNBATON_TRACE_SCOPE("mapper.c3p_analysis");
             slots.resize(batch.size());
-            const auto evaluate = [&](int64_t j) {
-                slots[static_cast<size_t>(j)] = evaluateMapping(
-                    layer, cfg, tech,
-                    batch[static_cast<size_t>(j)].mapping);
-            };
             if (pool) {
-                pool->parallelFor(static_cast<int64_t>(batch.size()),
-                                  evaluate);
+                pool->parallelFor(
+                    static_cast<int64_t>(batch.size()),
+                    [&](int64_t j) {
+                        slots[static_cast<size_t>(j)] =
+                            evaluateMapping(
+                                layer, cfg, tech,
+                                batch[static_cast<size_t>(j)]
+                                    .mapping);
+                    });
+            } else if (inc) {
+                for (size_t j = 0; j < batch.size(); ++j) {
+                    slots[j] = evaluateMappingIncremental(
+                        layer, cfg, tech, batch[j].mapping, *inc);
+                }
             } else {
-                for (int64_t j = 0;
-                     j < static_cast<int64_t>(batch.size()); ++j)
-                    evaluate(j);
+                for (size_t j = 0; j < batch.size(); ++j) {
+                    slots[j] = evaluateMapping(layer, cfg, tech,
+                                               batch[j].mapping);
+                }
             }
         }
         c.evaluated += static_cast<int64_t>(batch.size());
@@ -285,6 +299,14 @@ searchBranchAndBound(const ConvLayer &layer,
     int64_t skip_ordinal = -1;
     int64_t warm_starts = 0;
 
+    // One incremental analyzer spans both phases: the queue pops in
+    // best-bound (not enumeration) order, so many diffs fall back to
+    // the full analysis, but intra-subtree runs still hit the delta
+    // path.  Serial only — parallel lanes keep the full evaluation.
+    std::optional<IncrementalAnalyzer> inc;
+    if (!pool)
+        inc.emplace(layer, cfg);
+
     // Warm start: a cached winner from a sibling configuration is
     // only usable if it is a leaf of *this* grid (same skeleton,
     // plane and ladder point, legal here) — then evaluating it first
@@ -318,9 +340,9 @@ searchBranchAndBound(const ConvLayer &layer,
         open.push(std::move(n));
     }
     std::vector<CandidateSpace::Leaf> degraded;
-    drainQueue(layer, cfg, tech, space, objective, search, pool, open,
-               /*want_full_lane=*/true, &degraded, skip_ordinal, best,
-               c);
+    drainQueue(layer, cfg, tech, space, objective, search, pool,
+               inc ? &*inc : nullptr, open, /*want_full_lane=*/true,
+               &degraded, skip_ordinal, best, c);
 
     // Phase B: no full-lane incumbent means no pruning happened, so
     // every subtree was expanded and `degraded` holds the complete
@@ -336,7 +358,8 @@ searchBranchAndBound(const ConvLayer &layer,
             fallback.push(std::move(n));
         }
         drainQueue(layer, cfg, tech, space, objective, search, pool,
-                   fallback, /*want_full_lane=*/false,
+                   inc ? &*inc : nullptr, fallback,
+                   /*want_full_lane=*/false,
                    /*rejected_class=*/nullptr, skip_ordinal, best, c);
     }
 
@@ -351,6 +374,8 @@ searchBranchAndBound(const ConvLayer &layer,
         stats->refinedPruned += c.refinedPruned;
     }
     mirrorMetrics(c);
+    if (inc)
+        mirrorIncrementalMetrics(inc->stats());
     return best.choice;
 }
 
@@ -393,10 +418,14 @@ searchAnneal(const ConvLayer &layer, const AcceleratorConfig &cfg,
     if (!init)
         return std::nullopt;
 
+    // The anneal walk is serial and its moves are single-coordinate —
+    // exactly the diffs the incremental analyzer covers.
+    IncrementalAnalyzer inc(layer, cfg);
     int64_t evaluated = 0;
     const auto evalLeaf = [&](const CandidateSpace::Leaf &leaf) {
         ++evaluated;
-        return evaluateMapping(layer, cfg, tech, leaf.mapping);
+        return evaluateMappingIncremental(layer, cfg, tech,
+                                          leaf.mapping, inc);
     };
 
     MappingChoice cur_choice = evalLeaf(*init);
@@ -500,6 +529,7 @@ searchAnneal(const ConvLayer &layer, const AcceleratorConfig &cfg,
         obs::MetricsRegistry::instance().counter(
             "mapper.candidates.evaluated");
     m_evaluated.add(evaluated);
+    mirrorIncrementalMetrics(inc.stats());
     return best_choice;
 }
 

@@ -230,6 +230,26 @@ buildSubtrees(const ConvLayer &layer, const AcceleratorConfig &cfg,
 
 } // namespace
 
+void
+CandidateBlock::keepOnly(bool full_lane)
+{
+    const uint8_t want = full_lane ? 1 : 0;
+    size_t w = 0;
+    for (size_t r = 0; r < mappings_.size(); ++r) {
+        if (fullLane_[r] != want)
+            continue;
+        if (w != r) {
+            mappings_[w] = mappings_[r];
+            ordinals_[w] = ordinals_[r];
+            fullLane_[w] = fullLane_[r];
+        }
+        ++w;
+    }
+    mappings_.resize(w);
+    ordinals_.resize(w);
+    fullLane_.resize(w);
+}
+
 CandidateSpace::CandidateSpace(const ConvLayer &layer,
                                const AcceleratorConfig &cfg,
                                SearchEffort effort)
@@ -295,19 +315,33 @@ CandidateSpace::makeLeaf(size_t i, size_t ih, size_t iw, size_t ic,
 std::vector<CandidateSpace::Leaf>
 CandidateSpace::expand(size_t i) const
 {
-    const Subtree &st = subtrees_[i];
+    CandidateBlock block;
+    expandInto(i, block);
     std::vector<Leaf> out;
+    out.reserve(block.size());
+    for (size_t k = 0; k < block.size(); ++k)
+        out.push_back(
+            {block.mapping(k), block.ordinal(k), block.fullLane(k)});
+    return out;
+}
+
+void
+CandidateSpace::expandInto(size_t i, CandidateBlock &out) const
+{
+    out.clear();
+    const Subtree &st = subtrees_[i];
     for (size_t ih = 0; ih < st.ladderH.size(); ++ih) {
         for (size_t iw = 0; iw < st.ladderW.size(); ++iw) {
             for (size_t ic = 0; ic < st.ladderC.size(); ++ic) {
                 for (size_t order = 0; order < 4; ++order) {
-                    if (auto leaf = makeLeaf(i, ih, iw, ic, order))
-                        out.push_back(std::move(*leaf));
+                    if (auto leaf = makeLeaf(i, ih, iw, ic, order)) {
+                        out.push(leaf->mapping, leaf->ordinal,
+                                 leaf->fullLane);
+                    }
                 }
             }
         }
     }
-    return out;
 }
 
 std::optional<CandidateSpace::Leaf>
@@ -354,20 +388,44 @@ CandidateSpace::locate(const Mapping &mapping) const
     return std::nullopt;
 }
 
-static std::vector<Mapping>
-collectFromSpace(const CandidateSpace &space)
+void
+enumerateCandidatesInto(const CandidateSpace &space, CandidateBlock &out)
 {
-    std::vector<Mapping> full_lane;
-    std::vector<Mapping> degraded;
+    out.clear();
+    CandidateBlock scratch;
     for (size_t i = 0; i < space.size(); ++i) {
-        for (CandidateSpace::Leaf &leaf : space.expand(i)) {
-            (leaf.fullLane ? full_lane : degraded)
-                .push_back(std::move(leaf.mapping));
+        space.expandInto(i, scratch);
+        for (size_t k = 0; k < scratch.size(); ++k) {
+            out.push(scratch.mapping(k), scratch.ordinal(k),
+                     scratch.fullLane(k));
         }
     }
     // Prefer candidates that fill the lanes; fall back when the layer
-    // is too narrow for any to exist.
-    return full_lane.empty() ? degraded : full_lane;
+    // is too narrow for any to exist.  keepOnly preserves ascending
+    // ordinal order, so the block stays an enumeration-neighbour
+    // stream either way.
+    if (out.anyFullLane())
+        out.keepOnly(true);
+}
+
+void
+enumerateCandidatesInto(const ConvLayer &layer,
+                        const AcceleratorConfig &cfg, SearchEffort effort,
+                        CandidateBlock &out)
+{
+    enumerateCandidatesInto(CandidateSpace(layer, cfg, effort), out);
+}
+
+static std::vector<Mapping>
+collectFromSpace(const CandidateSpace &space)
+{
+    CandidateBlock block;
+    enumerateCandidatesInto(space, block);
+    std::vector<Mapping> out;
+    out.reserve(block.size());
+    for (size_t i = 0; i < block.size(); ++i)
+        out.push_back(block.mapping(i));
+    return out;
 }
 
 std::vector<Mapping>

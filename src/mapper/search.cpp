@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "c3p/incremental.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
@@ -43,6 +44,33 @@ evaluateMapping(const ConvLayer &layer, const AcceleratorConfig &cfg,
     return choice;
 }
 
+MappingChoice
+evaluateMappingIncremental(const ConvLayer &layer,
+                           const AcceleratorConfig &cfg,
+                           const TechnologyModel &tech,
+                           const Mapping &mapping,
+                           IncrementalAnalyzer &state)
+{
+    MappingChoice choice;
+    evaluateMappingIncrementalInto(layer, cfg, tech, mapping, state,
+                                   choice);
+    return choice;
+}
+
+void
+evaluateMappingIncrementalInto(const ConvLayer &layer,
+                               const AcceleratorConfig &cfg,
+                               const TechnologyModel &tech,
+                               const Mapping &mapping,
+                               IncrementalAnalyzer &state,
+                               MappingChoice &out)
+{
+    out.mapping = mapping;
+    state.analyzeInto(mapping, out.analysis);
+    out.energy = computeEnergy(out.analysis.counts, cfg, tech);
+    out.runtime = estimateRuntime(layer, cfg, out.analysis, tech);
+}
+
 namespace {
 
 /**
@@ -69,10 +97,9 @@ scoreOf(const MappingChoice &c, Objective objective)
 
 std::optional<MappingChoice>
 pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
-         const TechnologyModel &tech,
-         const std::vector<Mapping> &candidates, Objective objective,
-         const SearchOptions &search, ThreadPool *pool,
-         SearchStats *stats)
+         const TechnologyModel &tech, const CandidateBlock &candidates,
+         Objective objective, const SearchOptions &search,
+         ThreadPool *pool, SearchStats *stats)
 {
     NNBATON_TRACE_SCOPE("mapper.pick_best");
 
@@ -84,6 +111,16 @@ pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
 
     std::optional<MappingChoice> best;
     double best_score = std::numeric_limits<double>::max();
+
+    // The serial lane walks the block in ascending-ordinal order — an
+    // enumeration-neighbour stream — so it evaluates through the
+    // delta-aware incremental analyzer.  The parallel lanes hand out
+    // indices nondeterministically and keep the full evaluation
+    // (results are bit-identical either way, so the serial/parallel
+    // determinism contract is unaffected).
+    std::optional<IncrementalAnalyzer> inc;
+    if (!pool)
+        inc.emplace(layer, cfg);
 
     const size_t n = candidates.size();
     std::vector<MappingChoice> slots(std::min(n, kPruneBlock));
@@ -110,7 +147,8 @@ pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
             for (size_t i = 0; i < count; ++i) {
                 if (prune && best &&
                     scoreLowerBound(layer, cfg, tech,
-                                    candidates[base + i], objective) >=
+                                    candidates.mapping(base + i),
+                                    objective) >=
                         best_score * kPruneMargin) {
                     ++pruned_here;
                     continue;
@@ -123,18 +161,22 @@ pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
         // available (indices write disjoint slots; no ordering).
         {
             NNBATON_TRACE_SCOPE("mapper.c3p_analysis");
-            const auto evaluate = [&](int64_t j) {
-                const size_t i = survivors[static_cast<size_t>(j)];
-                slots[i] = evaluateMapping(layer, cfg, tech,
-                                           candidates[base + i]);
-            };
             if (pool) {
                 pool->parallelFor(
-                    static_cast<int64_t>(survivors.size()), evaluate);
+                    static_cast<int64_t>(survivors.size()),
+                    [&](int64_t j) {
+                        const size_t i =
+                            survivors[static_cast<size_t>(j)];
+                        slots[i] = evaluateMapping(
+                            layer, cfg, tech,
+                            candidates.mapping(base + i));
+                    });
             } else {
-                for (int64_t j = 0;
-                     j < static_cast<int64_t>(survivors.size()); ++j)
-                    evaluate(j);
+                for (const size_t i : survivors) {
+                    evaluateMappingIncrementalInto(
+                        layer, cfg, tech, candidates.mapping(base + i),
+                        *inc, slots[i]);
+                }
             }
         }
         evaluated_here += static_cast<int64_t>(survivors.size());
@@ -171,6 +213,8 @@ pickBest(const ConvLayer &layer, const AcceleratorConfig &cfg,
     m_pruned.add(pruned_here);
     if (prune)
         m_prune_hist.record(pruned_here);
+    if (inc)
+        mirrorIncrementalMetrics(inc->stats());
 
     return best;
 }
@@ -188,10 +232,10 @@ runLayerSearch(const ConvLayer &layer, const AcceleratorConfig &cfg,
 {
     switch (search.mode) {
       case SearchMode::Exhaustive: {
-        std::vector<Mapping> candidates;
+        CandidateBlock candidates;
         {
             NNBATON_TRACE_SCOPE("mapper.candidates");
-            candidates = enumerateCandidates(layer, cfg, effort);
+            enumerateCandidatesInto(layer, cfg, effort, candidates);
         }
         return pickBest(layer, cfg, tech, candidates, objective,
                         search, pool, stats);
@@ -241,10 +285,12 @@ searchLayerWithSpatial(const ConvLayer &layer,
                        ChipletPartition chip, SearchEffort effort,
                        Objective objective)
 {
-    return pickBest(
-        layer, cfg, tech,
-        enumerateCandidatesFor(layer, cfg, effort, pkg, chip), objective,
-        SearchOptions{}, /*pool=*/nullptr, /*stats=*/nullptr);
+    CandidateBlock candidates;
+    enumerateCandidatesInto(CandidateSpace(layer, cfg, effort, pkg, chip),
+                            candidates);
+    return pickBest(layer, cfg, tech, candidates, objective,
+                    SearchOptions{}, /*pool=*/nullptr,
+                    /*stats=*/nullptr);
 }
 
 ModelMappingResult

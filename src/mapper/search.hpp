@@ -25,8 +25,9 @@
 
 namespace nnbaton {
 
-class MappingCache; // mapper/cache.hpp
-class ThreadPool;   // common/parallel.hpp
+class MappingCache;        // mapper/cache.hpp
+class ThreadPool;          // common/parallel.hpp
+class IncrementalAnalyzer; // c3p/incremental.hpp
 
 /** Search objective. */
 enum class Objective
@@ -160,6 +161,32 @@ MappingChoice evaluateMapping(const ConvLayer &layer,
                               const TechnologyModel &tech,
                               const Mapping &mapping,
                               const AnalysisOptions &options = {});
+
+/**
+ * evaluateMapping() through the delta-aware incremental evaluator:
+ * @p state carries the previous candidate's cached per-level C3P
+ * terms, so enumeration-neighbour candidates skip most of the
+ * analysis.  Bit-identical to evaluateMapping() on legal mappings
+ * (the serial search lanes use this; see c3p/incremental.hpp).
+ */
+MappingChoice evaluateMappingIncremental(const ConvLayer &layer,
+                                         const AcceleratorConfig &cfg,
+                                         const TechnologyModel &tech,
+                                         const Mapping &mapping,
+                                         IncrementalAnalyzer &state);
+
+/**
+ * evaluateMappingIncremental() writing into caller-owned storage, so
+ * a hot evaluation loop that feeds the same @p out slot back in keeps
+ * the analysis vectors' capacity and allocates nothing in the steady
+ * state.  All fields are fully (re)assigned.
+ */
+void evaluateMappingIncrementalInto(const ConvLayer &layer,
+                                    const AcceleratorConfig &cfg,
+                                    const TechnologyModel &tech,
+                                    const Mapping &mapping,
+                                    IncrementalAnalyzer &state,
+                                    MappingChoice &out);
 
 /**
  * Search the best mapping for one layer.  Returns std::nullopt when

@@ -9,6 +9,7 @@
 
 #include "common/util.hpp"
 #include "dse/explorer.hpp"
+#include "dse/progress.hpp"
 #include "dse/space.hpp"
 #include "nn/model.hpp"
 
@@ -177,4 +178,58 @@ TEST(ExploreDeath, UnreachableMacCountIsFatal)
     expectStatusThrow(
         [&] { explore(miniModel(), opt, defaultTech()); },
         "compute allocation");
+}
+
+TEST(Progress, FreshRateExcludesRestoredPoints)
+{
+    // 100 of 120 points done, 90 of those restored from a checkpoint:
+    // only the 10 fresh points took sweep time, so a 5-second run is
+    // doing 2/s — counting restored points would report 20/s and an
+    // ETA 10x too optimistic right after a resume.
+    const ProgressStats s = computeProgressStats(100, 120, 90, 5.0);
+    EXPECT_EQ(s.done, 100);
+    EXPECT_EQ(s.total, 120);
+    EXPECT_EQ(s.restored, 90);
+    EXPECT_EQ(s.fresh, 10);
+    EXPECT_EQ(s.remaining, 20);
+    EXPECT_DOUBLE_EQ(s.pointsPerSec, 2.0);
+    EXPECT_DOUBLE_EQ(s.etaSeconds, 10.0);
+    EXPECT_FALSE(s.finished());
+}
+
+TEST(Progress, AllRestoredReportsUnknownEtaNotDivisionByZero)
+{
+    // Everything restored, nothing fresh yet: rate 0, ETA unknown
+    // (reported as 0, never NaN/inf), and not "finished" while points
+    // remain.
+    const ProgressStats s = computeProgressStats(90, 120, 90, 3.0);
+    EXPECT_EQ(s.fresh, 0);
+    EXPECT_DOUBLE_EQ(s.pointsPerSec, 0.0);
+    EXPECT_DOUBLE_EQ(s.etaSeconds, 0.0);
+    EXPECT_FALSE(s.finished());
+}
+
+TEST(Progress, FinishedSweepHasZeroEta)
+{
+    const ProgressStats s = computeProgressStats(120, 120, 90, 7.0);
+    EXPECT_EQ(s.remaining, 0);
+    EXPECT_TRUE(s.finished());
+    EXPECT_DOUBLE_EQ(s.etaSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(s.pointsPerSec, 30.0 / 7.0);
+}
+
+TEST(Progress, ClampsInconsistentCounterReads)
+{
+    // Relaxed atomics can momentarily read done < restored or
+    // done > total; derived figures must clamp, never go negative.
+    const ProgressStats torn = computeProgressStats(5, 120, 9, 2.0);
+    EXPECT_EQ(torn.fresh, 0);
+    EXPECT_GE(torn.pointsPerSec, 0.0);
+    EXPECT_GE(torn.etaSeconds, 0.0);
+    const ProgressStats over = computeProgressStats(130, 120, 0, 2.0);
+    EXPECT_EQ(over.done, 120);
+    EXPECT_EQ(over.remaining, 0);
+    const ProgressStats zero = computeProgressStats(10, 120, 0, 0.0);
+    EXPECT_DOUBLE_EQ(zero.pointsPerSec, 0.0);
+    EXPECT_DOUBLE_EQ(zero.etaSeconds, 0.0);
 }

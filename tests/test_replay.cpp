@@ -12,6 +12,8 @@
 
 #include "expect_status.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <random>
 
 #include "baton/baton.hpp"
@@ -251,4 +253,43 @@ TEST(InterpreterDeathTest, RejectsTrueLinearisationOverflow)
             referenceFills(nest, Tensor::Outputs, layer, INT64_MAX / 2);
         },
         "linearisation");
+}
+
+TEST(Linearizer, AccessCountsSurviveInt32ProductBoundary)
+{
+    // A batched transformer-scale GEMM whose access-count terms cross
+    // the int32 boundary: 8 x 4096 x 4096 x 4096 MACs (2^39) and
+    // 3.2e9 drain bits.  The composition must promote the int-typed
+    // factors (chiplets, cores, ways, parts) to int64 before
+    // multiplying; a 32-bit intermediate would wrap these counts
+    // negative or alias them small.
+    ConvLayer layer = makeConv("gemm4k", 1, 4096, 4096, 4096, 1, 1, 1);
+    layer.batch = 8;
+    const AcceleratorConfig cfg = caseStudyConfig();
+    const auto choice =
+        searchLayer(layer, cfg, defaultTech(), SearchEffort::Sketch);
+    ASSERT_TRUE(choice.has_value());
+    const AccessCounts &c = choice->analysis.counts;
+
+    const int64_t macs = 8ll * 4096 * 4096 * 4096; // 2^39
+    EXPECT_EQ(c.macOps, macs);
+    const int64_t outputs = 8ll * 4096 * 4096;
+    EXPECT_EQ(c.ol1ReadBits, outputs * 24); // > INT32_MAX
+    EXPECT_EQ(c.ol2WriteBits, outputs * 8);
+    EXPECT_EQ(c.ol2ReadBits, outputs * 8);
+    EXPECT_EQ(c.dramWriteBits, outputs * 8);
+    const int64_t p =
+        std::min<int64_t>(cfg.core.vectorSize, layer.ciPerGroup());
+    EXPECT_EQ(c.ol1RmwBits, ((macs + p - 1) / p) * 24);
+
+    // Every composed count is a sum of positive products; any int32
+    // wraparound shows up as a negative or implausibly small field.
+    EXPECT_GT(c.dramReadActBits, 0);
+    EXPECT_GT(c.dramReadWeightBits, 0);
+    EXPECT_GT(c.al2ReadBits, INT32_MAX);
+    EXPECT_GT(c.al1ReadBits, INT32_MAX);
+    EXPECT_GT(c.wl1ReadBits, 0);
+    EXPECT_GT(c.wl1WriteBits, 0);
+    EXPECT_GT(c.al2WriteBits, 0);
+    EXPECT_GT(c.al1WriteBits, 0);
 }

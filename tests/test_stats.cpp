@@ -91,6 +91,36 @@ TEST(Stats, QuantileExactWhenBucketHoldsOneDistinctValue)
         EXPECT_DOUBLE_EQ(s.quantile(q), 5.0) << q;
 }
 
+TEST(Stats, QuantileExactWhenAllSamplesEqualAndNegative)
+{
+    // Negative recordings all land in bucket 0, whose nominal bounds
+    // are [0, 0]; before both bounds were clamped into
+    // [minValue, maxValue] a min==max histogram of -5s interpolated
+    // between 0 (the unclamped nominal lower bound) and -5 instead of
+    // collapsing to the exact value.
+    obs::Histogram h;
+    for (int i = 0; i < 10; ++i)
+        h.record(-5);
+    const obs::HistogramSnapshot s = snapshotOf(h);
+    for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(s.quantile(q), -5.0) << q;
+}
+
+TEST(Stats, QuantileNegativeRangeStaysWithinObservedBounds)
+{
+    // Mixed negative samples share bucket 0; every estimate must stay
+    // inside the observed [min, max] band.
+    obs::Histogram h;
+    h.record(-20);
+    h.record(-10);
+    h.record(-2);
+    const obs::HistogramSnapshot s = snapshotOf(h);
+    for (double q : {0.1, 0.5, 0.9}) {
+        EXPECT_GE(s.quantile(q), -20.0) << q;
+        EXPECT_LE(s.quantile(q), -2.0) << q;
+    }
+}
+
 TEST(Stats, QuantileStaysWithinClampedBucketBounds)
 {
     // Two values in different buckets: low quantiles resolve inside
